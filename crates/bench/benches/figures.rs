@@ -1,0 +1,40 @@
+//! Criterion wrappers around representative figure experiments, at a micro
+//! scale so `cargo bench` stays quick. The full regeneration of every table
+//! and figure is done by the `repro` binary
+//! (`cargo run --release -p numascan-bench --bin repro -- all`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use numascan_bench::experiments;
+use numascan_bench::ExperimentScale;
+
+fn micro_scale() -> ExperimentScale {
+    ExperimentScale {
+        rows: 500_000,
+        payload_columns: 8,
+        client_sweep: vec![64],
+        high_concurrency: 64,
+        max_queries: 150,
+        max_virtual_seconds: 10.0,
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_micro");
+    group.sample_size(10);
+    group.bench_function("fig1_numa_awareness", |b| {
+        b.iter(|| black_box(experiments::fig01::run(&micro_scale())))
+    });
+    group.bench_function("fig8_scheduling_strategies", |b| {
+        b.iter(|| black_box(experiments::fig08::run(&micro_scale())))
+    });
+    group.bench_function("fig16_skew_placements", |b| {
+        b.iter(|| black_box(experiments::fig16::run(&micro_scale())))
+    });
+    group.bench_function("table1_topologies", |b| {
+        b.iter(|| black_box(experiments::table01::run(&micro_scale())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the Page Socket Mapping: building it from an
+//! interleaved allocation, querying page locations, and moving ranges.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use numascan_numasim::memman::{AllocPolicy, MemoryManager, VirtRange, PAGE_SIZE};
+use numascan_numasim::{SocketId, Topology};
+use numascan_psm::Psm;
+
+const PAGES: u64 = 64 * 1024; // a 256 MiB component
+
+fn setup() -> (MemoryManager, VirtRange) {
+    let topology = Topology::four_socket_ivybridge_ex();
+    let mut mem = MemoryManager::new(&topology);
+    let sockets: Vec<SocketId> = topology.socket_ids().collect();
+    let range = mem.allocate(PAGES * PAGE_SIZE, AllocPolicy::Interleaved(sockets)).unwrap();
+    (mem, range)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let (mem, range) = setup();
+    let mut group = c.benchmark_group("psm_build");
+    group.throughput(Throughput::Elements(PAGES));
+    group.bench_function("from_interleaved_allocation", |b| {
+        b.iter(|| {
+            let psm = Psm::from_memory(&mem, black_box(range)).unwrap();
+            black_box(psm.range_count())
+        })
+    });
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let (mem, range) = setup();
+    let psm = Psm::from_memory(&mem, range).unwrap();
+    let mut group = c.benchmark_group("psm_lookup");
+    group.bench_function("socket_of_addr", |b| {
+        let mut addr = range.base;
+        b.iter(|| {
+            addr = range.base + ((addr + 4097) % range.bytes);
+            black_box(psm.socket_of(addr))
+        })
+    });
+    group.finish();
+}
+
+fn bench_move(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psm_move");
+    group.bench_function("move_1024_pages", |b| {
+        b.iter_with_setup(
+            || {
+                let (mem, range) = setup();
+                let psm = Psm::from_memory(&mem, range).unwrap();
+                (mem, psm, range)
+            },
+            |(mut mem, mut psm, range)| {
+                let sub = VirtRange::new(range.base, 1024 * PAGE_SIZE);
+                psm.move_range(&mut mem, sub, SocketId(3)).unwrap();
+                black_box(psm.pages_per_socket()[3])
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_lookup, bench_move);
+criterion_main!(benches);

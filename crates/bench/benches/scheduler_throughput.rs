@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the NUMA-aware thread pool: task dispatch
+//! throughput under the three scheduling strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use numascan_numasim::{SocketId, Topology};
+use numascan_scheduler::{
+    PoolConfig, SchedulingStrategy, TaskMeta, TaskPriority, ThreadPool, WorkClass,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const TASKS: u64 = 2_000;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let topology = Topology::four_socket_ivybridge_ex();
+    let mut group = c.benchmark_group("scheduler_dispatch");
+    group.throughput(Throughput::Elements(TASKS));
+    group.sample_size(10);
+    for strategy in SchedulingStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("strategy", strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                let pool = ThreadPool::new(
+                    &topology,
+                    PoolConfig { strategy, workers_per_group: Some(2), ..PoolConfig::default() },
+                );
+                b.iter(|| {
+                    let counter = Arc::new(AtomicU64::new(0));
+                    for i in 0..TASKS {
+                        let counter = Arc::clone(&counter);
+                        let meta = TaskMeta {
+                            affinity: Some(SocketId((i % 4) as u16)),
+                            hard_affinity: true,
+                            priority: TaskPriority::new(i, 0),
+                            work_class: WorkClass::MemoryIntensive,
+                            estimated_bytes: 0.0,
+                        };
+                        pool.submit(meta, move || {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    pool.wait_idle();
+                    assert_eq!(counter.load(Ordering::Relaxed), TASKS);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the virtual NUMA machine: the max-min fair
+//! bandwidth solver and a short end-to-end simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use numascan_core::{PlacementStrategy, SimConfig, SimEngine};
+use numascan_numasim::bandwidth::MemoryDemand;
+use numascan_numasim::{BandwidthSolver, Machine, SocketId, Topology};
+use numascan_scheduler::SchedulingStrategy;
+use numascan_workload::{build_catalog, paper_table_spec, ColumnSelection, ScanWorkload};
+
+fn bench_bandwidth_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bandwidth_solver");
+    for (label, topology) in [
+        ("4-socket", Topology::four_socket_ivybridge_ex()),
+        ("32-socket", Topology::thirty_two_socket_ivybridge_ex()),
+    ] {
+        let solver = BandwidthSolver::new(&topology);
+        let sockets = topology.socket_count() as u16;
+        // One aggregated demand class per (cpu, mem) pair with a mix of local
+        // and remote traffic, like a busy simulation step.
+        let demands: Vec<MemoryDemand> = (0..sockets)
+            .flat_map(|cpu| {
+                [(cpu, cpu), (cpu, (cpu + 1) % sockets)]
+                    .into_iter()
+                    .map(move |(c0, m)| {
+                        MemoryDemand::aggregated(
+                            u64::from(c0) << 8 | u64::from(m),
+                            SocketId(c0),
+                            SocketId(m),
+                            5.0,
+                            30.0,
+                        )
+                    })
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("solve", label), &demands, |b, demands| {
+            b.iter(|| black_box(solver.solve(black_box(demands))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("bound_64_clients_200_queries", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(Topology::four_socket_ivybridge_ex());
+            let spec = paper_table_spec(1_000_000, 8, false);
+            let catalog =
+                build_catalog(&mut machine, &spec, PlacementStrategy::RoundRobin).unwrap();
+            let mut workload = ScanWorkload::new(0, 8, ColumnSelection::Uniform, 0.0001, 1);
+            let config = SimConfig {
+                strategy: SchedulingStrategy::Bound,
+                clients: 64,
+                target_queries: 200,
+                ..SimConfig::default()
+            };
+            let report = SimEngine::new(&mut machine, &catalog, config).run(&mut workload);
+            black_box(report.completed_queries)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bandwidth_solver, bench_simulation);
+criterion_main!(benches);

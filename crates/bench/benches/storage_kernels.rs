@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks for the storage kernels: bit-packed scans over
+//! different bitcases (the reason the paper's dataset cycles bitcases 17–26),
+//! materialization, dictionary lookups and inverted-index lookups.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use numascan_storage::{scan_positions, DictColumn, Predicate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 1_000_000;
+
+fn column_with_bitcase(bits: u32) -> DictColumn<i64> {
+    let mut rng = StdRng::seed_from_u64(bits as u64);
+    let max = 1i64 << bits;
+    let values: Vec<i64> = (0..ROWS).map(|_| rng.gen_range(0..max)).collect();
+    DictColumn::from_values(format!("col_b{bits}"), &values, true)
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan");
+    group.throughput(Throughput::Elements(ROWS as u64));
+    for bits in [8u32, 12, 17] {
+        let column = column_with_bitcase(bits);
+        let lo = 0i64;
+        let hi = (1i64 << bits) / 100; // ~1% selectivity
+        let encoded = Predicate::Between { lo, hi }.encode(column.dictionary());
+        group.bench_with_input(BenchmarkId::new("bitcase", bits), &column, |b, col| {
+            b.iter(|| {
+                let positions = scan_positions(col, 0..col.row_count(), black_box(&encoded));
+                black_box(positions.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_materialization(c: &mut Criterion) {
+    let column = column_with_bitcase(12);
+    let encoded =
+        Predicate::Between { lo: 0, hi: 1 << 10 }.encode(column.dictionary());
+    let positions = scan_positions(&column, 0..column.row_count(), &encoded);
+    let mut group = c.benchmark_group("materialize");
+    group.throughput(Throughput::Elements(positions.len() as u64));
+    group.bench_function("positions_to_values", |b| {
+        b.iter(|| {
+            let values =
+                numascan_storage::materialize_positions(&column, black_box(&positions));
+            black_box(values.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_dictionary_and_index(c: &mut Criterion) {
+    let column = column_with_bitcase(17);
+    let dict = column.dictionary();
+    let ix = column.inverted_index().unwrap();
+    let mut group = c.benchmark_group("lookup");
+    group.bench_function("dictionary_binary_search", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 7919) % (1 << 17);
+            black_box(dict.lookup(&i))
+        })
+    });
+    group.bench_function("inverted_index_positions", |b| {
+        let mut vid = 0u32;
+        b.iter(|| {
+            vid = (vid + 101) % dict.len() as u32;
+            black_box(ix.positions_of(vid).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scans, bench_materialization, bench_dictionary_and_index);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Figure 1: the impact of NUMA-awareness.
+//!
+//! (a) Throughput of a NUMA-agnostic (OS-scheduled) and a NUMA-aware (Bound)
+//! column-store for an increasing number of analytical clients on the
+//! 4-socket server; (b) per-socket memory throughput at the highest
+//! concurrency. The paper reports an up to 5x improvement.
+
+use numascan_scheduler::SchedulingStrategy;
+
+use crate::harness::{fmt, ResultTable};
+use crate::runner::{build_machine_and_catalog, run_scan_on, ScanRunConfig};
+use crate::scale::ExperimentScale;
+
+/// Regenerates Figure 1.
+pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
+    let mut throughput = ResultTable::new(
+        "fig1a",
+        "Throughput (q/min) of NUMA-agnostic vs NUMA-aware execution",
+        &["clients", "NUMA-agnostic (OS)", "NUMA-aware (Bound)", "speedup"],
+    );
+    let base = ScanRunConfig::new(1);
+    let (mut machine, catalog) = build_machine_and_catalog(&base, scale);
+
+    let mut socket_tp_rows: Vec<Vec<String>> = Vec::new();
+    for &clients in &scale.client_sweep {
+        let os = run_scan_on(
+            &mut machine,
+            &catalog,
+            &ScanRunConfig { clients, strategy: SchedulingStrategy::Os, ..base.clone() },
+            scale,
+        );
+        let bound = run_scan_on(
+            &mut machine,
+            &catalog,
+            &ScanRunConfig { clients, strategy: SchedulingStrategy::Bound, ..base.clone() },
+            scale,
+        );
+        throughput.push_row([
+            clients.to_string(),
+            fmt(os.throughput_qpm),
+            fmt(bound.throughput_qpm),
+            fmt(bound.throughput_qpm / os.throughput_qpm.max(1e-9)),
+        ]);
+        if clients == scale.high_concurrency {
+            for (label, report) in [("NUMA-agnostic", &os), ("NUMA-aware", &bound)] {
+                let per_socket = report.memory_throughput_gibs();
+                let mut row = vec![label.to_string(), fmt(report.total_memory_throughput_gibs())];
+                row.extend(per_socket.iter().map(|tp| fmt(*tp)));
+                socket_tp_rows.push(row);
+            }
+        }
+    }
+
+    let mut headers: Vec<String> = vec!["configuration".into(), "total GiB/s".into()];
+    headers.extend((1..=4).map(|s| format!("S{s} GiB/s")));
+    let mut memory = ResultTable::new(
+        "fig1b",
+        format!("Per-socket memory throughput at {} clients", scale.high_concurrency),
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for row in socket_tp_rows {
+        memory.push_row(row);
+    }
+    vec![throughput, memory]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numa_awareness_improves_throughput_severalfold_at_high_concurrency() {
+        let mut scale = ExperimentScale::quick();
+        scale.rows = 1_000_000;
+        scale.payload_columns = 8;
+        scale.client_sweep = vec![64];
+        scale.high_concurrency = 64;
+        scale.max_queries = 250;
+        let tables = run(&scale);
+        let speedup = tables[0].cell_f64("64", "speedup").unwrap();
+        assert!(speedup > 2.5, "expected a large NUMA-awareness speedup, got {speedup}");
+        // The NUMA-aware configuration uses more aggregate memory bandwidth.
+        let agnostic = tables[1].cell_f64("NUMA-agnostic", "total GiB/s").unwrap();
+        let aware = tables[1].cell_f64("NUMA-aware", "total GiB/s").unwrap();
+        assert!(aware > agnostic);
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 8: OS, Target and Bound scheduling with RR-placed columns on the
+//! 4-socket server (uniform workload, 0.001 % selectivity, no indexes).
+//!
+//! Reports throughput over the client sweep plus the companion performance
+//! metrics at the highest concurrency: CPU load, tasks, stolen tasks, LLC
+//! load misses (local/remote), per-socket memory throughput, IPC and QPI
+//! traffic.
+
+use numascan_core::SimReport;
+use numascan_scheduler::SchedulingStrategy;
+use numascan_numasim::Topology;
+
+use crate::harness::{fmt, ResultTable};
+use crate::runner::{build_machine_and_catalog, run_scan_on, ScanRunConfig};
+use crate::scale::ExperimentScale;
+
+/// Shared implementation for Figures 8 and 9 (and 15): a strategy comparison
+/// on a given topology and column-selection distribution.
+pub fn strategy_comparison(
+    id: &str,
+    title: &str,
+    topology: Topology,
+    selection: numascan_workload::ColumnSelection,
+    scale: &ExperimentScale,
+) -> Vec<ResultTable> {
+    let sockets = topology.socket_count();
+    let base = ScanRunConfig { topology, selection, ..ScanRunConfig::new(1) };
+    let (mut machine, catalog) = build_machine_and_catalog(&base, scale);
+
+    let mut throughput = ResultTable::new(
+        format!("{id}_tp"),
+        format!("{title}: throughput (q/min)"),
+        &["clients", "OS", "Target", "Bound"],
+    );
+    let mut cpu = ResultTable::new(
+        format!("{id}_cpu"),
+        format!("{title}: CPU load (%)"),
+        &["clients", "OS", "Target", "Bound"],
+    );
+    let mut high_reports: Vec<(SchedulingStrategy, SimReport)> = Vec::new();
+
+    for &clients in &scale.client_sweep {
+        let mut tp_row = vec![clients.to_string()];
+        let mut cpu_row = vec![clients.to_string()];
+        for strategy in SchedulingStrategy::ALL {
+            let report = run_scan_on(
+                &mut machine,
+                &catalog,
+                &ScanRunConfig { clients, strategy, ..base.clone() },
+                scale,
+            );
+            tp_row.push(fmt(report.throughput_qpm));
+            cpu_row.push(fmt(report.cpu_load_percent()));
+            if clients == scale.high_concurrency {
+                high_reports.push((strategy, report));
+            }
+        }
+        throughput.push_row(tp_row);
+        cpu.push_row(cpu_row);
+    }
+
+    let mut metrics = ResultTable::new(
+        format!("{id}_metrics"),
+        format!("{title}: metrics at {} clients", scale.high_concurrency),
+        &[
+            "strategy",
+            "tasks",
+            "stolen tasks",
+            "LLC misses local",
+            "LLC misses remote",
+            "memory TP (GiB/s)",
+            "busiest socket (GiB/s)",
+            "IPC",
+            "QPI data (GiB)",
+            "QPI total (GiB)",
+        ],
+    );
+    let gib = (1u64 << 30) as f64;
+    for (strategy, report) in &high_reports {
+        let (local, remote) = report.llc_misses();
+        let per_socket = report.memory_throughput_gibs();
+        metrics.push_row([
+            strategy.label().to_string(),
+            report.tasks_executed().to_string(),
+            report.tasks_stolen().to_string(),
+            fmt(local),
+            fmt(remote),
+            fmt(report.total_memory_throughput_gibs()),
+            fmt(per_socket.iter().cloned().fold(0.0, f64::max)),
+            fmt(report.ipc()),
+            fmt(report.counters.qpi_data_bytes() / gib),
+            fmt(report.counters.qpi_total_bytes() / gib),
+        ]);
+    }
+    let _ = sockets;
+    vec![throughput, cpu, metrics]
+}
+
+/// Regenerates Figure 8.
+pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
+    strategy_comparison(
+        "fig8",
+        "Uniform workload, RR placement, 4-socket Ivybridge-EX",
+        Topology::four_socket_ivybridge_ex(),
+        numascan_workload::ColumnSelection::Uniform,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale {
+            rows: 1_000_000,
+            payload_columns: 8,
+            client_sweep: vec![64],
+            high_concurrency: 64,
+            max_queries: 250,
+            max_virtual_seconds: 20.0,
+        }
+    }
+
+    #[test]
+    fn bound_beats_target_beats_os_for_memory_intensive_scans() {
+        let tables = run(&tiny_scale());
+        let tp = &tables[0];
+        let os = tp.cell_f64("64", "OS").unwrap();
+        let target = tp.cell_f64("64", "Target").unwrap();
+        let bound = tp.cell_f64("64", "Bound").unwrap();
+        assert!(bound > os * 2.0, "Bound {bound} should be a multiple of OS {os}");
+        assert!(bound >= target * 0.95, "Bound {bound} should not lose to Target {target}");
+        // OS produces mostly remote misses, Bound mostly local.
+        let metrics = &tables[2];
+        let os_remote = metrics.cell_f64("OS", "LLC misses remote").unwrap();
+        let os_local = metrics.cell_f64("OS", "LLC misses local").unwrap();
+        let bound_remote = metrics.cell_f64("Bound", "LLC misses remote").unwrap();
+        let bound_local = metrics.cell_f64("Bound", "LLC misses local").unwrap();
+        assert!(os_remote > os_local);
+        assert!(bound_local > bound_remote);
+        // Bound does not steal across sockets.
+        assert_eq!(metrics.cell_f64("Bound", "stolen tasks"), Some(0.0));
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 9: the Figure 8 experiment on the 8-socket Westmere-EX server.
+//!
+//! The broadcast-based snooping coherence protocol saturates the interconnect
+//! even for local accesses, so the NUMA-awareness gain shrinks (the paper
+//! reports ~2x for Bound over OS, versus ~5x on the 4-socket machine).
+
+use numascan_numasim::Topology;
+
+use crate::experiments::fig08::strategy_comparison;
+use crate::harness::ResultTable;
+use crate::scale::ExperimentScale;
+
+/// Regenerates Figure 9.
+pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
+    strategy_comparison(
+        "fig9",
+        "Uniform workload, RR placement, 8-socket Westmere-EX (broadcast snooping)",
+        Topology::eight_socket_westmere_ex(),
+        numascan_workload::ColumnSelection::Uniform,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig08;
+
+    #[test]
+    fn coherence_protocol_shrinks_the_numa_awareness_gain() {
+        let scale = ExperimentScale {
+            rows: 1_000_000,
+            payload_columns: 8,
+            client_sweep: vec![64],
+            high_concurrency: 64,
+            max_queries: 250,
+            max_virtual_seconds: 20.0,
+        };
+        let westmere = run(&scale);
+        let ivybridge = fig08::run(&scale);
+        let gain_westmere = westmere[0].cell_f64("64", "Bound").unwrap()
+            / westmere[0].cell_f64("64", "OS").unwrap();
+        let gain_ivybridge = ivybridge[0].cell_f64("64", "Bound").unwrap()
+            / ivybridge[0].cell_f64("64", "OS").unwrap();
+        assert!(
+            gain_westmere < gain_ivybridge,
+            "broadcast snooping should shrink the gain: {gain_westmere:.2} vs {gain_ivybridge:.2}"
+        );
+        assert!(gain_westmere > 1.2, "Bound should still win on the 8-socket box: {gain_westmere:.2}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 10: the effect of intra-query parallelism on the RR, IVP and PP
+//! data placements (uniform workload, Bound scheduling, 4-socket server).
+//!
+//! Parallelism is required for partitioned columns (a single task would read
+//! most partitions remotely) and helps low concurrency; at high concurrency
+//! all parallel variants converge.
+
+use numascan_core::PlacementStrategy;
+
+use crate::harness::{fmt, ResultTable};
+use crate::runner::{build_machine_and_catalog, run_scan_on, ScanRunConfig};
+use crate::scale::ExperimentScale;
+
+/// The three placements compared, with the socket count of the 4-socket box.
+fn placements() -> [PlacementStrategy; 3] {
+    [
+        PlacementStrategy::RoundRobin,
+        PlacementStrategy::IndexVectorPartitioned { parts: 4 },
+        PlacementStrategy::PhysicallyPartitioned { parts: 4 },
+    ]
+}
+
+/// Regenerates Figure 10.
+pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
+    let mut out = Vec::new();
+    for (parallelism, label) in [(false, "without"), (true, "with")] {
+        let mut table = ResultTable::new(
+            format!("fig10_{}_parallelism", if parallelism { "with" } else { "without" }),
+            format!("Throughput (q/min) {label} intra-query parallelism"),
+            &["clients", "RR", "IVP", "PP"],
+        );
+        let mut misses = ResultTable::new(
+            format!("fig10_{}_parallelism_llc", if parallelism { "with" } else { "without" }),
+            format!(
+                "LLC load misses at {} clients {label} intra-query parallelism",
+                scale.high_concurrency
+            ),
+            &["placement", "local", "remote"],
+        );
+        // Column order of the throughput table.
+        for &clients in &scale.client_sweep {
+            let mut row = vec![clients.to_string()];
+            for placement in placements() {
+                let config = ScanRunConfig {
+                    placement,
+                    clients,
+                    parallelism,
+                    ..ScanRunConfig::new(clients)
+                };
+                let (mut machine, catalog) = build_machine_and_catalog(&config, scale);
+                let report = run_scan_on(&mut machine, &catalog, &config, scale);
+                row.push(fmt(report.throughput_qpm));
+                if clients == scale.high_concurrency {
+                    let (local, remote) = report.llc_misses();
+                    misses.push_row([placement.label(), fmt(local), fmt(remote)]);
+                }
+            }
+            table.push_row(row);
+        }
+        out.push(table);
+        out.push(misses);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_matters_for_partitioned_columns_and_low_concurrency() {
+        // Columns must be large enough that per-task work exceeds the fixed
+        // task dispatch overhead, otherwise intra-query parallelism cannot pay
+        // off (at paper scale each task scans megabytes).
+        let scale = ExperimentScale {
+            rows: 16_000_000,
+            payload_columns: 8,
+            client_sweep: vec![1, 64],
+            high_concurrency: 64,
+            max_queries: 150,
+            max_virtual_seconds: 20.0,
+        };
+        let tables = run(&scale);
+        let without = &tables[0];
+        let with = &tables[2];
+        // Partitioned placements suffer badly without parallelism (the single
+        // task reads 3/4 of the IV remotely).
+        let ivp_without = without.cell_f64("64", "IVP").unwrap();
+        let ivp_with = with.cell_f64("64", "IVP").unwrap();
+        assert!(ivp_with > 1.3 * ivp_without, "with {ivp_with} vs without {ivp_without}");
+        // With parallelism, a single client gets much more throughput than
+        // without (it can use more CPU resources).
+        let rr_1_with = with.cell_f64("1", "RR").unwrap();
+        let rr_1_without = without.cell_f64("1", "RR").unwrap();
+        assert!(rr_1_with > 1.5 * rr_1_without);
+        // At high concurrency all parallel placements converge (within 30%).
+        let rr = with.cell_f64("64", "RR").unwrap();
+        let pp = with.cell_f64("64", "PP").unwrap();
+        assert!((rr - pp).abs() / rr < 0.35, "RR {rr} vs PP {pp}");
+    }
+}

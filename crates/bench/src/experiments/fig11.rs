@@ -1,0 +1,76 @@
+//! Figure 11: violin plots of the query latency distributions for RR, IVP and
+//! PP at 256 and 1024 clients.
+//!
+//! The paper's observation: all placements reach the same average latency, but
+//! RR is unfair (queries queue per socket), while IVP and PP parallelize every
+//! query across all sockets and, thanks to the statement-age priority, finish
+//! queries roughly in arrival order.
+
+use numascan_core::PlacementStrategy;
+
+use crate::harness::{fmt, ResultTable};
+use crate::runner::{build_machine_and_catalog, run_scan_on, ScanRunConfig};
+use crate::scale::ExperimentScale;
+
+/// Regenerates Figure 11 (as percentile tables instead of violins).
+pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "fig11",
+        "Query latency distributions (ms)",
+        &["placement @ clients", "mean", "p50", "p95", "p99", "max", "stddev", "CoV"],
+    );
+    let client_points: Vec<usize> = scale
+        .client_sweep
+        .iter()
+        .copied()
+        .filter(|c| *c >= scale.high_concurrency / 4 && *c > 1)
+        .collect();
+    for placement in [
+        PlacementStrategy::RoundRobin,
+        PlacementStrategy::IndexVectorPartitioned { parts: 4 },
+        PlacementStrategy::PhysicallyPartitioned { parts: 4 },
+    ] {
+        for &clients in &client_points {
+            let config = ScanRunConfig { placement, clients, ..ScanRunConfig::new(clients) };
+            let (mut machine, catalog) = build_machine_and_catalog(&config, scale);
+            let report = run_scan_on(&mut machine, &catalog, &config, scale);
+            let l = &report.latency;
+            table.push_row([
+                format!("{} @ {}", placement.label(), clients),
+                fmt(l.mean_ms),
+                fmt(l.p50_ms),
+                fmt(l.p95_ms),
+                fmt(l.p99_ms),
+                fmt(l.max_ms),
+                fmt(l.stddev_ms),
+                fmt(l.coefficient_of_variation()),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rr_latencies_are_less_fair_than_partitioned_placements() {
+        // The unfairness of RR shows when queries queue up per socket, i.e.
+        // when there are substantially more clients than hardware contexts.
+        let scale = ExperimentScale {
+            rows: 1_000_000,
+            payload_columns: 8,
+            client_sweep: vec![384],
+            high_concurrency: 384,
+            max_queries: 800,
+            max_virtual_seconds: 20.0,
+        };
+        let t = &run(&scale)[0];
+        let rr = t.cell_f64("RR @ 384", "CoV").unwrap();
+        let ivp = t.cell_f64("IVP4 @ 384", "CoV").unwrap();
+        let pp = t.cell_f64("PP4 @ 384", "CoV").unwrap();
+        assert!(rr > ivp, "RR CoV {rr} should exceed IVP CoV {ivp}");
+        assert!(rr > pp, "RR CoV {rr} should exceed PP CoV {pp}");
+    }
+}

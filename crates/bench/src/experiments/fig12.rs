@@ -1,0 +1,95 @@
+//! Figure 12: combinations of scheduling strategies and IVP granularities on
+//! the 32-socket rack-scale machine at the highest concurrency.
+//!
+//! The paper's findings: OS is the worst and insensitive to placement; Target
+//! loses badly to Bound (stealing memory-intensive tasks over long-hop links,
+//! around 58 % worse for RR); and increasing the number of partitions beyond
+//! what is needed costs up to ~70 % of the throughput relative to RR.
+
+use numascan_core::PlacementStrategy;
+use numascan_numasim::Topology;
+use numascan_scheduler::SchedulingStrategy;
+
+use crate::harness::{fmt, ResultTable};
+use crate::runner::{build_machine_and_catalog, run_scan_on, ScanRunConfig};
+use crate::scale::ExperimentScale;
+
+/// The IVP granularities swept on the 32-socket machine (1 degenerates to RR).
+pub fn granularities() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32]
+}
+
+/// Regenerates Figure 12.
+pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
+    // The over-partitioning penalty appears once the concurrency is high
+    // relative to the machine (the paper uses 1024 clients on 1920 hardware
+    // contexts); clamp the client count up accordingly even at quick scale.
+    let topology = Topology::thirty_two_socket_ivybridge_ex();
+    let clients = scale.high_concurrency.max(topology.total_contexts() / 2);
+    let mut table = ResultTable::new(
+        "fig12",
+        format!("32-socket server, {clients} clients: throughput (q/min) by scheduling strategy and IVP granularity"),
+        &["placement", "OS", "Target", "Bound"],
+    );
+    for parts in granularities() {
+        let placement = if parts == 1 {
+            PlacementStrategy::RoundRobin
+        } else {
+            PlacementStrategy::IndexVectorPartitioned { parts }
+        };
+        let base = ScanRunConfig {
+            topology: Topology::thirty_two_socket_ivybridge_ex(),
+            placement,
+            clients,
+            ..ScanRunConfig::new(clients)
+        };
+        let (mut machine, catalog) = build_machine_and_catalog(&base, scale);
+        let mut row = vec![placement.label()];
+        for strategy in SchedulingStrategy::ALL {
+            let report = run_scan_on(
+                &mut machine,
+                &catalog,
+                &ScanRunConfig { strategy, ..base.clone() },
+                scale,
+            );
+            row.push(fmt(report.throughput_qpm));
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stealing_and_over_partitioning_hurt_on_the_rack_scale_machine() {
+        let scale = ExperimentScale {
+            rows: 2_000_000,
+            payload_columns: 32,
+            client_sweep: vec![256],
+            high_concurrency: 256,
+            max_queries: 600,
+            max_virtual_seconds: 20.0,
+        };
+        let t = &run(&scale)[0];
+        // Bound >= Target for RR, by a sizeable margin (the paper reports 58%).
+        let rr_target = t.cell_f64("RR", "Target").unwrap();
+        let rr_bound = t.cell_f64("RR", "Bound").unwrap();
+        assert!(
+            rr_bound > 1.2 * rr_target,
+            "Bound {rr_bound} should clearly beat Target {rr_target} for RR"
+        );
+        // Partitioning across all 32 sockets is much slower than RR under
+        // Bound (the paper reports ~70%).
+        let ivp32_bound = t.cell_f64("IVP32", "Bound").unwrap();
+        assert!(
+            ivp32_bound < 0.7 * rr_bound,
+            "IVP32 {ivp32_bound} should lose substantially to RR {rr_bound}"
+        );
+        // OS is the worst strategy for RR.
+        let rr_os = t.cell_f64("RR", "OS").unwrap();
+        assert!(rr_os < rr_bound);
+    }
+}

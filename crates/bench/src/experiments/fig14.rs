@@ -1,0 +1,88 @@
+//! Figure 14: the impact of selectivity, with indexes enabled (RR placement,
+//! Bound scheduling, highest concurrency, 4-socket server).
+//!
+//! The selectivity changes the critical path: CPU-intensive index lookups for
+//! low selectivities, memory-intensive scans for intermediate selectivities,
+//! CPU-intensive materialization for high selectivities. Throughput drops as
+//! selectivity grows; memory throughput and LLC misses peak in the
+//! scan-dominated middle.
+
+use crate::harness::{fmt, ResultTable};
+use crate::runner::{build_machine_and_catalog, run_scan_on, ScanRunConfig};
+use crate::scale::ExperimentScale;
+
+/// The selectivities swept (as fractions): 0.001 % to 10 %.
+pub fn selectivities() -> Vec<f64> {
+    vec![0.00001, 0.0001, 0.001, 0.01, 0.1]
+}
+
+/// Regenerates Figure 14.
+pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
+    let clients = scale.high_concurrency;
+    let mut table = ResultTable::new(
+        "fig14",
+        format!("Selectivity sweep with indexes, RR + Bound, {clients} clients"),
+        &[
+            "selectivity",
+            "throughput (q/min)",
+            "LLC misses local",
+            "LLC misses remote",
+            "memory TP (GiB/s)",
+        ],
+    );
+    let base = ScanRunConfig { with_index: true, clients, ..ScanRunConfig::new(clients) };
+    let (mut machine, catalog) = build_machine_and_catalog(&base, scale);
+    for selectivity in selectivities() {
+        let report = run_scan_on(
+            &mut machine,
+            &catalog,
+            &ScanRunConfig { selectivity, ..base.clone() },
+            scale,
+        );
+        let (local, remote) = report.llc_misses();
+        table.push_row([
+            format!("{}%", selectivity * 100.0),
+            fmt(report.throughput_qpm),
+            fmt(local),
+            fmt(remote),
+            fmt(report.total_memory_throughput_gibs()),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_moves_the_bottleneck() {
+        let scale = ExperimentScale {
+            rows: 2_000_000,
+            payload_columns: 8,
+            client_sweep: vec![64],
+            high_concurrency: 64,
+            max_queries: 300,
+            max_virtual_seconds: 20.0,
+        };
+        let t = &run(&scale)[0];
+        // Throughput decreases monotonically with selectivity.
+        let tps: Vec<f64> = ["0.001%", "0.01%", "0.1%", "1%", "10%"]
+            .iter()
+            .map(|s| t.cell_f64(s, "throughput (q/min)").unwrap())
+            .collect();
+        for pair in tps.windows(2) {
+            assert!(pair[0] >= pair[1] * 0.95, "throughput should drop with selectivity: {tps:?}");
+        }
+        assert!(tps[0] > 10.0 * tps[4], "orders of magnitude between 0.001% and 10%");
+        // The scan-dominated 1% point uses much more memory bandwidth than the
+        // index-dominated 0.001% point.
+        let mem_low = t.cell_f64("0.001%", "memory TP (GiB/s)").unwrap();
+        let mem_scan = t.cell_f64("1%", "memory TP (GiB/s)").unwrap();
+        assert!(mem_scan > 3.0 * mem_low, "scan point {mem_scan} vs index point {mem_low}");
+        // The materialization-dominated 10% point uses less bandwidth than the
+        // scan-dominated 1% point.
+        let mem_high = t.cell_f64("10%", "memory TP (GiB/s)").unwrap();
+        assert!(mem_high < mem_scan);
+    }
+}

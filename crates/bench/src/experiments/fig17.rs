@@ -1,0 +1,51 @@
+//! Figure 17: the skewed workload at 10 % selectivity under Bound.
+//!
+//! Execution is dominated by the CPU-intensive materialization phase, which
+//! random-accesses the dictionary. PP wins because each part's dictionary is
+//! local; IVP suffers from remote accesses to its interleaved dictionary.
+
+use numascan_scheduler::SchedulingStrategy;
+
+use crate::experiments::fig16::placement_comparison;
+use crate::harness::ResultTable;
+use crate::scale::ExperimentScale;
+
+/// Regenerates Figure 17.
+pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
+    placement_comparison(
+        "fig17",
+        "Skewed workload, Bound, 10% selectivity (materialization-dominated)",
+        0.10,
+        SchedulingStrategy::Bound,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pp_wins_when_materialization_dominates() {
+        let scale = ExperimentScale {
+            rows: 1_000_000,
+            payload_columns: 16,
+            client_sweep: vec![128],
+            high_concurrency: 128,
+            max_queries: 300,
+            max_virtual_seconds: 20.0,
+        };
+        let tables = run(&scale);
+        let tp = &tables[0];
+        let ivp = tp.cell_f64("128", "IVP").unwrap();
+        let pp = tp.cell_f64("128", "PP").unwrap();
+        assert!(pp > ivp, "PP {pp} should beat IVP {ivp} at 10% selectivity");
+        // Local accesses dominate for PP; IVP has a larger remote share.
+        let metrics = &tables[1];
+        let pp_local = metrics.cell_f64("PP4", "LLC misses local").unwrap();
+        let pp_remote = metrics.cell_f64("PP4", "LLC misses remote").unwrap();
+        assert!(pp_local > pp_remote);
+        let ivp_remote = metrics.cell_f64("IVP4", "LLC misses remote").unwrap();
+        assert!(ivp_remote > pp_remote);
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 18: the Figure 17 experiment with the Target strategy — stealing
+//! CPU-intensive tasks.
+//!
+//! Stealing is acceptable for CPU-intensive work: it does not hurt IVP or PP
+//! (they already saturate CPU resources), and it *helps* RR, which now reaches
+//! full CPU load and catches up with IVP. PP still wins thanks to its local
+//! dictionaries.
+
+use numascan_scheduler::SchedulingStrategy;
+
+use crate::experiments::fig16::placement_comparison;
+use crate::harness::ResultTable;
+use crate::scale::ExperimentScale;
+
+/// Regenerates Figure 18.
+pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
+    placement_comparison(
+        "fig18",
+        "Skewed workload, Target, 10% selectivity (stealing CPU-intensive tasks)",
+        0.10,
+        SchedulingStrategy::Target,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig17;
+
+    #[test]
+    fn stealing_cpu_intensive_tasks_helps_rr_and_does_not_hurt_partitioned_placements() {
+        let scale = ExperimentScale {
+            rows: 1_000_000,
+            payload_columns: 16,
+            client_sweep: vec![128],
+            high_concurrency: 128,
+            max_queries: 300,
+            max_virtual_seconds: 20.0,
+        };
+        let target = run(&scale);
+        let bound = fig17::run(&scale);
+        let rr_target = target[0].cell_f64("128", "RR").unwrap();
+        let rr_bound = bound[0].cell_f64("128", "RR").unwrap();
+        assert!(
+            rr_target > rr_bound,
+            "stealing should help RR for CPU-intensive work: {rr_target} vs {rr_bound}"
+        );
+        let ivp_target = target[0].cell_f64("128", "IVP").unwrap();
+        let ivp_bound = bound[0].cell_f64("128", "IVP").unwrap();
+        assert!(
+            ivp_target > 0.8 * ivp_bound,
+            "stealing should not substantially hurt IVP: {ivp_target} vs {ivp_bound}"
+        );
+        // PP remains at least as good as RR and IVP.
+        let pp_target = target[0].cell_f64("128", "PP").unwrap();
+        assert!(pp_target >= ivp_target * 0.95);
+    }
+}

@@ -1,0 +1,91 @@
+//! Section 6.2.3: the cost of choosing a partitioning type.
+//!
+//! "PP on this dataset takes around 18 minutes, compared to 4 minutes for
+//! IVP, and consumes around 8 % more memory because dictionaries contain
+//! recurrent values."
+
+use numascan_core::{PlacementStrategy, RepartitionCost, TableSpec};
+use numascan_workload::paper_table_spec;
+
+use crate::harness::{fmt, ResultTable};
+use crate::scale::ExperimentScale;
+
+/// Expected memory overhead (fraction) of physically partitioning `spec` into
+/// `parts` parts: every part rebuilds its own dictionary, so recurring values
+/// are duplicated across parts.
+pub fn pp_memory_overhead(spec: &TableSpec, parts: u64) -> f64 {
+    let mut base = 0.0;
+    let mut partitioned = 0.0;
+    for column in &spec.columns {
+        base += column.total_bytes() as f64;
+        let part_rows = column.rows / parts.max(1);
+        let part_distinct = column.expected_distinct_in(part_rows);
+        let part_dict = part_distinct * column.value_bytes;
+        let part_iv = (part_rows * column.bitcase() as u64).div_ceil(8);
+        let part_ix = if column.with_index { part_rows * 4 + part_distinct * 8 } else { 0 };
+        partitioned += (parts * (part_dict + part_iv + part_ix)) as f64;
+    }
+    partitioned / base - 1.0
+}
+
+/// Regenerates the Section 6.2.3 comparison.
+pub fn run(_scale: &ExperimentScale) -> Vec<ResultTable> {
+    // The cost figures refer to the paper's full dataset, not the scaled-down
+    // experiment dataset, so they are computed analytically from its spec.
+    let paper_spec = paper_table_spec(100_000_000, 160, false);
+    let mut table = ResultTable::new(
+        "partcost",
+        "Cost of (re)partitioning the paper's dataset across 4 sockets (Section 6.2.3)",
+        &["partitioning", "time (min)", "memory overhead (%)"],
+    );
+    for placement in [
+        PlacementStrategy::IndexVectorPartitioned { parts: 4 },
+        PlacementStrategy::PhysicallyPartitioned { parts: 4 },
+    ] {
+        let (minutes, overhead) = match placement {
+            PlacementStrategy::IndexVectorPartitioned { .. } => {
+                // IVP only moves pages of the IV; dictionaries are shared, so
+                // there is no duplication.
+                (RepartitionCost::ivp_seconds(&paper_spec) / 60.0, 0.0)
+            }
+            _ => (
+                RepartitionCost::pp_seconds(&paper_spec) / 60.0,
+                pp_memory_overhead(&paper_spec, 4),
+            ),
+        };
+        table.push_row([placement.label(), fmt(minutes), fmt(overhead * 100.0)]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pp_is_slower_to_perform_and_uses_more_memory_than_ivp() {
+        let t = &run(&ExperimentScale::quick())[0];
+        let ivp_minutes = t.cell_f64("IVP4", "time (min)").unwrap();
+        let pp_minutes = t.cell_f64("PP4", "time (min)").unwrap();
+        assert!(pp_minutes > 2.0 * ivp_minutes, "PP {pp_minutes} vs IVP {ivp_minutes}");
+        assert!(ivp_minutes > 1.0 && ivp_minutes < 10.0);
+        assert!(pp_minutes > 10.0 && pp_minutes < 40.0);
+        let ivp_mem = t.cell_f64("IVP4", "memory overhead (%)").unwrap();
+        let pp_mem = t.cell_f64("PP4", "memory overhead (%)").unwrap();
+        assert!(pp_mem > ivp_mem);
+        // The paper reports around 8% extra memory for PP; the analytic model
+        // over-estimates the duplication of the mid-cardinality columns and
+        // lands somewhat higher (see EXPERIMENTS.md), but stays the same order
+        // of magnitude.
+        assert!(pp_mem > 2.0 && pp_mem < 35.0, "PP memory overhead {pp_mem}%");
+    }
+
+    #[test]
+    fn pp_overhead_grows_with_the_number_of_parts() {
+        let spec = paper_table_spec(100_000_000, 16, false);
+        let two = pp_memory_overhead(&spec, 2);
+        let eight = pp_memory_overhead(&spec, 8);
+        assert!(eight > two);
+        assert!(two >= 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Table 1: local and inter-socket idle latencies, and peak memory bandwidths
+//! of the three modelled servers.
+
+use numascan_numasim::Topology;
+
+use crate::harness::{fmt, ResultTable};
+use crate::scale::ExperimentScale;
+
+/// Regenerates Table 1 from the topology presets.
+pub fn run(_scale: &ExperimentScale) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "table1",
+        "Idle latencies and peak memory bandwidths of the three servers",
+        &[
+            "Statistic",
+            "4xIvybridge-EX",
+            "32xIvybridge-EX",
+            "8xWestmere-EX",
+        ],
+    );
+    let machines = [
+        Topology::four_socket_ivybridge_ex(),
+        Topology::thirty_two_socket_ivybridge_ex(),
+        Topology::eight_socket_westmere_ex(),
+    ];
+    let rows: [(&str, fn(&Topology) -> f64); 7] = [
+        ("Local latency (ns)", |t| t.table1_row().0),
+        ("1 hop latency (ns)", |t| t.table1_row().1),
+        ("Max hops latency (ns)", |t| t.table1_row().2),
+        ("Local B/W (GiB/s)", |t| t.table1_row().3),
+        ("1 hop B/W (GiB/s)", |t| t.table1_row().4),
+        ("Max hops B/W (GiB/s)", |t| t.table1_row().5),
+        ("Total local B/W (GiB/s)", |t| t.table1_row().6),
+    ];
+    for (label, f) in rows {
+        table.push_row([
+            label.to_string(),
+            fmt(f(&machines[0])),
+            fmt(f(&machines[1])),
+            fmt(f(&machines[2])),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper_values() {
+        let tables = run(&ExperimentScale::quick());
+        let t = &tables[0];
+        assert_eq!(t.cell_f64("Local latency (ns)", "4xIvybridge-EX"), Some(150.0));
+        assert_eq!(t.cell_f64("Local B/W (GiB/s)", "8xWestmere-EX"), Some(19.3));
+        assert_eq!(t.cell_f64("Max hops latency (ns)", "32xIvybridge-EX"), Some(500.0));
+        assert_eq!(t.cell_f64("Total local B/W (GiB/s)", "4xIvybridge-EX"), Some(260.0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Table 2: which workload properties each data placement fits best, measured
+//! rather than asserted.
+//!
+//! The paper's Table 2 is qualitative. This experiment derives the same
+//! qualitative entries from small measurements: throughput under low and high
+//! concurrency, latency fairness, memory consumption and readjustment cost for
+//! RR, IVP and PP.
+
+use numascan_core::{PlacementStrategy, RepartitionCost};
+use numascan_scheduler::SchedulingStrategy;
+use numascan_workload::paper_table_spec;
+
+use crate::harness::{fmt, ResultTable};
+use crate::runner::{run_scan, ScanRunConfig};
+use crate::scale::ExperimentScale;
+
+/// Regenerates Table 2.
+pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
+    let mut table = ResultTable::new(
+        "table2",
+        "Measured characteristics of the RR, IVP and PP data placements",
+        &[
+            "Placement",
+            "TP @ 1 client (q/min)",
+            "TP @ high concurrency (q/min)",
+            "Latency CoV @ high conc.",
+            "Memory overhead (%)",
+            "Readjustment (min, paper dataset)",
+        ],
+    );
+    let sockets = 4;
+    let placements = [
+        PlacementStrategy::RoundRobin,
+        PlacementStrategy::IndexVectorPartitioned { parts: sockets },
+        PlacementStrategy::PhysicallyPartitioned { parts: sockets },
+    ];
+    let paper_spec = paper_table_spec(100_000_000, 160, false);
+    for placement in placements {
+        let low = run_scan(
+            &ScanRunConfig { placement, clients: 1, ..ScanRunConfig::new(1) },
+            scale,
+        );
+        let high = run_scan(
+            &ScanRunConfig {
+                placement,
+                clients: scale.high_concurrency,
+                strategy: SchedulingStrategy::Bound,
+                ..ScanRunConfig::new(scale.high_concurrency)
+            },
+            scale,
+        );
+        let overhead = {
+            // Memory overhead of the placement itself, measured on the placed
+            // catalog at experiment scale.
+            let config = ScanRunConfig { placement, ..ScanRunConfig::new(1) };
+            let (_, catalog) = crate::runner::build_machine_and_catalog(&config, scale);
+            100.0
+                * (catalog.placed_bytes() as f64
+                    / catalog.table(0).spec.total_bytes() as f64
+                    - 1.0)
+        };
+        let readjust_minutes = match placement {
+            PlacementStrategy::RoundRobin => 0.0,
+            PlacementStrategy::IndexVectorPartitioned { .. } => {
+                RepartitionCost::ivp_seconds(&paper_spec) / 60.0
+            }
+            PlacementStrategy::PhysicallyPartitioned { .. } => {
+                RepartitionCost::pp_seconds(&paper_spec) / 60.0
+            }
+        };
+        table.push_row([
+            placement.label(),
+            fmt(low.throughput_qpm),
+            fmt(high.throughput_qpm),
+            fmt(high.latency.coefficient_of_variation()),
+            fmt(overhead.max(0.0)),
+            fmt(readjust_minutes),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reflects_the_papers_qualitative_claims() {
+        let mut scale = ExperimentScale::quick();
+        scale.rows = 1_000_000;
+        scale.payload_columns = 8;
+        scale.max_queries = 200;
+        scale.high_concurrency = 64;
+        let t = &run(&scale)[0];
+        // Partitioned placements beat RR at 1 client (whole-machine use).
+        let rr_low = t.cell_f64("RR", "TP @ 1 client (q/min)").unwrap();
+        let ivp_low = t.cell_f64("IVP4", "TP @ 1 client (q/min)").unwrap();
+        assert!(ivp_low >= rr_low * 0.9);
+        // PP consumes at least as much memory as RR.
+        let rr_mem = t.cell_f64("RR", "Memory overhead (%)").unwrap();
+        let pp_mem = t.cell_f64("PP4", "Memory overhead (%)").unwrap();
+        assert!(pp_mem >= rr_mem);
+        // PP is the slowest to readjust.
+        let ivp_adj = t.cell_f64("IVP4", "Readjustment (min, paper dataset)").unwrap();
+        let pp_adj = t.cell_f64("PP4", "Readjustment (min, paper dataset)").unwrap();
+        assert!(pp_adj > ivp_adj);
+    }
+}

@@ -1,0 +1,114 @@
+//! Result tables and rendering.
+
+use std::fmt::Write as _;
+
+/// One table of experiment results (one figure or table of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTable {
+    /// Identifier, e.g. `"fig8"` or `"table1"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified values).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        ResultTable {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifying each cell).
+    pub fn push_row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(|c| c.into()).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match the headers");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Looks up a cell by the value of the first column and a header name.
+    pub fn cell(&self, row_key: &str, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(row_key))
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
+    }
+
+    /// Parses a cell as `f64`.
+    pub fn cell_f64(&self, row_key: &str, header: &str) -> Option<f64> {
+        self.cell(row_key, header)?.parse().ok()
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for tables.
+pub fn fmt(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 1000.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 10.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_and_lookup() {
+        let mut t = ResultTable::new("fig1", "Impact of NUMA", &["clients", "OS", "Bound"]);
+        t.push_row(["1", "100", "150"]);
+        t.push_row(["1024", "200", "1000"]);
+        let md = t.to_markdown();
+        assert!(md.contains("### fig1"));
+        assert!(md.contains("| clients | OS | Bound |"));
+        assert!(md.contains("| 1024 | 200 | 1000 |"));
+        assert_eq!(t.cell("1024", "Bound"), Some("1000"));
+        assert_eq!(t.cell_f64("1", "OS"), Some(100.0));
+        assert_eq!(t.cell("2048", "OS"), None);
+        assert_eq!(t.cell("1", "nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_are_rejected() {
+        let mut t = ResultTable::new("x", "y", &["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.42), "42.4");
+        assert_eq!(fmt(0.123456), "0.123");
+    }
+}

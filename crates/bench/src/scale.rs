@@ -1,0 +1,87 @@
+//! Experiment scale presets.
+//!
+//! The full paper-scale experiments (100 million rows, 160 columns, up to
+//! 1024 clients, 32 sockets) run entirely in virtual time, but they still cost
+//! real CPU time in the simulator. The `quick` preset shrinks the dataset and
+//! the client sweep so that the whole suite finishes in a few minutes while
+//! preserving every qualitative effect; the `paper` preset uses the paper's
+//! own parameters.
+
+/// Scale parameters shared by every experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// Rows of the scan table.
+    pub rows: u64,
+    /// Number of payload columns of the scan table.
+    pub payload_columns: usize,
+    /// Client counts swept by concurrency experiments.
+    pub client_sweep: Vec<usize>,
+    /// The high-concurrency point used by the "1024 clients" bar charts.
+    pub high_concurrency: usize,
+    /// Upper bound on completed queries per simulation run.
+    pub max_queries: u64,
+    /// Upper bound on virtual seconds per simulation run.
+    pub max_virtual_seconds: f64,
+}
+
+impl ExperimentScale {
+    /// A laptop-friendly scale that finishes the full suite in minutes.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            rows: 4_000_000,
+            payload_columns: 32,
+            client_sweep: vec![1, 16, 64, 256],
+            high_concurrency: 256,
+            max_queries: 1_200,
+            max_virtual_seconds: 20.0,
+        }
+    }
+
+    /// The paper's own parameters (much slower to simulate).
+    pub fn paper() -> Self {
+        ExperimentScale {
+            rows: 100_000_000,
+            payload_columns: 160,
+            client_sweep: vec![1, 4, 16, 64, 256, 1024],
+            high_concurrency: 1024,
+            max_queries: 3_000,
+            max_virtual_seconds: 120.0,
+        }
+    }
+
+    /// Query target for a given client count: enough completions for a stable
+    /// estimate without letting low-concurrency points dominate the runtime.
+    pub fn target_queries(&self, clients: usize) -> u64 {
+        ((clients as u64) * 4).clamp(150, self.max_queries)
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_relations() {
+        let quick = ExperimentScale::quick();
+        let paper = ExperimentScale::paper();
+        assert!(quick.rows < paper.rows);
+        assert!(quick.payload_columns < paper.payload_columns);
+        assert_eq!(paper.rows, 100_000_000);
+        assert_eq!(paper.payload_columns, 160);
+        assert_eq!(*paper.client_sweep.last().unwrap(), 1024);
+    }
+
+    #[test]
+    fn target_queries_scale_with_clients_within_bounds() {
+        let s = ExperimentScale::quick();
+        assert_eq!(s.target_queries(1), 150);
+        assert_eq!(s.target_queries(64), 256);
+        assert_eq!(s.target_queries(10_000), s.max_queries);
+    }
+}

@@ -1,0 +1,209 @@
+//! The calibrated cost model.
+//!
+//! The planner converts a query over a placed column into per-task work
+//! descriptions. A [`TaskWork`] separates the three kinds of work the virtual
+//! NUMA machine charges differently:
+//!
+//! * **streams** — sequential bytes read from (or written to) the memory of a
+//!   socket; governed by the bandwidth contention model,
+//! * **random** — data-dependent cache-line accesses (index lookups,
+//!   dictionary lookups during materialization); governed by access latency
+//!   and memory-level parallelism,
+//! * **cpu_ops** — scalar operations (predicate evaluation, aggregation
+//!   arithmetic, value copying); governed by the core's operation rate.
+//!
+//! The constants of [`CostModel`] are calibrated so that the execution phases
+//! have the paper's qualitative profile: IV scans are memory-intensive, index
+//! lookups and materialization are CPU-intensive (Section 6.1.5).
+
+use numascan_numasim::latency::AccessTarget;
+use numascan_numasim::SocketId;
+use numascan_scheduler::WorkClass;
+
+/// Where a piece of data lives, from the cost model's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemTarget {
+    /// On a single socket.
+    Socket(SocketId),
+    /// Interleaved page-wise across several sockets.
+    Interleaved(Vec<SocketId>),
+}
+
+impl MemTarget {
+    /// The sockets the target spans.
+    pub fn sockets(&self) -> &[SocketId] {
+        match self {
+            MemTarget::Socket(s) => std::slice::from_ref(s),
+            MemTarget::Interleaved(v) => v.as_slice(),
+        }
+    }
+
+    /// Conversion to the latency model's access-target type.
+    pub fn to_access_target(&self) -> AccessTarget {
+        match self {
+            MemTarget::Socket(s) => AccessTarget::Socket(*s),
+            MemTarget::Interleaved(v) => AccessTarget::Interleaved(v.clone()),
+        }
+    }
+}
+
+/// The work one task performs, expressed in machine-independent units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskWork {
+    /// Sequentially streamed bytes per memory target.
+    pub streams: Vec<(MemTarget, f64)>,
+    /// Latency-bound cache-line accesses per memory target.
+    pub random: Vec<(MemTarget, f64)>,
+    /// Scalar CPU operations.
+    pub cpu_ops: f64,
+}
+
+impl TaskWork {
+    /// Work with no cost (useful as a starting point).
+    pub fn empty() -> Self {
+        TaskWork { streams: Vec::new(), random: Vec::new(), cpu_ops: 0.0 }
+    }
+
+    /// Total bytes streamed, over all targets.
+    pub fn total_stream_bytes(&self) -> f64 {
+        self.streams.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Total random cache-line accesses, over all targets.
+    pub fn total_random_accesses(&self) -> f64 {
+        self.random.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Adds a streamed byte count against a target (merging with an existing
+    /// entry for the same target).
+    pub fn add_stream(&mut self, target: MemTarget, bytes: f64) {
+        if bytes <= 0.0 {
+            return;
+        }
+        if let Some(entry) = self.streams.iter_mut().find(|(t, _)| *t == target) {
+            entry.1 += bytes;
+        } else {
+            self.streams.push((target, bytes));
+        }
+    }
+
+    /// Adds random cache-line accesses against a target.
+    pub fn add_random(&mut self, target: MemTarget, accesses: f64) {
+        if accesses <= 0.0 {
+            return;
+        }
+        if let Some(entry) = self.random.iter_mut().find(|(t, _)| *t == target) {
+            entry.1 += accesses;
+        } else {
+            self.random.push((target, accesses));
+        }
+    }
+}
+
+/// Tunable constants of the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// CPU operations per scanned row of the bit-packed IV (the SIMD scan
+    /// spends a fraction of an operation per row).
+    pub scan_ops_per_row: f64,
+    /// CPU operations per materialized match (vid extraction, dictionary
+    /// lookup mostly hitting the cache hierarchy, output write).
+    pub materialize_ops_per_match: f64,
+    /// Fraction of materialized matches whose dictionary lookup misses the
+    /// last-level cache and therefore performs a random memory access.
+    pub materialize_dict_miss_fraction: f64,
+    /// CPU operations per qualifying match answered through the inverted
+    /// index.
+    pub index_ops_per_match: f64,
+    /// Selectivity at or below which the optimizer prefers index lookups over
+    /// scans when an index exists (the paper's optimizer switches around
+    /// 0.1 %).
+    pub index_selectivity_threshold: f64,
+    /// Aggregations whose per-row operation count is at or above this value
+    /// are classified CPU-intensive (TPC-H Q1); below it they are
+    /// memory-intensive (BW-EML).
+    pub aggregate_cpu_intensive_ops: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            scan_ops_per_row: 0.5,
+            materialize_ops_per_match: 12.0,
+            materialize_dict_miss_fraction: 0.25,
+            index_ops_per_match: 6.0,
+            index_selectivity_threshold: 0.001,
+            aggregate_cpu_intensive_ops: 6.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Whether the optimizer would answer a predicate of the given selectivity
+    /// through an index (when one exists).
+    pub fn prefers_index(&self, selectivity: f64, has_index: bool) -> bool {
+        has_index && selectivity <= self.index_selectivity_threshold
+    }
+
+    /// Work class of an aggregation with the given per-row operation count.
+    pub fn aggregate_work_class(&self, ops_per_row: f64) -> WorkClass {
+        if ops_per_row >= self.aggregate_cpu_intensive_ops {
+            WorkClass::CpuIntensive
+        } else {
+            WorkClass::MemoryIntensive
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_work_merges_targets() {
+        let mut w = TaskWork::empty();
+        w.add_stream(MemTarget::Socket(SocketId(0)), 100.0);
+        w.add_stream(MemTarget::Socket(SocketId(0)), 50.0);
+        w.add_stream(MemTarget::Socket(SocketId(1)), 10.0);
+        w.add_random(MemTarget::Interleaved(vec![SocketId(0), SocketId(1)]), 5.0);
+        assert_eq!(w.streams.len(), 2);
+        assert_eq!(w.total_stream_bytes(), 160.0);
+        assert_eq!(w.total_random_accesses(), 5.0);
+    }
+
+    #[test]
+    fn zero_amounts_are_ignored() {
+        let mut w = TaskWork::empty();
+        w.add_stream(MemTarget::Socket(SocketId(0)), 0.0);
+        w.add_random(MemTarget::Socket(SocketId(0)), -1.0);
+        assert!(w.streams.is_empty());
+        assert!(w.random.is_empty());
+    }
+
+    #[test]
+    fn optimizer_threshold_matches_the_paper() {
+        let m = CostModel::default();
+        // Selectivities 0.001 % to 0.1 % use the index; 1 % and above scan.
+        assert!(m.prefers_index(0.00001, true));
+        assert!(m.prefers_index(0.001, true));
+        assert!(!m.prefers_index(0.01, true));
+        assert!(!m.prefers_index(0.00001, false), "no index, no lookup");
+    }
+
+    #[test]
+    fn aggregate_classification() {
+        let m = CostModel::default();
+        assert_eq!(m.aggregate_work_class(25.0), WorkClass::CpuIntensive);
+        assert_eq!(m.aggregate_work_class(2.0), WorkClass::MemoryIntensive);
+    }
+
+    #[test]
+    fn mem_target_conversion() {
+        let t = MemTarget::Interleaved(vec![SocketId(0), SocketId(3)]);
+        assert_eq!(t.sockets().len(), 2);
+        match t.to_access_target() {
+            AccessTarget::Interleaved(v) => assert_eq!(v.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

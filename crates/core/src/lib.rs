@@ -1,0 +1,53 @@
+//! # numascan-core
+//!
+//! The NUMA-aware column-store engine: the primary contribution of
+//! *"Scaling Up Concurrent Main-Memory Column-Store Scans: Towards Adaptive
+//! NUMA-aware Data and Task Placement"* (Psaroudakis et al., VLDB 2015),
+//! implemented on top of the substrates of this workspace:
+//!
+//! * [`spec`] — metadata descriptions of tables and dictionary-encoded
+//!   columns (row counts, distinct values, bitcases, component sizes).
+//! * [`placement`] — the three data placement strategies of Section 4.2
+//!   (round-robin **RR**, index-vector partitioning **IVP**, physical
+//!   partitioning **PP**), realised against the virtual NUMA machine and
+//!   tracked with PSMs.
+//! * [`catalog`] — the catalog of placed tables (Section 7, Figure 20).
+//! * [`query`] — query specifications and the generator interface used by the
+//!   workload crate.
+//! * [`cost`] — the calibrated cost model converting storage metadata and
+//!   predicates into per-task work (streamed bytes, random accesses, CPU
+//!   operations).
+//! * [`planner`] — NUMA-aware scheduling of scans (Section 5.2): splitting
+//!   the two execution phases (finding qualifying matches, output
+//!   materialization) into tasks whose affinities are derived from the PSMs.
+//! * [`sim`] — the virtual-time execution engine that runs concurrent clients
+//!   against the contention model and produces throughput, latency and
+//!   hardware-counter reports.
+//! * [`adaptive`] — the adaptive data placer of Section 7 (Figure 20) that
+//!   balances socket utilization by moving or repartitioning hot data.
+//! * [`native`] — native execution of real scans (from `numascan-storage`) on
+//!   real threads (from `numascan-scheduler`), for functional use of the
+//!   library outside the simulator.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adaptive;
+pub mod catalog;
+pub mod cost;
+pub mod native;
+pub mod placement;
+pub mod planner;
+pub mod query;
+pub mod sim;
+pub mod spec;
+
+pub use adaptive::{AdaptiveDataPlacer, PlacerAction, PlacerConfig};
+pub use catalog::Catalog;
+pub use cost::{CostModel, MemTarget, TaskWork};
+pub use native::NativeEngine;
+pub use placement::{PlacedColumn, PlacedTable, PlacementStrategy, RepartitionCost};
+pub use planner::{PlannedTask, QueryPlan, ScanPlanner};
+pub use query::{ColumnRef, QueryGenerator, QueryKind, QuerySpec};
+pub use sim::{SimConfig, SimEngine, SimReport};
+pub use spec::{ColumnSpec, TableSpec};

@@ -1,0 +1,725 @@
+//! The virtual-time simulation engine.
+
+use std::collections::HashMap;
+
+use numascan_numasim::bandwidth::MemoryDemand;
+use numascan_numasim::{Machine, SocketId};
+use numascan_scheduler::queue::{QueueSet, ThreadGroupId};
+use numascan_scheduler::{SchedulerStats, SchedulingStrategy, TaskMeta, TaskPriority};
+
+use crate::catalog::Catalog;
+use crate::cost::CostModel;
+use crate::planner::{PlannedTask, ScanPlanner};
+use crate::query::{ColumnRef, QueryGenerator};
+use crate::sim::report::{ColumnTraffic, LatencyStats, SimReport};
+
+const GIB: f64 = (1u64 << 30) as f64;
+const EPS: f64 = 1e-9;
+/// Instructions retired per streamed byte (scan kernels touch every byte with
+/// a fraction of an instruction); used only for the IPC counter proxy.
+const INSTRUCTIONS_PER_STREAMED_BYTE: f64 = 0.25;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Scheduling strategy (OS / Target / Bound).
+    pub strategy: SchedulingStrategy,
+    /// Number of concurrent closed-loop clients.
+    pub clients: usize,
+    /// Whether intra-query parallelism is enabled.
+    pub parallelism: bool,
+    /// Stop after this many completed queries (whichever of the three limits
+    /// is hit first ends the measurement).
+    pub target_queries: u64,
+    /// Stop after this much virtual time (seconds).
+    pub max_virtual_seconds: f64,
+    /// Stop after this many simulation events (a safety valve).
+    pub max_events: u64,
+    /// Cost model used by the planner.
+    pub cost: CostModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            strategy: SchedulingStrategy::Bound,
+            clients: 1,
+            parallelism: true,
+            target_queries: 2_000,
+            max_virtual_seconds: 120.0,
+            max_events: 2_000_000,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration for `clients` concurrent clients under `strategy`,
+    /// with a query target scaled to the concurrency so that low- and
+    /// high-concurrency points take comparable simulation effort.
+    pub fn for_clients(clients: usize, strategy: SchedulingStrategy) -> Self {
+        SimConfig {
+            strategy,
+            clients,
+            target_queries: ((clients as u64) * 4).clamp(400, 4_000),
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// A task waiting in the queues.
+#[derive(Debug, Clone)]
+struct PendingTask {
+    query: usize,
+    planned: PlannedTask,
+}
+
+/// A task running on a virtual worker.
+#[derive(Debug)]
+struct RunningTask {
+    query: usize,
+    /// Remaining streamed bytes per memory socket.
+    streams: Vec<(SocketId, f64)>,
+    /// Remaining random cache-line accesses.
+    random_remaining: f64,
+    /// Accesses per second this worker achieves against the random targets.
+    random_rate: f64,
+    /// How the random traffic is spread over sockets (for counter attribution).
+    random_socket_weights: Vec<(SocketId, f64)>,
+    /// Remaining CPU operations.
+    cpu_remaining: f64,
+}
+
+impl RunningTask {
+    fn is_done(&self) -> bool {
+        self.cpu_remaining <= EPS
+            && self.random_remaining <= EPS
+            && self.streams.iter().all(|(_, b)| *b <= EPS)
+    }
+}
+
+/// State of one in-flight query.
+#[derive(Debug)]
+struct QueryState {
+    client: usize,
+    issued_at: f64,
+    outstanding: usize,
+    phase2: Vec<PendingTask>,
+}
+
+/// One virtual hardware context.
+#[derive(Debug)]
+struct WorkerSlot {
+    group: ThreadGroupId,
+    socket: SocketId,
+    task: Option<RunningTask>,
+}
+
+/// The virtual-time execution engine.
+pub struct SimEngine<'a> {
+    machine: &'a mut Machine,
+    catalog: &'a Catalog,
+    config: SimConfig,
+    planner: ScanPlanner,
+}
+
+impl<'a> SimEngine<'a> {
+    /// Creates an engine running `catalog`'s data on `machine`.
+    pub fn new(machine: &'a mut Machine, catalog: &'a Catalog, config: SimConfig) -> Self {
+        let planner = ScanPlanner::new(machine.topology(), config.cost.clone());
+        SimEngine { machine, catalog, config, planner }
+    }
+
+    /// Runs the simulation, drawing queries from `generator`.
+    pub fn run(&mut self, generator: &mut dyn QueryGenerator) -> SimReport {
+        let topology = self.machine.topology().clone();
+        let sockets = topology.socket_count();
+        let per_ctx_stream = topology.socket.per_context_stream_gibs;
+        let ops_per_sec = topology.socket.context_ops_per_sec;
+        let overhead_ops = topology.task_overhead_us * 1e-6 * ops_per_sec;
+
+        let solver = self.machine.bandwidth().clone();
+        let latency_model = self.machine.latency().clone();
+        self.machine.reset_measurement();
+
+        // Thread groups and virtual workers (one per hardware context).
+        let mut queues: QueueSet<PendingTask> = QueueSet::for_topology(&topology);
+        let groups_per_socket = queues.groups_per_socket();
+        let contexts_per_group = (topology.contexts_per_socket() / groups_per_socket).max(1);
+        let mut workers: Vec<WorkerSlot> = topology
+            .hw_contexts()
+            .into_iter()
+            .map(|ctx| {
+                let group = ctx.socket.index() * groups_per_socket
+                    + (ctx.local_index as usize / contexts_per_group).min(groups_per_socket - 1);
+                WorkerSlot { group: ThreadGroupId(group), socket: ctx.socket, task: None }
+            })
+            .collect();
+
+        let mut stats = SchedulerStats::new(sockets);
+        let mut queries: Vec<QueryState> = Vec::new();
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut completed: u64 = 0;
+        let mut epoch: u64 = 0;
+        let mut now: f64 = 0.0;
+        let mut events: u64 = 0;
+        let mut zero_dt_streak = 0u32;
+
+        // Rate cache: class key -> per-stream rate (GiB/s).
+        let mut cached_rates: HashMap<(u16, u16), f64> = HashMap::new();
+        let mut events_since_solve: u64 = 0;
+
+        let clients = self.config.clients.max(1);
+
+        // Per-column workload accounting for the adaptive data placer.
+        let mut column_traffic: HashMap<ColumnRef, ColumnTraffic> = HashMap::new();
+
+        // A macro-free helper closure cannot borrow `self` twice, so issuing a
+        // query is written as a local function taking everything it needs.
+        #[allow(clippy::too_many_arguments)]
+        fn issue_query(
+            client: usize,
+            now: f64,
+            epoch: &mut u64,
+            generator: &mut dyn QueryGenerator,
+            catalog: &Catalog,
+            planner: &ScanPlanner,
+            config: &SimConfig,
+            queries: &mut Vec<QueryState>,
+            queues: &mut QueueSet<PendingTask>,
+            column_traffic: &mut HashMap<ColumnRef, ColumnTraffic>,
+        ) {
+            let spec = generator.next_query(client);
+            let column = catalog.column(spec.column);
+            let plan = planner.plan(column, &spec.kind, config.clients, config.parallelism);
+
+            // Attribute the query's planned work to its column.
+            let entry = column_traffic.entry(spec.column).or_insert_with(|| ColumnTraffic {
+                column: spec.column,
+                queries: 0,
+                stream_bytes: 0.0,
+                random_bytes: 0.0,
+            });
+            entry.queries += 1;
+            for task in plan.phase1.iter().chain(plan.phase2.iter()) {
+                entry.stream_bytes += task.work.total_stream_bytes();
+                entry.random_bytes += task.work.total_random_accesses() * 64.0;
+            }
+
+            let statement_epoch = *epoch;
+            *epoch += 1;
+            let query_id = queries.len();
+            let phase2: Vec<PendingTask> = plan
+                .phase2
+                .into_iter()
+                .map(|planned| PendingTask { query: query_id, planned })
+                .collect();
+            let phase1: Vec<PendingTask> = plan
+                .phase1
+                .into_iter()
+                .map(|planned| PendingTask { query: query_id, planned })
+                .collect();
+            queries.push(QueryState {
+                client,
+                issued_at: now,
+                outstanding: phase1.len(),
+                phase2,
+            });
+            for (seq, task) in phase1.into_iter().enumerate() {
+                let meta = build_meta(&task.planned, statement_epoch, seq as u64, config.strategy);
+                queues.push(&meta, None, task);
+            }
+        }
+
+        for client in 0..clients {
+            issue_query(
+                client,
+                now,
+                &mut epoch,
+                generator,
+                self.catalog,
+                &self.planner,
+                &self.config,
+                &mut queries,
+                &mut queues,
+                &mut column_traffic,
+            );
+        }
+
+        loop {
+            if completed >= self.config.target_queries
+                || now >= self.config.max_virtual_seconds
+                || events >= self.config.max_events
+            {
+                break;
+            }
+
+            // 1. Hand queued tasks to idle workers. Workers of the same socket
+            //    see the same queues, so once one of them fails to find a task
+            //    the rest of that socket is skipped for this round.
+            if !queues.is_empty() {
+                let mut socket_exhausted = vec![false; sockets];
+                for w in workers.iter_mut() {
+                    if w.task.is_some() || socket_exhausted[w.socket.index()] {
+                        continue;
+                    }
+                    match queues.pop_for_worker(w.group) {
+                        Some((pending, scope)) => {
+                            stats.record(w.socket, scope);
+                            w.task = Some(start_task(
+                                pending,
+                                w.socket,
+                                &latency_model,
+                                overhead_ops,
+                            ));
+                        }
+                        None => socket_exhausted[w.socket.index()] = true,
+                    }
+                    if queues.is_empty() {
+                        break;
+                    }
+                }
+            }
+
+            // 2. Collect bandwidth demand classes from running workers.
+            let mut classes: HashMap<(u16, u16), f64> = HashMap::new();
+            let mut running = 0usize;
+            for w in &workers {
+                if let Some(task) = &w.task {
+                    running += 1;
+                    let active_streams =
+                        task.streams.iter().filter(|(_, b)| *b > EPS).count().max(1);
+                    for (mem, bytes) in &task.streams {
+                        if *bytes > EPS {
+                            *classes.entry((w.socket.0, mem.0)).or_insert(0.0) +=
+                                1.0 / active_streams as f64;
+                        }
+                    }
+                }
+            }
+            if running == 0 {
+                // Nothing is running and (after step 1) nothing is assignable:
+                // the workload is drained.
+                break;
+            }
+
+            // 3. Solve (or reuse) the bandwidth allocation.
+            let need_solve = events_since_solve >= 16
+                || classes.keys().any(|k| !cached_rates.contains_key(k));
+            if need_solve && !classes.is_empty() {
+                let demands: Vec<MemoryDemand> = classes
+                    .iter()
+                    .map(|(&(cpu, mem), &weight)| {
+                        MemoryDemand::aggregated(
+                            (u64::from(cpu) << 16) | u64::from(mem),
+                            SocketId(cpu),
+                            SocketId(mem),
+                            per_ctx_stream,
+                            weight,
+                        )
+                    })
+                    .collect();
+                let allocation = solver.solve(&demands);
+                cached_rates.clear();
+                for (demand, rate) in demands.iter().zip(&allocation.rates) {
+                    cached_rates.insert((demand.cpu_socket.0, demand.mem_socket.0), *rate);
+                }
+                events_since_solve = 0;
+            } else {
+                events_since_solve += 1;
+            }
+
+            // 4. Earliest completion time among running tasks.
+            let mut dt = self.config.max_virtual_seconds - now;
+            for w in &workers {
+                if let Some(task) = &w.task {
+                    let completion = task_completion_seconds(
+                        task,
+                        w.socket,
+                        &cached_rates,
+                        per_ctx_stream,
+                        ops_per_sec,
+                    );
+                    dt = dt.min(completion);
+                }
+            }
+            dt = dt.max(0.0);
+            if dt <= EPS {
+                zero_dt_streak += 1;
+                if zero_dt_streak > 1_000 {
+                    // Defensive: avoid spinning if every remaining task is
+                    // empty; treat them as instantaneous completions.
+                    dt = 0.0;
+                }
+            } else {
+                zero_dt_streak = 0;
+            }
+
+            // 5. Advance every running task by dt and collect completions.
+            let mut finished: Vec<usize> = Vec::new();
+            for w in workers.iter_mut() {
+                let Some(task) = w.task.as_mut() else { continue };
+                let cpu = w.socket;
+                let mut streamed_total = 0.0;
+                let active_streams = task.streams.iter().filter(|(_, b)| *b > EPS).count().max(1);
+                for (mem, bytes) in task.streams.iter_mut() {
+                    if *bytes <= EPS {
+                        continue;
+                    }
+                    let per_stream_rate = cached_rates
+                        .get(&(cpu.0, mem.0))
+                        .copied()
+                        .unwrap_or(per_ctx_stream / active_streams as f64);
+                    let drained = (per_stream_rate * GIB * dt).min(*bytes);
+                    *bytes -= drained;
+                    streamed_total += drained;
+                    if drained > 0.0 {
+                        let demand = MemoryDemand::new(0, cpu, *mem, per_ctx_stream);
+                        let (qpi_data, qpi_total) = solver.qpi_traffic_for(&demand, drained);
+                        self.machine.counters_mut().record_access(cpu, *mem, drained, qpi_data, qpi_total);
+                    }
+                }
+                if task.random_remaining > EPS {
+                    let drained = (task.random_rate * dt).min(task.random_remaining);
+                    task.random_remaining -= drained;
+                    let bytes = drained * 64.0;
+                    for (mem, weight) in &task.random_socket_weights {
+                        let part = bytes * weight;
+                        if part > 0.0 {
+                            let demand = MemoryDemand::new(0, cpu, *mem, per_ctx_stream);
+                            let (qpi_data, qpi_total) = solver.qpi_traffic_for(&demand, part);
+                            self.machine.counters_mut().record_access(cpu, *mem, part, qpi_data, qpi_total);
+                        }
+                    }
+                }
+                if task.cpu_remaining > EPS {
+                    let drained = (ops_per_sec * dt).min(task.cpu_remaining);
+                    task.cpu_remaining -= drained;
+                    self.machine.counters_mut().record_instructions(cpu, drained);
+                }
+                self.machine
+                    .counters_mut()
+                    .record_instructions(cpu, streamed_total * INSTRUCTIONS_PER_STREAMED_BYTE);
+                self.machine.counters_mut().record_busy(cpu, dt);
+
+                if task.is_done() {
+                    finished.push(task.query);
+                    w.task = None;
+                }
+            }
+
+            now += dt;
+            events += 1;
+
+            // 6. Query bookkeeping for finished tasks.
+            for query_id in finished {
+                let (query_done, client) = {
+                    let q = &mut queries[query_id];
+                    q.outstanding -= 1;
+                    if q.outstanding > 0 {
+                        (false, q.client)
+                    } else if !q.phase2.is_empty() {
+                        // Move to the materialization phase.
+                        let phase2 = std::mem::take(&mut q.phase2);
+                        q.outstanding = phase2.len();
+                        let statement_epoch = epoch;
+                        epoch += 1;
+                        for (seq, task) in phase2.into_iter().enumerate() {
+                            let meta = build_meta(
+                                &task.planned,
+                                statement_epoch,
+                                seq as u64,
+                                self.config.strategy,
+                            );
+                            queues.push(&meta, None, task);
+                        }
+                        (false, q.client)
+                    } else {
+                        (true, q.client)
+                    }
+                };
+                if query_done {
+                    latencies.push(now - queries[query_id].issued_at);
+                    completed += 1;
+                    if completed < self.config.target_queries && now < self.config.max_virtual_seconds
+                    {
+                        issue_query(
+                            client,
+                            now,
+                            &mut epoch,
+                            generator,
+                            self.catalog,
+                            &self.planner,
+                            &self.config,
+                            &mut queries,
+                            &mut queues,
+                            &mut column_traffic,
+                        );
+                    }
+                }
+            }
+        }
+
+        self.machine.counters_mut().elapsed_seconds = now;
+        let throughput_qpm = if now > 0.0 { completed as f64 / now * 60.0 } else { 0.0 };
+        let mut column_traffic: Vec<ColumnTraffic> = column_traffic.into_values().collect();
+        column_traffic.sort_by(|a, b| {
+            b.total_bytes().partial_cmp(&a.total_bytes()).expect("finite traffic")
+        });
+        SimReport {
+            completed_queries: completed,
+            elapsed_seconds: now,
+            throughput_qpm,
+            latency: LatencyStats::from_latencies_seconds(&latencies),
+            latencies_seconds: latencies,
+            counters: self.machine.counters().clone(),
+            scheduler: stats,
+            column_traffic,
+        }
+    }
+}
+
+/// Builds the scheduler metadata for a planned task and applies the strategy.
+fn build_meta(
+    planned: &PlannedTask,
+    statement_epoch: u64,
+    sequence: u64,
+    strategy: SchedulingStrategy,
+) -> TaskMeta {
+    let meta = TaskMeta {
+        affinity: planned.affinity,
+        hard_affinity: false,
+        priority: TaskPriority::new(statement_epoch, sequence),
+        work_class: planned.work_class,
+        estimated_bytes: planned.work.total_stream_bytes(),
+    };
+    strategy.apply_to_meta(meta)
+}
+
+/// Converts a pending task into a running task on a worker of `cpu_socket`.
+fn start_task(
+    pending: PendingTask,
+    cpu_socket: SocketId,
+    latency_model: &numascan_numasim::LatencyModel,
+    overhead_ops: f64,
+) -> RunningTask {
+    let work = &pending.planned.work;
+    // Expand every stream target into per-socket byte counts.
+    let mut streams: Vec<(SocketId, f64)> = Vec::new();
+    for (target, bytes) in &work.streams {
+        let sockets = target.sockets();
+        let share = bytes / sockets.len() as f64;
+        for s in sockets {
+            match streams.iter_mut().find(|(existing, _)| existing == s) {
+                Some(entry) => entry.1 += share,
+                None => streams.push((*s, share)),
+            }
+        }
+    }
+    // Random accesses: compute the aggregate rate for this worker and the
+    // socket distribution of the traffic.
+    let total_random: f64 = work.random.iter().map(|(_, c)| c).sum();
+    let mut random_rate = 0.0;
+    let mut random_socket_weights: Vec<(SocketId, f64)> = Vec::new();
+    if total_random > 0.0 {
+        // Time to perform all accesses is the sum over targets.
+        let mut total_time = 0.0;
+        for (target, count) in &work.random {
+            let t = latency_model.random_access_seconds(
+                cpu_socket,
+                &target.to_access_target(),
+                *count,
+            );
+            total_time += t;
+            let sockets = target.sockets();
+            let share = count / sockets.len() as f64 / total_random;
+            for s in sockets {
+                match random_socket_weights.iter_mut().find(|(existing, _)| existing == s) {
+                    Some(entry) => entry.1 += share,
+                    None => random_socket_weights.push((*s, share)),
+                }
+            }
+        }
+        random_rate = if total_time > 0.0 { total_random / total_time } else { f64::INFINITY };
+    }
+    RunningTask {
+        query: pending.query,
+        streams,
+        random_remaining: total_random,
+        random_rate,
+        random_socket_weights,
+        cpu_remaining: work.cpu_ops + overhead_ops,
+    }
+}
+
+/// Time (seconds) until a running task completes, given the current rates.
+fn task_completion_seconds(
+    task: &RunningTask,
+    cpu_socket: SocketId,
+    rates: &HashMap<(u16, u16), f64>,
+    per_ctx_stream: f64,
+    ops_per_sec: f64,
+) -> f64 {
+    let active_streams = task.streams.iter().filter(|(_, b)| *b > EPS).count().max(1);
+    let mut stream_time: f64 = 0.0;
+    for (mem, bytes) in &task.streams {
+        if *bytes <= EPS {
+            continue;
+        }
+        let rate = rates
+            .get(&(cpu_socket.0, mem.0))
+            .copied()
+            .unwrap_or(per_ctx_stream / active_streams as f64)
+            .max(1e-6);
+        stream_time = stream_time.max(bytes / (rate * GIB));
+    }
+    let cpu_time = if task.cpu_remaining > EPS { task.cpu_remaining / ops_per_sec } else { 0.0 };
+    let random_time = if task.random_remaining > EPS && task.random_rate > 0.0 {
+        task.random_remaining / task.random_rate
+    } else {
+        0.0
+    };
+    stream_time.max(cpu_time).max(random_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{PlacedTable, PlacementStrategy};
+    use crate::query::{ColumnRef, FixedQueryGenerator, QuerySpec, RoundRobinColumnGenerator};
+    use crate::spec::{ColumnSpec, TableSpec};
+    use numascan_numasim::Topology;
+
+    fn build(columns: usize, rows: u64, strategy: PlacementStrategy) -> (Machine, Catalog) {
+        let mut machine = Machine::new(Topology::four_socket_ivybridge_ex());
+        let spec = TableSpec::new(
+            "tbl",
+            rows,
+            (0..columns)
+                .map(|i| {
+                    ColumnSpec::integer_with_bitcase(format!("col{i}"), rows, 17 + (i % 10) as u8, false)
+                })
+                .collect(),
+        );
+        let placed = PlacedTable::place(&mut machine, &spec, strategy).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.add_table(placed);
+        (machine, catalog)
+    }
+
+    fn quick_config(clients: usize, strategy: SchedulingStrategy) -> SimConfig {
+        SimConfig {
+            strategy,
+            clients,
+            target_queries: 300,
+            max_virtual_seconds: 30.0,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn simulation_completes_queries_and_reports_consistent_metrics() {
+        let (mut machine, catalog) = build(8, 10_000_000, PlacementStrategy::RoundRobin);
+        let mut generator = RoundRobinColumnGenerator::new(0, 8, 0.001, false);
+        let config = quick_config(16, SchedulingStrategy::Bound);
+        let report = SimEngine::new(&mut machine, &catalog, config).run(&mut generator);
+        assert!(report.completed_queries >= 300);
+        assert!(report.elapsed_seconds > 0.0);
+        assert!(report.throughput_qpm > 0.0);
+        assert_eq!(report.latencies_seconds.len() as u64, report.completed_queries);
+        assert!(report.tasks_executed() >= report.completed_queries);
+        assert!(report.total_memory_throughput_gibs() > 0.0);
+        assert!(report.cpu_load_percent() > 0.0 && report.cpu_load_percent() <= 100.0);
+    }
+
+    #[test]
+    fn bound_strategy_never_steals_across_sockets() {
+        let (mut machine, catalog) = build(8, 5_000_000, PlacementStrategy::RoundRobin);
+        let mut generator = RoundRobinColumnGenerator::new(0, 8, 0.001, false);
+        let report = SimEngine::new(&mut machine, &catalog, quick_config(64, SchedulingStrategy::Bound))
+            .run(&mut generator);
+        assert_eq!(report.tasks_stolen(), 0);
+    }
+
+    #[test]
+    fn numa_aware_scheduling_beats_numa_agnostic() {
+        // The Figure 1 / Figure 8 effect, at reduced scale: Bound achieves a
+        // multiple of the OS throughput for a memory-intensive uniform
+        // workload at high concurrency.
+        let (mut machine, catalog) = build(8, 5_000_000, PlacementStrategy::RoundRobin);
+        let mut generator = RoundRobinColumnGenerator::new(0, 8, 0.001, false);
+        let bound = SimEngine::new(&mut machine, &catalog, quick_config(256, SchedulingStrategy::Bound))
+            .run(&mut generator);
+
+        let (mut machine_os, catalog_os) = build(8, 5_000_000, PlacementStrategy::RoundRobin);
+        let mut generator_os = RoundRobinColumnGenerator::new(0, 8, 0.001, false);
+        let os = SimEngine::new(&mut machine_os, &catalog_os, quick_config(256, SchedulingStrategy::Os))
+            .run(&mut generator_os);
+
+        let ratio = bound.throughput_qpm / os.throughput_qpm;
+        assert!(
+            ratio > 2.0,
+            "NUMA-aware scheduling should be much faster: bound {} vs os {} (ratio {ratio:.2})",
+            bound.throughput_qpm,
+            os.throughput_qpm
+        );
+        // The OS strategy produces mostly remote LLC misses, Bound mostly local.
+        let (local_bound, remote_bound) = bound.llc_misses();
+        let (local_os, remote_os) = os.llc_misses();
+        assert!(local_bound > remote_bound);
+        assert!(remote_os > local_os);
+    }
+
+    #[test]
+    fn fixed_generator_on_single_column_saturates_one_socket() {
+        let (mut machine, catalog) = build(4, 5_000_000, PlacementStrategy::RoundRobin);
+        let q = QuerySpec::scan(ColumnRef { table: 0, column: 0 }, 0.001);
+        let mut generator = FixedQueryGenerator::new(q);
+        let report = SimEngine::new(&mut machine, &catalog, quick_config(128, SchedulingStrategy::Bound))
+            .run(&mut generator);
+        let tp = report.memory_throughput_gibs();
+        let busiest = tp.iter().cloned().fold(0.0, f64::max);
+        let total: f64 = tp.iter().sum();
+        assert!(busiest / total > 0.9, "one socket should serve almost all traffic: {tp:?}");
+    }
+
+    #[test]
+    fn single_client_benefits_from_intra_query_parallelism() {
+        let (mut machine, catalog) = build(4, 20_000_000, PlacementStrategy::RoundRobin);
+        let mut generator = RoundRobinColumnGenerator::new(0, 4, 0.001, false);
+        let mut with = quick_config(1, SchedulingStrategy::Bound);
+        with.target_queries = 100;
+        let report_with =
+            SimEngine::new(&mut machine, &catalog, with.clone()).run(&mut generator);
+
+        let (mut machine2, catalog2) = build(4, 20_000_000, PlacementStrategy::RoundRobin);
+        let mut generator2 = RoundRobinColumnGenerator::new(0, 4, 0.001, false);
+        let mut without = with;
+        without.parallelism = false;
+        let report_without =
+            SimEngine::new(&mut machine2, &catalog2, without).run(&mut generator2);
+
+        assert!(
+            report_with.throughput_qpm > 1.5 * report_without.throughput_qpm,
+            "parallelism should help a single client: {} vs {}",
+            report_with.throughput_qpm,
+            report_without.throughput_qpm
+        );
+    }
+
+    #[test]
+    fn simulation_respects_event_and_time_limits() {
+        let (mut machine, catalog) = build(2, 1_000_000, PlacementStrategy::RoundRobin);
+        let mut generator = RoundRobinColumnGenerator::new(0, 2, 0.001, false);
+        let config = SimConfig {
+            strategy: SchedulingStrategy::Bound,
+            clients: 4,
+            target_queries: u64::MAX,
+            max_virtual_seconds: 0.05,
+            max_events: 500,
+            ..SimConfig::default()
+        };
+        let report = SimEngine::new(&mut machine, &catalog, config).run(&mut generator);
+        assert!(report.elapsed_seconds <= 0.05 + 1e-6);
+    }
+}

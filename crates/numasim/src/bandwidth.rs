@@ -1,0 +1,519 @@
+//! Bandwidth contention model.
+//!
+//! Concurrent scans are memory-intensive: their speed is determined by how
+//! much DRAM bandwidth each task obtains. On a NUMA machine three kinds of
+//! resources can saturate independently (Section 2 of the paper):
+//!
+//! 1. the memory controllers of each socket,
+//! 2. each inter-socket interconnect (QPI) link, and
+//! 3. the total interconnect capacity of a socket (all its QPI links),
+//!
+//! and a single core can only consume a limited stream bandwidth by itself.
+//! The cache-coherence protocol additionally injects traffic into the
+//! interconnect — modestly for directory-based machines, and on *every* socket
+//! for broadcast-snooping machines.
+//!
+//! [`BandwidthSolver`] computes a *generalized max-min fair* allocation of
+//! bandwidth to a set of concurrent [`MemoryDemand`]s subject to those
+//! capacities, using progressive filling: all unfrozen demands grow at the
+//! same rate until some resource (or a demand's own cap) saturates, the
+//! demands bottlenecked there are frozen, and the process repeats.
+
+use crate::topology::{CoherenceProtocol, SocketId, Topology};
+
+/// A single traffic stream: a task running on `cpu_socket` streaming data that
+/// is physically backed on `mem_socket`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryDemand {
+    /// Caller-provided identifier used to map rates back to tasks.
+    pub id: u64,
+    /// Socket whose core issues the accesses.
+    pub cpu_socket: SocketId,
+    /// Socket whose DRAM serves the accesses.
+    pub mem_socket: SocketId,
+    /// Upper bound on the rate this stream can consume by itself (GiB/s);
+    /// usually the per-context streaming limit, divided among the task's
+    /// concurrent streams.
+    pub cap_gibs: f64,
+    /// Number of identical streams this demand aggregates. The returned rate
+    /// is *per stream*; resource consumption is multiplied by the weight.
+    /// Aggregating identical `(cpu, mem)` classes keeps the solver cost
+    /// independent of the number of concurrently running tasks.
+    pub weight: f64,
+}
+
+impl MemoryDemand {
+    /// A single stream from `mem_socket` to a core on `cpu_socket`.
+    pub fn new(id: u64, cpu_socket: SocketId, mem_socket: SocketId, cap_gibs: f64) -> Self {
+        MemoryDemand { id, cpu_socket, mem_socket, cap_gibs, weight: 1.0 }
+    }
+
+    /// An aggregate of `weight` identical streams.
+    pub fn aggregated(
+        id: u64,
+        cpu_socket: SocketId,
+        mem_socket: SocketId,
+        cap_gibs: f64,
+        weight: f64,
+    ) -> Self {
+        MemoryDemand { id, cpu_socket, mem_socket, cap_gibs, weight }
+    }
+
+    /// `true` if the stream crosses the interconnect.
+    pub fn is_remote(&self) -> bool {
+        self.cpu_socket != self.mem_socket
+    }
+}
+
+/// The result of a bandwidth allocation: one rate (GiB/s) per demand, in the
+/// same order the demands were passed in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateAllocation {
+    /// Attained rate of each demand in GiB/s.
+    pub rates: Vec<f64>,
+}
+
+impl RateAllocation {
+    /// Aggregate rate over all demands, GiB/s.
+    pub fn total(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+}
+
+/// Internal resource identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Resource {
+    /// Memory controller of a socket.
+    Mc(usize),
+    /// Total interconnect capacity of a socket.
+    Qpi(usize),
+    /// A point-to-point path between two sockets (undirected).
+    Pair(usize, usize),
+}
+
+/// Max-min fair bandwidth allocator for a fixed topology.
+#[derive(Debug, Clone)]
+pub struct BandwidthSolver {
+    sockets: usize,
+    mc_capacity: Vec<f64>,
+    qpi_capacity: Vec<f64>,
+    /// Capacity of the path between sockets i and j (i < j), flattened.
+    pair_capacity: Vec<f64>,
+    coherence: CoherenceProtocol,
+    remote_mc_penalty: f64,
+}
+
+impl BandwidthSolver {
+    /// Builds a solver for the given topology.
+    pub fn new(topology: &Topology) -> Self {
+        let sockets = topology.socket_count();
+        let mc_capacity = vec![topology.socket.local_bandwidth_gibs; sockets];
+        let qpi_capacity = vec![topology.socket_interconnect_gibs; sockets];
+        let mut pair_capacity = vec![0.0; sockets * sockets];
+        for i in 0..sockets {
+            for j in 0..sockets {
+                if i != j {
+                    pair_capacity[i * sockets + j] =
+                        topology.pair_bandwidth_gibs(SocketId(i as u16), SocketId(j as u16));
+                }
+            }
+        }
+        BandwidthSolver {
+            sockets,
+            mc_capacity,
+            qpi_capacity,
+            pair_capacity,
+            coherence: topology.coherence,
+            remote_mc_penalty: topology.remote_mc_penalty,
+        }
+    }
+
+    #[inline]
+    fn pair_index(&self, a: usize, b: usize) -> usize {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        lo * self.sockets + hi
+    }
+
+    /// Per-demand list of `(resource, load factor)` pairs: consuming one byte
+    /// of the demand consumes `factor` bytes of the resource's capacity.
+    fn loads_of(&self, d: &MemoryDemand) -> Vec<(Resource, f64)> {
+        let mut loads = Vec::with_capacity(4 + self.sockets);
+        let m = d.mem_socket.index();
+        let c = d.cpu_socket.index();
+        // Remote requests occupy the serving memory controller longer than
+        // local ones (they interfere with local requests queuing up).
+        let mc_factor = if m != c { 1.0 + self.remote_mc_penalty } else { 1.0 };
+        loads.push((Resource::Mc(m), mc_factor));
+        match self.coherence {
+            CoherenceProtocol::Directory { overhead_factor } => {
+                if m != c {
+                    let remote_factor = 1.0 + overhead_factor;
+                    loads.push((Resource::Pair(m, c), remote_factor));
+                    loads.push((Resource::Qpi(m), remote_factor));
+                    loads.push((Resource::Qpi(c), remote_factor));
+                } else {
+                    // Directory lookups generate a trickle of interconnect
+                    // traffic even for local accesses.
+                    loads.push((Resource::Qpi(c), overhead_factor * 0.5));
+                }
+            }
+            CoherenceProtocol::BroadcastSnoop { snoop_factor } => {
+                if m != c {
+                    loads.push((Resource::Pair(m, c), 1.0));
+                    loads.push((Resource::Qpi(m), 1.0));
+                    loads.push((Resource::Qpi(c), 1.0));
+                }
+                // Snoops are broadcast to every socket regardless of whether
+                // the access is local or remote.
+                for s in 0..self.sockets {
+                    loads.push((Resource::Qpi(s), snoop_factor));
+                }
+            }
+        }
+        loads
+    }
+
+    fn capacity_of(&self, r: Resource) -> f64 {
+        match r {
+            Resource::Mc(s) => self.mc_capacity[s],
+            Resource::Qpi(s) => self.qpi_capacity[s],
+            Resource::Pair(a, b) => self.pair_capacity[self.pair_index(a, b)],
+        }
+    }
+
+    fn resource_slot(&self, r: Resource) -> usize {
+        match r {
+            Resource::Mc(s) => s,
+            Resource::Qpi(s) => self.sockets + s,
+            Resource::Pair(a, b) => 2 * self.sockets + self.pair_index(a, b),
+        }
+    }
+
+    /// Computes the max-min fair rate allocation for `demands`.
+    ///
+    /// Returns one rate per demand (GiB/s), in input order. Demands with a
+    /// non-positive cap receive a rate of zero.
+    pub fn solve(&self, demands: &[MemoryDemand]) -> RateAllocation {
+        let n = demands.len();
+        let mut rates = vec![0.0f64; n];
+        if n == 0 {
+            return RateAllocation { rates };
+        }
+
+        let n_resources = 2 * self.sockets + self.sockets * self.sockets;
+        let mut remaining = vec![f64::INFINITY; n_resources];
+        let mut used_resource = vec![false; n_resources];
+
+        // Precompute loads (scaled by the demand's weight) and initialise
+        // remaining capacity only for resources that are actually used.
+        let loads: Vec<Vec<(usize, f64)>> = demands
+            .iter()
+            .map(|d| {
+                let weight = d.weight.max(0.0);
+                self.loads_of(d)
+                    .into_iter()
+                    .map(|(r, f)| {
+                        let slot = self.resource_slot(r);
+                        if !used_resource[slot] {
+                            used_resource[slot] = true;
+                            remaining[slot] = self.capacity_of(r);
+                        }
+                        (slot, f * weight)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut active: Vec<bool> =
+            demands.iter().map(|d| d.cap_gibs > 0.0 && d.weight > 0.0).collect();
+        let mut active_count = active.iter().filter(|a| **a).count();
+
+        // Progressive filling.
+        let mut guard = 0usize;
+        while active_count > 0 {
+            guard += 1;
+            if guard > n + n_resources + 8 {
+                // Should not happen: every iteration freezes at least one
+                // demand. Bail out defensively rather than loop forever.
+                break;
+            }
+
+            // Aggregate load each resource sees from active demands.
+            let mut resource_load = vec![0.0f64; n_resources];
+            for (i, dl) in loads.iter().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                for &(slot, f) in dl {
+                    resource_load[slot] += f;
+                }
+            }
+
+            // Largest uniform increment possible before something saturates.
+            let mut delta = f64::INFINITY;
+            for slot in 0..n_resources {
+                if resource_load[slot] > 0.0 {
+                    delta = delta.min(remaining[slot] / resource_load[slot]);
+                }
+            }
+            for (i, d) in demands.iter().enumerate() {
+                if active[i] {
+                    delta = delta.min(d.cap_gibs - rates[i]);
+                }
+            }
+            if !delta.is_finite() || delta < 0.0 {
+                break;
+            }
+
+            // Apply the increment.
+            for (i, dl) in loads.iter().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                rates[i] += delta;
+                for &(slot, f) in dl {
+                    remaining[slot] -= delta * f;
+                }
+            }
+
+            // Freeze demands that hit their own cap or a saturated resource.
+            const EPS: f64 = 1e-9;
+            let mut frozen_any = false;
+            for (i, d) in demands.iter().enumerate() {
+                if !active[i] {
+                    continue;
+                }
+                let capped = rates[i] >= d.cap_gibs - EPS;
+                let bottlenecked =
+                    loads[i].iter().any(|&(slot, _)| remaining[slot] <= EPS);
+                if capped || bottlenecked {
+                    active[i] = false;
+                    active_count -= 1;
+                    frozen_any = true;
+                }
+            }
+            if !frozen_any && delta <= EPS {
+                break;
+            }
+        }
+
+        RateAllocation { rates }
+    }
+
+    /// Number of sockets the solver was built for.
+    pub fn socket_count(&self) -> usize {
+        self.sockets
+    }
+
+    /// The coherence protocol in effect.
+    pub fn coherence(&self) -> CoherenceProtocol {
+        self.coherence
+    }
+
+    /// Interconnect traffic (in bytes) generated by transferring `data_bytes`
+    /// for the given demand: `(qpi_data_bytes, qpi_total_bytes)`.
+    ///
+    /// Data traffic crosses the interconnect only for remote accesses;
+    /// coherence traffic is added according to the protocol (and, for
+    /// broadcast snooping, is generated even by local accesses).
+    pub fn qpi_traffic_for(&self, demand: &MemoryDemand, data_bytes: f64) -> (f64, f64) {
+        let data = if demand.is_remote() { data_bytes } else { 0.0 };
+        let coherence = match self.coherence {
+            CoherenceProtocol::Directory { overhead_factor } => {
+                if demand.is_remote() {
+                    data_bytes * overhead_factor
+                } else {
+                    data_bytes * overhead_factor * 0.5
+                }
+            }
+            CoherenceProtocol::BroadcastSnoop { snoop_factor } => {
+                data_bytes * snoop_factor * self.sockets as f64
+            }
+        };
+        (data, data + coherence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver4() -> BandwidthSolver {
+        BandwidthSolver::new(&Topology::four_socket_ivybridge_ex())
+    }
+
+    fn demand(id: u64, cpu: u16, mem: u16, cap: f64) -> MemoryDemand {
+        MemoryDemand::new(id, SocketId(cpu), SocketId(mem), cap)
+    }
+
+    #[test]
+    fn weighted_demand_equals_many_identical_demands() {
+        let s = solver4();
+        // 30 separate local streams on socket 0 ...
+        let individual: Vec<_> = (0..30).map(|i| demand(i, 0, 0, 6.0)).collect();
+        let individual_rate = s.solve(&individual).rates[0];
+        // ... must receive the same per-stream rate as one aggregated demand
+        // of weight 30.
+        let aggregated = vec![MemoryDemand::aggregated(0, SocketId(0), SocketId(0), 6.0, 30.0)];
+        let aggregated_rate = s.solve(&aggregated).rates[0];
+        assert!((individual_rate - aggregated_rate).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_demand_set_yields_empty_allocation() {
+        let s = solver4();
+        assert!(s.solve(&[]).rates.is_empty());
+    }
+
+    #[test]
+    fn single_local_stream_is_capped_by_the_core() {
+        let s = solver4();
+        let alloc = s.solve(&[demand(0, 0, 0, 6.0)]);
+        assert!((alloc.rates[0] - 6.0).abs() < 1e-6, "one core cannot use the whole MC");
+    }
+
+    #[test]
+    fn many_local_streams_saturate_the_memory_controller() {
+        let s = solver4();
+        // 30 contexts of socket 0 all streaming local data.
+        let demands: Vec<_> = (0..30).map(|i| demand(i, 0, 0, 6.0)).collect();
+        let alloc = s.solve(&demands);
+        let total = alloc.total();
+        assert!(total <= 65.0 + 1e-6);
+        assert!(total > 60.0, "30 streams must saturate the 65 GiB/s controller, got {total}");
+        // Fair sharing: all rates equal.
+        for r in &alloc.rates {
+            assert!((r - alloc.rates[0]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn remote_streams_are_limited_by_the_interconnect() {
+        let s = solver4();
+        // 30 contexts on socket 1 streaming from socket 0: the 8.8 GiB/s QPI
+        // pair bandwidth is the bottleneck, not the 65 GiB/s MC.
+        let demands: Vec<_> = (0..30).map(|i| demand(i, 1, 0, 6.0)).collect();
+        let total = s.solve(&demands).total();
+        assert!(total < 9.0, "remote traffic must be capped by the QPI pair, got {total}");
+        assert!(total > 7.0);
+    }
+
+    #[test]
+    fn local_beats_remote_by_roughly_the_paper_factor() {
+        // The 5x Figure 1 effect: all sockets streaming locally vs. all
+        // sockets streaming from remote sockets.
+        let s = solver4();
+        let mut local = Vec::new();
+        let mut remote = Vec::new();
+        let mut id = 0;
+        for sock in 0..4u16 {
+            for _ in 0..30 {
+                local.push(demand(id, sock, sock, 6.0));
+                // Remote: read from the next socket over.
+                remote.push(demand(id, sock, (sock + 1) % 4, 6.0));
+                id += 1;
+            }
+        }
+        let local_total = s.solve(&local).total();
+        let remote_total = s.solve(&remote).total();
+        let ratio = local_total / remote_total;
+        assert!(
+            ratio > 3.0 && ratio < 10.0,
+            "local/remote throughput ratio should be around 5x, got {ratio:.1} \
+             ({local_total:.1} vs {remote_total:.1} GiB/s)"
+        );
+    }
+
+    #[test]
+    fn broadcast_coherence_limits_aggregate_local_bandwidth() {
+        // Table 1: the 8-socket Westmere machine only reaches ~96 GiB/s of
+        // total local bandwidth although 8 x 19.3 = 154 GiB/s of controllers
+        // exist, because snoop traffic saturates the interconnect.
+        let topo = Topology::eight_socket_westmere_ex();
+        let s = BandwidthSolver::new(&topo);
+        let mut demands = Vec::new();
+        let mut id = 0;
+        for sock in 0..8u16 {
+            for _ in 0..topo.contexts_per_socket() {
+                demands.push(demand(id, sock, sock, topo.socket.per_context_stream_gibs));
+                id += 1;
+            }
+        }
+        let total = s.solve(&demands).total();
+        assert!(
+            total < 130.0,
+            "broadcast snooping should keep total local bandwidth well below 154 GiB/s, got {total}"
+        );
+        assert!(total > 70.0, "but the machine should still stream substantially, got {total}");
+    }
+
+    #[test]
+    fn directory_coherence_does_not_limit_aggregate_local_bandwidth() {
+        let topo = Topology::four_socket_ivybridge_ex();
+        let s = BandwidthSolver::new(&topo);
+        let mut demands = Vec::new();
+        let mut id = 0;
+        for sock in 0..4u16 {
+            for _ in 0..30 {
+                demands.push(demand(id, sock, sock, 6.0));
+                id += 1;
+            }
+        }
+        let total = s.solve(&demands).total();
+        assert!(total > 0.9 * 260.0, "directory machine should reach near 260 GiB/s, got {total}");
+    }
+
+    #[test]
+    fn mixed_local_and_remote_streams_share_fairly() {
+        let s = solver4();
+        // Socket 0's MC serves 10 local streams and 10 remote streams from S1.
+        let mut demands = Vec::new();
+        for i in 0..10 {
+            demands.push(demand(i, 0, 0, 6.0));
+        }
+        for i in 10..20 {
+            demands.push(demand(i, 1, 0, 6.0));
+        }
+        let alloc = s.solve(&demands);
+        let local: f64 = alloc.rates[..10].iter().sum();
+        let remote: f64 = alloc.rates[10..].iter().sum();
+        // Remote streams are bottlenecked by the QPI pair (8.8 GiB/s), local
+        // ones get the rest of the controller.
+        assert!(remote <= 8.8 + 1e-6);
+        assert!(local > remote);
+        assert!(local + remote <= 65.0 + 1e-6);
+    }
+
+    #[test]
+    fn rates_never_exceed_caps_or_go_negative() {
+        let s = solver4();
+        let demands: Vec<_> =
+            (0..100).map(|i| demand(i, (i % 4) as u16, ((i / 4) % 4) as u16, 3.0)).collect();
+        let alloc = s.solve(&demands);
+        for (d, r) in demands.iter().zip(&alloc.rates) {
+            assert!(*r >= 0.0);
+            assert!(*r <= d.cap_gibs + 1e-6);
+        }
+    }
+
+    #[test]
+    fn qpi_traffic_accounting_distinguishes_data_and_coherence() {
+        let s = solver4();
+        let local = demand(0, 0, 0, 6.0);
+        let remote = demand(1, 1, 0, 6.0);
+        let (d_local, t_local) = s.qpi_traffic_for(&local, 1000.0);
+        let (d_remote, t_remote) = s.qpi_traffic_for(&remote, 1000.0);
+        assert_eq!(d_local, 0.0);
+        assert!(t_local > 0.0, "coherence traffic exists even for local accesses");
+        assert_eq!(d_remote, 1000.0);
+        assert!(t_remote > d_remote);
+    }
+
+    #[test]
+    fn zero_cap_demands_get_zero_rate() {
+        let s = solver4();
+        let alloc = s.solve(&[demand(0, 0, 0, 0.0), demand(1, 0, 0, 6.0)]);
+        assert_eq!(alloc.rates[0], 0.0);
+        assert!(alloc.rates[1] > 0.0);
+    }
+}

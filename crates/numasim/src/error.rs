@@ -1,0 +1,107 @@
+//! Error types for the virtual NUMA machine.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NumaSimError>;
+
+/// Errors produced by the virtual NUMA machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NumaSimError {
+    /// A socket id was out of range for the topology.
+    InvalidSocket {
+        /// The offending socket index.
+        socket: usize,
+        /// Number of sockets in the topology.
+        sockets: usize,
+    },
+    /// A hardware context id was out of range for the topology.
+    InvalidHwContext {
+        /// The offending hardware context index.
+        context: usize,
+        /// Number of hardware contexts in the topology.
+        contexts: usize,
+    },
+    /// An allocation request could not be satisfied because the target
+    /// socket(s) ran out of modelled physical memory.
+    OutOfMemory {
+        /// Socket that ran out of memory.
+        socket: usize,
+        /// Pages requested.
+        requested_pages: u64,
+        /// Pages still available on that socket.
+        available_pages: u64,
+    },
+    /// An address or range was not (fully) known to the memory manager.
+    UnknownRange {
+        /// Base address of the offending range.
+        addr: u64,
+    },
+    /// A virtual range overlapped an existing allocation.
+    RangeOverlap {
+        /// Base address of the offending range.
+        addr: u64,
+    },
+    /// An empty socket list was supplied where at least one socket is needed.
+    EmptySocketSet,
+    /// A zero-sized allocation or range was requested.
+    EmptyRange,
+}
+
+impl fmt::Display for NumaSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumaSimError::InvalidSocket { socket, sockets } => {
+                write!(f, "socket {socket} out of range (topology has {sockets} sockets)")
+            }
+            NumaSimError::InvalidHwContext { context, contexts } => {
+                write!(
+                    f,
+                    "hardware context {context} out of range (topology has {contexts} contexts)"
+                )
+            }
+            NumaSimError::OutOfMemory { socket, requested_pages, available_pages } => write!(
+                f,
+                "socket {socket} out of memory: requested {requested_pages} pages, \
+                 {available_pages} available"
+            ),
+            NumaSimError::UnknownRange { addr } => {
+                write!(f, "address {addr:#x} is not tracked by the memory manager")
+            }
+            NumaSimError::RangeOverlap { addr } => {
+                write!(f, "range at {addr:#x} overlaps an existing allocation")
+            }
+            NumaSimError::EmptySocketSet => write!(f, "an empty socket set was supplied"),
+            NumaSimError::EmptyRange => write!(f, "a zero-sized range was supplied"),
+        }
+    }
+}
+
+impl std::error::Error for NumaSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = NumaSimError::InvalidSocket { socket: 7, sockets: 4 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('4'));
+
+        let e = NumaSimError::OutOfMemory { socket: 2, requested_pages: 10, available_pages: 3 };
+        let s = e.to_string();
+        assert!(s.contains("socket 2"));
+        assert!(s.contains("10"));
+        assert!(s.contains('3'));
+
+        let e = NumaSimError::UnknownRange { addr: 0x1000 };
+        assert!(e.to_string().contains("0x1000"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(NumaSimError::EmptyRange, NumaSimError::EmptyRange);
+        assert_ne!(NumaSimError::EmptyRange, NumaSimError::EmptySocketSet);
+    }
+}

@@ -1,0 +1,721 @@
+//! Page-granular virtual memory manager.
+//!
+//! The operating system organises physical memory into fixed-size pages
+//! (typically 4 KiB) and, on a NUMA machine, each page is backed by the DRAM
+//! of exactly one socket. A NUMA-aware application controls and tracks the
+//! physical location of its virtual memory using facilities such as
+//! first-touch allocation, interleaving and `move_pages` (Section 2 of the
+//! paper).
+//!
+//! [`MemoryManager`] models those facilities deterministically: it hands out
+//! virtual address ranges, records on which socket every page is backed, can
+//! move or interleave existing ranges, and enforces per-socket capacity. The
+//! data itself is *not* stored here — this is a placement ledger; the
+//! column-store keeps its own data in ordinary Rust memory and uses the
+//! manager (through a [`crate::machine::Machine`]) to describe where that data
+//! *would* live on the modelled machine.
+
+use std::collections::BTreeMap;
+
+use crate::error::{NumaSimError, Result};
+use crate::topology::{SocketId, Topology};
+
+/// Size of one page in bytes (4 KiB, like Linux's default page size).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A contiguous range of virtual addresses handed out by the memory manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VirtRange {
+    /// First byte of the range (always page-aligned for ranges returned by
+    /// [`MemoryManager::allocate`]).
+    pub base: u64,
+    /// Length of the range in bytes.
+    pub bytes: u64,
+}
+
+impl VirtRange {
+    /// Creates a new range.
+    pub fn new(base: u64, bytes: u64) -> Self {
+        VirtRange { base, bytes }
+    }
+
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes
+    }
+
+    /// Index of the first page covered by the range.
+    pub fn first_page(&self) -> u64 {
+        self.base / PAGE_SIZE
+    }
+
+    /// Index one past the last page covered by the range.
+    pub fn end_page(&self) -> u64 {
+        (self.end() + PAGE_SIZE - 1) / PAGE_SIZE
+    }
+
+    /// Number of pages covered (a partially covered page counts fully).
+    pub fn pages(&self) -> u64 {
+        if self.bytes == 0 {
+            0
+        } else {
+            self.end_page() - self.first_page()
+        }
+    }
+
+    /// Whether the range contains the given address.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// Splits the range into `n` byte sub-ranges of (almost) equal size.
+    /// The first `bytes % n` sub-ranges are one byte longer.
+    pub fn split_even(&self, n: usize) -> Vec<VirtRange> {
+        assert!(n > 0, "cannot split into zero parts");
+        let n64 = n as u64;
+        let base_len = self.bytes / n64;
+        let remainder = self.bytes % n64;
+        let mut out = Vec::with_capacity(n);
+        let mut cursor = self.base;
+        for i in 0..n64 {
+            let len = base_len + u64::from(i < remainder);
+            out.push(VirtRange::new(cursor, len));
+            cursor += len;
+        }
+        out
+    }
+
+    /// The sub-range covering bytes `[offset, offset + len)` of this range.
+    pub fn subrange(&self, offset: u64, len: u64) -> VirtRange {
+        assert!(offset + len <= self.bytes, "subrange out of bounds");
+        VirtRange::new(self.base + offset, len)
+    }
+}
+
+/// Physical backing of a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageLocation {
+    /// Virtual memory that has been reserved but not yet backed by physical
+    /// memory (no first touch yet).
+    Unbacked,
+    /// Backed by the DRAM of the given socket.
+    Socket(SocketId),
+}
+
+impl PageLocation {
+    /// The socket, if the page is backed.
+    pub fn socket(&self) -> Option<SocketId> {
+        match self {
+            PageLocation::Unbacked => None,
+            PageLocation::Socket(s) => Some(*s),
+        }
+    }
+}
+
+/// Placement policy for a new allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Back every page with memory of one socket (fails over to the least
+    /// loaded socket if that socket is exhausted, mirroring first-touch
+    /// behaviour under memory pressure).
+    OnSocket(SocketId),
+    /// Distribute pages round-robin over the given sockets.
+    Interleaved(Vec<SocketId>),
+    /// Reserve virtual memory without backing it; pages are backed lazily by
+    /// [`MemoryManager::touch`].
+    FirstTouch,
+}
+
+/// Placement of a run of pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Placement {
+    Unbacked,
+    Socket(SocketId),
+    /// Round-robin over `sockets`, anchored at absolute page index
+    /// `anchor_page` so that splitting a run does not change page locations.
+    Interleaved { sockets: Vec<SocketId>, anchor_page: u64 },
+}
+
+impl Placement {
+    fn location_of(&self, page: u64) -> PageLocation {
+        match self {
+            Placement::Unbacked => PageLocation::Unbacked,
+            Placement::Socket(s) => PageLocation::Socket(*s),
+            Placement::Interleaved { sockets, anchor_page } => {
+                let idx = (page - anchor_page) as usize % sockets.len();
+                PageLocation::Socket(sockets[idx])
+            }
+        }
+    }
+}
+
+/// A run of consecutively allocated pages sharing one placement rule.
+#[derive(Debug, Clone)]
+struct Segment {
+    base_page: u64,
+    pages: u64,
+    placement: Placement,
+}
+
+impl Segment {
+    fn end_page(&self) -> u64 {
+        self.base_page + self.pages
+    }
+}
+
+/// A run-length encoded answer to "where do these pages live?".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocationRun {
+    /// Absolute index of the first page of the run.
+    pub first_page: u64,
+    /// Number of consecutive pages sharing the location.
+    pub pages: u64,
+    /// Where those pages are backed.
+    pub location: PageLocation,
+}
+
+/// The virtual memory manager: a placement ledger for every allocation made on
+/// the modelled machine.
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    sockets: usize,
+    capacity_pages: u64,
+    used_pages: Vec<u64>,
+    segments: BTreeMap<u64, Segment>,
+    next_page: u64,
+    rr_cursor: usize,
+}
+
+impl MemoryManager {
+    /// Creates a memory manager for the given topology.
+    pub fn new(topology: &Topology) -> Self {
+        MemoryManager {
+            sockets: topology.socket_count(),
+            capacity_pages: topology.pages_per_socket(),
+            used_pages: vec![0; topology.socket_count()],
+            segments: BTreeMap::new(),
+            // Start away from address zero so null-ish addresses are invalid.
+            next_page: 16,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Number of sockets known to the manager.
+    pub fn socket_count(&self) -> usize {
+        self.sockets
+    }
+
+    /// Per-socket DRAM capacity in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    /// Pages currently backed on each socket.
+    pub fn used_pages(&self) -> &[u64] {
+        &self.used_pages
+    }
+
+    /// Bytes currently backed on each socket.
+    pub fn used_bytes(&self) -> Vec<u64> {
+        self.used_pages.iter().map(|p| p * PAGE_SIZE).collect()
+    }
+
+    /// Total bytes currently backed across all sockets.
+    pub fn total_used_bytes(&self) -> u64 {
+        self.used_pages.iter().sum::<u64>() * PAGE_SIZE
+    }
+
+    fn validate_socket(&self, s: SocketId) -> Result<()> {
+        if s.index() >= self.sockets {
+            Err(NumaSimError::InvalidSocket { socket: s.index(), sockets: self.sockets })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn validate_sockets(&self, sockets: &[SocketId]) -> Result<()> {
+        if sockets.is_empty() {
+            return Err(NumaSimError::EmptySocketSet);
+        }
+        for s in sockets {
+            self.validate_socket(*s)?;
+        }
+        Ok(())
+    }
+
+    fn free_pages_on(&self, socket: SocketId) -> u64 {
+        self.capacity_pages.saturating_sub(self.used_pages[socket.index()])
+    }
+
+    /// The socket with the most free pages (used as a first-touch fallback
+    /// when the requested socket is exhausted).
+    fn least_loaded_socket(&self) -> SocketId {
+        let idx = self
+            .used_pages
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, used)| **used)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        SocketId(idx as u16)
+    }
+
+    fn charge(&mut self, socket: SocketId, pages: u64) -> Result<()> {
+        if self.free_pages_on(socket) < pages {
+            return Err(NumaSimError::OutOfMemory {
+                socket: socket.index(),
+                requested_pages: pages,
+                available_pages: self.free_pages_on(socket),
+            });
+        }
+        self.used_pages[socket.index()] += pages;
+        Ok(())
+    }
+
+    fn refund(&mut self, socket: SocketId, pages: u64) {
+        let used = &mut self.used_pages[socket.index()];
+        *used = used.saturating_sub(pages);
+    }
+
+    /// Allocates `bytes` of virtual memory with the given placement policy and
+    /// returns its address range.
+    pub fn allocate(&mut self, bytes: u64, policy: AllocPolicy) -> Result<VirtRange> {
+        if bytes == 0 {
+            return Err(NumaSimError::EmptyRange);
+        }
+        let pages = (bytes + PAGE_SIZE - 1) / PAGE_SIZE;
+        let base_page = self.next_page;
+
+        let placement = match policy {
+            AllocPolicy::OnSocket(s) => {
+                self.validate_socket(s)?;
+                let target = if self.free_pages_on(s) >= pages { s } else { self.least_loaded_socket() };
+                self.charge(target, pages)?;
+                Placement::Socket(target)
+            }
+            AllocPolicy::Interleaved(sockets) => {
+                self.validate_sockets(&sockets)?;
+                // Charge pages round-robin, anchored at the base page.
+                for p in 0..pages {
+                    let s = sockets[(p % sockets.len() as u64) as usize];
+                    self.charge(s, 1)?;
+                }
+                Placement::Interleaved { sockets, anchor_page: base_page }
+            }
+            AllocPolicy::FirstTouch => Placement::Unbacked,
+        };
+
+        self.segments.insert(base_page, Segment { base_page, pages, placement });
+        self.next_page = base_page + pages;
+        Ok(VirtRange::new(base_page * PAGE_SIZE, bytes))
+    }
+
+    /// Allocates `bytes` round-robin *across allocations* (not pages): the
+    /// whole allocation lands on one socket and consecutive calls rotate the
+    /// socket. This is the building block of the paper's RR data placement.
+    pub fn allocate_round_robin(&mut self, bytes: u64) -> Result<(VirtRange, SocketId)> {
+        let socket = SocketId((self.rr_cursor % self.sockets) as u16);
+        self.rr_cursor += 1;
+        let range = self.allocate(bytes, AllocPolicy::OnSocket(socket))?;
+        // The allocation may have failed over to another socket under memory
+        // pressure; report where it really landed.
+        let actual = match self.page_location(range.base)? {
+            PageLocation::Socket(s) => s,
+            PageLocation::Unbacked => socket,
+        };
+        Ok((range, actual))
+    }
+
+    /// Backs any still-unbacked pages of `range` with memory of `socket`
+    /// (models the first page fault under the first-touch policy).
+    pub fn touch(&mut self, range: VirtRange, socket: SocketId) -> Result<()> {
+        self.validate_socket(socket)?;
+        self.apply_to_range(range, |mgr, seg| {
+            if seg.placement == Placement::Unbacked {
+                mgr.charge(socket, seg.pages)?;
+                seg.placement = Placement::Socket(socket);
+            }
+            Ok(())
+        })
+    }
+
+    /// Moves every page of `range` to `target`, like Linux's `move_pages`.
+    pub fn move_range(&mut self, range: VirtRange, target: SocketId) -> Result<()> {
+        self.validate_socket(target)?;
+        self.apply_to_range(range, |mgr, seg| {
+            // Refund the old location.
+            for p in seg.base_page..seg.end_page() {
+                if let PageLocation::Socket(s) = seg.placement.location_of(p) {
+                    mgr.refund(s, 1);
+                }
+            }
+            mgr.charge(target, seg.pages)?;
+            seg.placement = Placement::Socket(target);
+            Ok(())
+        })
+    }
+
+    /// Re-interleaves every page of `range` round-robin across `sockets`.
+    pub fn interleave_range(&mut self, range: VirtRange, sockets: &[SocketId]) -> Result<()> {
+        self.validate_sockets(sockets)?;
+        let sockets = sockets.to_vec();
+        self.apply_to_range(range, |mgr, seg| {
+            for p in seg.base_page..seg.end_page() {
+                if let PageLocation::Socket(s) = seg.placement.location_of(p) {
+                    mgr.refund(s, 1);
+                }
+            }
+            for p in 0..seg.pages {
+                let s = sockets[((seg.base_page + p) % sockets.len() as u64) as usize];
+                mgr.charge(s, 1)?;
+            }
+            seg.placement =
+                Placement::Interleaved { sockets: sockets.clone(), anchor_page: 0 };
+            Ok(())
+        })
+    }
+
+    /// Releases an allocation, refunding its pages.
+    pub fn free(&mut self, range: VirtRange) -> Result<()> {
+        self.apply_to_range(range, |mgr, seg| {
+            for p in seg.base_page..seg.end_page() {
+                if let PageLocation::Socket(s) = seg.placement.location_of(p) {
+                    mgr.refund(s, 1);
+                }
+            }
+            seg.placement = Placement::Unbacked;
+            Ok(())
+        })?;
+        // Remove unbacked segments fully contained in the range.
+        let first = range.first_page();
+        let end = range.end_page();
+        let keys: Vec<u64> = self
+            .segments
+            .range(..)
+            .filter(|(_, seg)| {
+                seg.base_page >= first && seg.end_page() <= end && seg.placement == Placement::Unbacked
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            self.segments.remove(&k);
+        }
+        Ok(())
+    }
+
+    /// Location of the page containing `addr`.
+    pub fn page_location(&self, addr: u64) -> Result<PageLocation> {
+        let page = addr / PAGE_SIZE;
+        let (_, seg) = self
+            .segments
+            .range(..=page)
+            .next_back()
+            .ok_or(NumaSimError::UnknownRange { addr })?;
+        if page >= seg.end_page() {
+            return Err(NumaSimError::UnknownRange { addr });
+        }
+        Ok(seg.placement.location_of(page))
+    }
+
+    /// Socket of the page containing `addr`, if it is backed.
+    pub fn socket_of(&self, addr: u64) -> Result<Option<SocketId>> {
+        Ok(self.page_location(addr)?.socket())
+    }
+
+    /// Run-length encoded locations of every page of `range`, in address
+    /// order. This is what the PSM uses when adding ranges ("calls
+    /// `move_pages` on Linux, not to move them but to find out their physical
+    /// location").
+    pub fn page_locations(&self, range: VirtRange) -> Result<Vec<LocationRun>> {
+        if range.bytes == 0 {
+            return Err(NumaSimError::EmptyRange);
+        }
+        let first = range.first_page();
+        let end = range.end_page();
+        let mut runs: Vec<LocationRun> = Vec::new();
+        let mut page = first;
+        while page < end {
+            let (_, seg) = self
+                .segments
+                .range(..=page)
+                .next_back()
+                .ok_or(NumaSimError::UnknownRange { addr: page * PAGE_SIZE })?;
+            if page >= seg.end_page() {
+                return Err(NumaSimError::UnknownRange { addr: page * PAGE_SIZE });
+            }
+            let seg_end = seg.end_page().min(end);
+            while page < seg_end {
+                let loc = seg.placement.location_of(page);
+                match runs.last_mut() {
+                    Some(run) if run.location == loc && run.first_page + run.pages == page => {
+                        run.pages += 1
+                    }
+                    _ => runs.push(LocationRun { first_page: page, pages: 1, location: loc }),
+                }
+                page += 1;
+            }
+        }
+        Ok(runs)
+    }
+
+    /// Number of backed pages of `range` on each socket.
+    pub fn pages_per_socket(&self, range: VirtRange) -> Result<Vec<u64>> {
+        let mut counts = vec![0u64; self.sockets];
+        for run in self.page_locations(range)? {
+            if let PageLocation::Socket(s) = run.location {
+                counts[s.index()] += run.pages;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Splits segments at the page boundaries of `range` and applies `f` to
+    /// every segment fully inside the range.
+    fn apply_to_range<F>(&mut self, range: VirtRange, mut f: F) -> Result<()>
+    where
+        F: FnMut(&mut Self, &mut Segment) -> Result<()>,
+    {
+        if range.bytes == 0 {
+            return Err(NumaSimError::EmptyRange);
+        }
+        let first = range.first_page();
+        let end = range.end_page();
+        self.split_at(first)?;
+        self.split_at(end)?;
+
+        let keys: Vec<u64> = self
+            .segments
+            .range(first..end)
+            .map(|(k, _)| *k)
+            .collect();
+        if keys.is_empty() {
+            return Err(NumaSimError::UnknownRange { addr: range.base });
+        }
+        // Verify the range is fully covered before mutating anything.
+        let mut cursor = first;
+        for k in &keys {
+            let seg = &self.segments[k];
+            if seg.base_page != cursor {
+                return Err(NumaSimError::UnknownRange { addr: cursor * PAGE_SIZE });
+            }
+            cursor = seg.end_page();
+        }
+        if cursor < end {
+            return Err(NumaSimError::UnknownRange { addr: cursor * PAGE_SIZE });
+        }
+
+        for k in keys {
+            let mut seg = self.segments.remove(&k).expect("segment disappeared");
+            let res = f(self, &mut seg);
+            self.segments.insert(k, seg);
+            res?;
+        }
+        Ok(())
+    }
+
+    /// Ensures `page` is a segment boundary (splitting the covering segment if
+    /// necessary). A page outside any segment is fine — the later coverage
+    /// check reports it.
+    fn split_at(&mut self, page: u64) -> Result<()> {
+        let covering = self
+            .segments
+            .range(..=page)
+            .next_back()
+            .map(|(k, seg)| (*k, seg.base_page, seg.end_page()));
+        if let Some((key, base, end)) = covering {
+            if page > base && page < end {
+                let seg = self.segments.remove(&key).expect("segment disappeared");
+                let left_pages = page - base;
+                let left = Segment {
+                    base_page: base,
+                    pages: left_pages,
+                    placement: seg.placement.clone(),
+                };
+                let right = Segment {
+                    base_page: page,
+                    pages: seg.pages - left_pages,
+                    placement: seg.placement,
+                };
+                self.segments.insert(left.base_page, left);
+                self.segments.insert(right.base_page, right);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> MemoryManager {
+        MemoryManager::new(&Topology::four_socket_ivybridge_ex())
+    }
+
+    #[test]
+    fn virt_range_page_math() {
+        let r = VirtRange::new(PAGE_SIZE, PAGE_SIZE * 3 + 1);
+        assert_eq!(r.first_page(), 1);
+        assert_eq!(r.pages(), 4);
+        assert!(r.contains(PAGE_SIZE));
+        assert!(!r.contains(PAGE_SIZE * 5));
+    }
+
+    #[test]
+    fn split_even_covers_whole_range() {
+        let r = VirtRange::new(1000, 10_001);
+        let parts = r.split_even(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(|p| p.bytes).sum::<u64>(), r.bytes);
+        assert_eq!(parts[0].base, r.base);
+        assert_eq!(parts.last().unwrap().end(), r.end());
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end(), w[1].base);
+        }
+    }
+
+    #[test]
+    fn allocate_on_socket_backs_all_pages_there() {
+        let mut m = mgr();
+        let r = m.allocate(10 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(2))).unwrap();
+        let runs = m.page_locations(r).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].location, PageLocation::Socket(SocketId(2)));
+        assert_eq!(runs[0].pages, 10);
+        assert_eq!(m.used_pages()[2], 10);
+    }
+
+    #[test]
+    fn allocate_interleaved_round_robins_pages() {
+        let mut m = mgr();
+        let sockets: Vec<SocketId> = (0..4).map(SocketId).collect();
+        let r = m.allocate(8 * PAGE_SIZE, AllocPolicy::Interleaved(sockets)).unwrap();
+        let per_socket = m.pages_per_socket(r).unwrap();
+        assert_eq!(per_socket, vec![2, 2, 2, 2]);
+        // Consecutive pages alternate sockets.
+        let runs = m.page_locations(r).unwrap();
+        assert_eq!(runs.len(), 8);
+    }
+
+    #[test]
+    fn first_touch_allocation_is_unbacked_until_touched() {
+        let mut m = mgr();
+        let r = m.allocate(4 * PAGE_SIZE, AllocPolicy::FirstTouch).unwrap();
+        assert_eq!(m.page_location(r.base).unwrap(), PageLocation::Unbacked);
+        assert_eq!(m.total_used_bytes(), 0);
+        m.touch(r, SocketId(1)).unwrap();
+        assert_eq!(m.page_location(r.base).unwrap(), PageLocation::Socket(SocketId(1)));
+        assert_eq!(m.used_pages()[1], 4);
+    }
+
+    #[test]
+    fn move_range_relocates_pages_and_accounting() {
+        let mut m = mgr();
+        let r = m.allocate(6 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        m.move_range(r, SocketId(3)).unwrap();
+        assert_eq!(m.used_pages()[0], 0);
+        assert_eq!(m.used_pages()[3], 6);
+        assert_eq!(m.page_location(r.base).unwrap(), PageLocation::Socket(SocketId(3)));
+    }
+
+    #[test]
+    fn move_subrange_splits_segment() {
+        let mut m = mgr();
+        let r = m.allocate(10 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        // Move pages 3..7 to socket 1.
+        let sub = VirtRange::new(r.base + 3 * PAGE_SIZE, 4 * PAGE_SIZE);
+        m.move_range(sub, SocketId(1)).unwrap();
+        let runs = m.page_locations(r).unwrap();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0].pages, 3);
+        assert_eq!(runs[0].location, PageLocation::Socket(SocketId(0)));
+        assert_eq!(runs[1].pages, 4);
+        assert_eq!(runs[1].location, PageLocation::Socket(SocketId(1)));
+        assert_eq!(runs[2].pages, 3);
+        assert_eq!(runs[2].location, PageLocation::Socket(SocketId(0)));
+        assert_eq!(m.used_pages()[0], 6);
+        assert_eq!(m.used_pages()[1], 4);
+    }
+
+    #[test]
+    fn interleave_range_redistributes_evenly() {
+        let mut m = mgr();
+        let r = m.allocate(16 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        let sockets: Vec<SocketId> = (0..4).map(SocketId).collect();
+        m.interleave_range(r, &sockets).unwrap();
+        let per = m.pages_per_socket(r).unwrap();
+        assert_eq!(per.iter().sum::<u64>(), 16);
+        for count in per {
+            assert_eq!(count, 4);
+        }
+    }
+
+    #[test]
+    fn free_refunds_pages() {
+        let mut m = mgr();
+        let r = m.allocate(5 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(1))).unwrap();
+        assert_eq!(m.used_pages()[1], 5);
+        m.free(r).unwrap();
+        assert_eq!(m.used_pages()[1], 0);
+    }
+
+    #[test]
+    fn round_robin_allocations_rotate_sockets() {
+        let mut m = mgr();
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            let (_, s) = m.allocate_round_robin(PAGE_SIZE).unwrap();
+            seen.push(s.index());
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_addresses_are_rejected() {
+        let m = mgr();
+        assert!(matches!(
+            m.page_location(0xdead_beef),
+            Err(NumaSimError::UnknownRange { .. })
+        ));
+    }
+
+    #[test]
+    fn allocation_fails_over_when_socket_full() {
+        let topo = Topology::custom_uniform(
+            2,
+            crate::topology::SocketSpec {
+                cores: 1,
+                threads_per_core: 1,
+                local_bandwidth_gibs: 10.0,
+                memory_gib: 4.0 * PAGE_SIZE as f64 / (1u64 << 30) as f64, // 4 pages
+                per_context_stream_gibs: 5.0,
+                context_ops_per_sec: 1e9,
+                memory_level_parallelism: 4.0,
+                frequency_ghz: 2.0,
+            },
+            crate::topology::HopProfile {
+                local_latency_ns: 100.0,
+                one_hop_latency_ns: 200.0,
+                max_hop_latency_ns: 200.0,
+                one_hop_bandwidth_gibs: 5.0,
+                max_hop_bandwidth_gibs: 5.0,
+            },
+        );
+        let mut m = MemoryManager::new(&topo);
+        assert_eq!(m.capacity_pages(), 4);
+        // Fill socket 0.
+        m.allocate(4 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        // Next allocation targeted at socket 0 falls over to socket 1.
+        let r = m.allocate(2 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        assert_eq!(m.page_location(r.base).unwrap(), PageLocation::Socket(SocketId(1)));
+        // When everything is full we finally get an error.
+        m.allocate(2 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(1))).unwrap();
+        assert!(m.allocate(2 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(1))).is_err());
+    }
+
+    #[test]
+    fn zero_byte_allocation_is_an_error() {
+        let mut m = mgr();
+        assert_eq!(m.allocate(0, AllocPolicy::FirstTouch), Err(NumaSimError::EmptyRange));
+    }
+}

@@ -1,0 +1,25 @@
+//! # numascan-psm
+//!
+//! The **Page Socket Mapping** (PSM) of Section 4.3 of the paper: a compact
+//! piece of metadata attached to each component of a column (index vector,
+//! dictionary, inverted index) that summarises on which NUMA socket every page
+//! of the component's virtual address range is physically allocated.
+//!
+//! Task creators consult the PSM when scheduling scans: they look up where a
+//! task's data lives and give the task an affinity for that socket.
+//!
+//! A PSM keeps an internal vector of ranges sorted by base page. Each range is
+//! either wholly on one socket or interleaved over a recurring socket pattern,
+//! which is detected automatically when ranges are added. A per-socket summary
+//! vector of page counts is maintained alongside. The PSM can also *change*
+//! placement: moving or interleaving a range delegates to the memory manager
+//! (the `move_pages` equivalent) and updates the metadata.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod psm;
+mod range;
+
+pub use psm::Psm;
+pub use range::{PsmRange, RangeKind};

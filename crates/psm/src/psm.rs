@@ -1,0 +1,592 @@
+//! The Page Socket Mapping itself.
+
+use numascan_numasim::memman::{LocationRun, MemoryManager, PageLocation, VirtRange, PAGE_SIZE};
+use numascan_numasim::{Result, SocketId};
+
+use crate::range::{PsmRange, RangeKind};
+
+/// Metadata size of one stored range in bits (64-bit first page address,
+/// 32-bit page count, 8-bit socket, 256-bit interleaving pattern).
+const BITS_PER_RANGE: u64 = 360;
+/// Metadata size of the summary vector in bits (256 sockets x 32 bits).
+const SUMMARY_BITS: u64 = 256 * 32;
+
+/// A Page Socket Mapping: a sorted vector of placement ranges plus a
+/// per-socket page-count summary (Section 4.3, Figure 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Psm {
+    sockets: usize,
+    /// Ranges sorted by `first_page`, non-overlapping.
+    ranges: Vec<PsmRange>,
+    /// Pages per socket.
+    summary: Vec<u64>,
+}
+
+impl Psm {
+    /// Creates an empty PSM for a machine with `sockets` sockets.
+    pub fn new(sockets: usize) -> Self {
+        Psm { sockets, ranges: Vec::new(), summary: vec![0; sockets] }
+    }
+
+    /// Creates a PSM and immediately adds one virtual address range, querying
+    /// the memory manager for the physical location of its pages.
+    pub fn from_memory(mem: &MemoryManager, range: VirtRange) -> Result<Self> {
+        let mut psm = Psm::new(mem.socket_count());
+        psm.add_range(mem, range)?;
+        Ok(psm)
+    }
+
+    /// Number of sockets of the machine this PSM describes.
+    pub fn socket_count(&self) -> usize {
+        self.sockets
+    }
+
+    /// The stored ranges, sorted by first page.
+    pub fn ranges(&self) -> &[PsmRange] {
+        &self.ranges
+    }
+
+    /// Number of stored ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Pages tracked on each socket (the summary vector).
+    pub fn pages_per_socket(&self) -> &[u64] {
+        &self.summary
+    }
+
+    /// Total tracked pages.
+    pub fn total_pages(&self) -> u64 {
+        self.summary.iter().sum()
+    }
+
+    /// Total tracked bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_pages() * PAGE_SIZE
+    }
+
+    /// Metadata size in bits, using the accounting of Section 4.3:
+    /// `360 * ranges + 8192`.
+    pub fn size_bits(&self) -> u64 {
+        BITS_PER_RANGE * self.ranges.len() as u64 + SUMMARY_BITS
+    }
+
+    /// Socket backing the page that contains `addr`, if tracked.
+    pub fn socket_of(&self, addr: u64) -> Option<SocketId> {
+        self.socket_of_page(addr / PAGE_SIZE)
+    }
+
+    /// Socket backing an absolute page index, if tracked.
+    pub fn socket_of_page(&self, page: u64) -> Option<SocketId> {
+        let idx = self.ranges.partition_point(|r| r.first_page <= page);
+        if idx == 0 {
+            return None;
+        }
+        let r = &self.ranges[idx - 1];
+        if page < r.end_page() {
+            Some(r.socket_of_page(page))
+        } else {
+            None
+        }
+    }
+
+    /// The socket holding the majority of the tracked pages, if any pages are
+    /// tracked.
+    pub fn majority_socket(&self) -> Option<SocketId> {
+        if self.total_pages() == 0 {
+            return None;
+        }
+        self.summary
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, pages)| **pages)
+            .map(|(i, _)| SocketId(i as u16))
+    }
+
+    /// Pages per socket for the part of the mapping covered by `range`.
+    pub fn pages_per_socket_in(&self, range: VirtRange) -> Vec<u64> {
+        let first = range.first_page();
+        let end = range.end_page();
+        let mut out = vec![0u64; self.sockets];
+        for r in &self.ranges {
+            let lo = r.first_page.max(first);
+            let hi = r.end_page().min(end);
+            for page in lo..hi {
+                out[r.socket_of_page(page).index()] += 1;
+            }
+        }
+        out
+    }
+
+    /// The socket holding the majority of the pages of `range`, if tracked.
+    pub fn majority_socket_in(&self, range: VirtRange) -> Option<SocketId> {
+        let per = self.pages_per_socket_in(range);
+        let (idx, pages) = per.iter().enumerate().max_by_key(|(_, p)| **p)?;
+        if *pages == 0 {
+            None
+        } else {
+            Some(SocketId(idx as u16))
+        }
+    }
+
+    /// All sockets that back at least one tracked page.
+    pub fn participating_sockets(&self) -> Vec<SocketId> {
+        self.summary
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p > 0)
+            .map(|(i, _)| SocketId(i as u16))
+            .collect()
+    }
+
+    /// Adds the pages of `range` to the mapping. Pages already tracked are
+    /// skipped; unbacked (never touched) pages are ignored. The physical
+    /// location of new pages is queried from the memory manager, contiguous
+    /// pages on the same socket are collapsed into one range, and recurring
+    /// interleaving patterns are detected.
+    pub fn add_range(&mut self, mem: &MemoryManager, range: VirtRange) -> Result<()> {
+        for (first, pages) in self.untracked_intervals(range.first_page(), range.end_page()) {
+            let sub = VirtRange::new(first * PAGE_SIZE, pages * PAGE_SIZE);
+            let runs = mem.page_locations(sub)?;
+            let new_ranges = detect_ranges(&runs);
+            for r in new_ranges {
+                self.insert(r);
+            }
+        }
+        self.normalize();
+        Ok(())
+    }
+
+    /// Removes all tracked pages inside `range` from the mapping.
+    pub fn remove_range(&mut self, range: VirtRange) {
+        self.remove_pages(range.first_page(), range.end_page());
+        self.normalize();
+    }
+
+    /// Adds every range of another PSM into this one (pages already tracked
+    /// are kept as-is).
+    pub fn merge(&mut self, other: &Psm) {
+        assert_eq!(self.sockets, other.sockets, "PSMs describe different machines");
+        let others: Vec<PsmRange> = other.ranges.clone();
+        for r in others {
+            // Only the untracked sub-intervals are inserted.
+            for (first, pages) in self.untracked_intervals(r.first_page, r.end_page()) {
+                let piece = slice_range(&r, first, pages);
+                self.insert(piece);
+            }
+        }
+        self.normalize();
+    }
+
+    /// Removes every page tracked by another PSM from this one.
+    pub fn subtract(&mut self, other: &Psm) {
+        for r in &other.ranges {
+            self.remove_pages(r.first_page, r.end_page());
+        }
+        self.normalize();
+    }
+
+    /// A new PSM containing only the metadata for `range`.
+    pub fn subset(&self, range: VirtRange) -> Psm {
+        let first = range.first_page();
+        let end = range.end_page();
+        let mut out = Psm::new(self.sockets);
+        for r in &self.ranges {
+            let lo = r.first_page.max(first);
+            let hi = r.end_page().min(end);
+            if lo < hi {
+                out.insert(slice_range(r, lo, hi - lo));
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Moves the pages of `range` to `target` (delegating to the memory
+    /// manager's `move_pages` equivalent) and updates the metadata.
+    pub fn move_range(
+        &mut self,
+        mem: &mut MemoryManager,
+        range: VirtRange,
+        target: SocketId,
+    ) -> Result<()> {
+        mem.move_range(range, target)?;
+        self.remove_range(range);
+        self.add_range(mem, range)
+    }
+
+    /// Interleaves the pages of `range` across `sockets` and updates the
+    /// metadata.
+    pub fn interleave_range(
+        &mut self,
+        mem: &mut MemoryManager,
+        range: VirtRange,
+        sockets: &[SocketId],
+    ) -> Result<()> {
+        mem.interleave_range(range, sockets)?;
+        self.remove_range(range);
+        self.add_range(mem, range)
+    }
+
+    /// Page intervals inside `[first, end)` that are not yet tracked,
+    /// as `(first_page, pages)` pairs.
+    fn untracked_intervals(&self, first: u64, end: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cursor = first;
+        for r in &self.ranges {
+            if r.end_page() <= cursor {
+                continue;
+            }
+            if r.first_page >= end {
+                break;
+            }
+            if r.first_page > cursor {
+                out.push((cursor, r.first_page.min(end) - cursor));
+            }
+            cursor = cursor.max(r.end_page());
+            if cursor >= end {
+                break;
+            }
+        }
+        if cursor < end {
+            out.push((cursor, end - cursor));
+        }
+        out
+    }
+
+    /// Removes pages `[first, end)` from the mapping, splitting ranges as
+    /// needed.
+    fn remove_pages(&mut self, first: u64, end: u64) {
+        let mut result = Vec::with_capacity(self.ranges.len());
+        for r in std::mem::take(&mut self.ranges) {
+            if r.end_page() <= first || r.first_page >= end {
+                result.push(r);
+                continue;
+            }
+            // Left remainder.
+            if r.first_page < first {
+                let (left, rest) = r.split_at(first);
+                result.push(left);
+                if rest.end_page() > end {
+                    let (_, right) = rest.split_at(end);
+                    result.push(right);
+                }
+            } else if r.end_page() > end {
+                let (_, right) = r.split_at(end);
+                result.push(right);
+            }
+            // Fully covered ranges are dropped.
+        }
+        self.ranges = result;
+    }
+
+    fn insert(&mut self, range: PsmRange) {
+        self.ranges.push(range);
+    }
+
+    /// Re-sorts, merges adjacent compatible ranges and recomputes the summary.
+    fn normalize(&mut self) {
+        self.ranges.sort_by_key(|r| r.first_page);
+        let mut merged: Vec<PsmRange> = Vec::with_capacity(self.ranges.len());
+        for r in std::mem::take(&mut self.ranges) {
+            if r.pages == 0 {
+                continue;
+            }
+            match merged.last_mut() {
+                Some(prev) if prev.can_merge_with(&r) => prev.pages += r.pages,
+                _ => merged.push(r),
+            }
+        }
+        self.ranges = merged;
+        let mut summary = vec![0u64; self.sockets];
+        for r in &self.ranges {
+            for (i, pages) in r.pages_per_socket(self.sockets).into_iter().enumerate() {
+                summary[i] += pages;
+            }
+        }
+        self.summary = summary;
+    }
+}
+
+/// A sub-slice `[first, first + pages)` of an existing range, preserving page
+/// locations.
+fn slice_range(r: &PsmRange, first: u64, pages: u64) -> PsmRange {
+    debug_assert!(first >= r.first_page && first + pages <= r.end_page());
+    let kind = match &r.kind {
+        RangeKind::Socket(s) => RangeKind::Socket(*s),
+        RangeKind::Interleaved { pattern } => {
+            let shift = ((first - r.first_page) % pattern.len() as u64) as usize;
+            let mut rotated = pattern.clone();
+            rotated.rotate_left(shift);
+            RangeKind::Interleaved { pattern: rotated }
+        }
+    };
+    PsmRange { first_page: first, pages, kind }
+}
+
+/// Converts the memory manager's per-page location runs into PSM ranges,
+/// collapsing same-socket runs and detecting recurring interleaving patterns
+/// among stretches of single-page runs.
+fn detect_ranges(runs: &[LocationRun]) -> Vec<PsmRange> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < runs.len() {
+        let run = &runs[i];
+        let socket = match run.location {
+            PageLocation::Unbacked => {
+                i += 1;
+                continue;
+            }
+            PageLocation::Socket(s) => s,
+        };
+        if run.pages > 1 {
+            out.push(PsmRange {
+                first_page: run.first_page,
+                pages: run.pages,
+                kind: RangeKind::Socket(socket),
+            });
+            i += 1;
+            continue;
+        }
+        // A stretch of single-page runs: gather the consecutive sockets.
+        let mut stretch: Vec<(u64, SocketId)> = Vec::new();
+        let mut j = i;
+        while j < runs.len() && runs[j].pages == 1 {
+            match runs[j].location {
+                PageLocation::Socket(s) => {
+                    // Stretch must be contiguous in pages.
+                    if let Some(&(last_page, _)) = stretch.last() {
+                        if runs[j].first_page != last_page + 1 {
+                            break;
+                        }
+                    }
+                    stretch.push((runs[j].first_page, s));
+                }
+                PageLocation::Unbacked => break,
+            }
+            j += 1;
+        }
+        if let Some(pattern_len) = detect_period(&stretch) {
+            let pattern: Vec<SocketId> =
+                stretch.iter().take(pattern_len).map(|(_, s)| *s).collect();
+            out.push(PsmRange {
+                first_page: stretch[0].0,
+                pages: stretch.len() as u64,
+                kind: RangeKind::Interleaved { pattern },
+            });
+        } else {
+            for (page, s) in &stretch {
+                out.push(PsmRange { first_page: *page, pages: 1, kind: RangeKind::Socket(*s) });
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+/// Finds the smallest recurring period (>= 2) of the socket sequence, if the
+/// sequence is at least two full periods long.
+fn detect_period(stretch: &[(u64, SocketId)]) -> Option<usize> {
+    if stretch.len() < 4 {
+        return None;
+    }
+    let sockets: Vec<SocketId> = stretch.iter().map(|(_, s)| *s).collect();
+    for period in 2..=sockets.len() / 2 {
+        if sockets.iter().enumerate().all(|(i, s)| *s == sockets[i % period]) {
+            // A constant pattern is not interleaving.
+            if sockets[..period].windows(2).any(|w| w[0] != w[1]) || period == 1 {
+                return Some(period);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numascan_numasim::memman::AllocPolicy;
+    use numascan_numasim::Topology;
+
+    fn mem() -> MemoryManager {
+        MemoryManager::new(&Topology::four_socket_ivybridge_ex())
+    }
+
+    fn all_sockets() -> Vec<SocketId> {
+        (0..4).map(SocketId).collect()
+    }
+
+    #[test]
+    fn single_socket_allocation_yields_one_range() {
+        let mut m = mem();
+        let r = m.allocate(100 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(2))).unwrap();
+        let psm = Psm::from_memory(&m, r).unwrap();
+        assert_eq!(psm.range_count(), 1);
+        assert_eq!(psm.pages_per_socket(), &[0, 0, 100, 0]);
+        assert_eq!(psm.majority_socket(), Some(SocketId(2)));
+        assert_eq!(psm.socket_of(r.base), Some(SocketId(2)));
+        assert_eq!(psm.socket_of(r.base + 50 * PAGE_SIZE), Some(SocketId(2)));
+    }
+
+    #[test]
+    fn interleaved_allocation_is_detected_as_one_pattern_range() {
+        let mut m = mem();
+        let r = m.allocate(64 * PAGE_SIZE, AllocPolicy::Interleaved(all_sockets())).unwrap();
+        let psm = Psm::from_memory(&m, r).unwrap();
+        assert_eq!(
+            psm.range_count(),
+            1,
+            "a regular interleaving must collapse into a single range: {:?}",
+            psm.ranges()
+        );
+        match &psm.ranges()[0].kind {
+            RangeKind::Interleaved { pattern } => assert_eq!(pattern.len(), 4),
+            other => panic!("expected an interleaved range, got {other:?}"),
+        }
+        assert_eq!(psm.pages_per_socket(), &[16, 16, 16, 16]);
+        // Every page's socket must agree with the memory manager.
+        for page in 0..64u64 {
+            let addr = r.base + page * PAGE_SIZE;
+            assert_eq!(psm.socket_of(addr), m.socket_of(addr).unwrap());
+        }
+    }
+
+    #[test]
+    fn paper_example_ivp_plus_interleaved_dictionary() {
+        // Figure 5: an IV partitioned across sockets S1 and S2 plus an
+        // interleaved dictionary, tracked in one PSM.
+        let mut m = mem();
+        let iv = m.allocate(4 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        m.move_range(VirtRange::new(iv.base + 2 * PAGE_SIZE, 2 * PAGE_SIZE), SocketId(1)).unwrap();
+        let dict = m.allocate(3 * PAGE_SIZE, AllocPolicy::Interleaved(all_sockets())).unwrap();
+
+        let mut psm = Psm::new(4);
+        psm.add_range(&m, iv).unwrap();
+        psm.add_range(&m, dict).unwrap();
+        // IV: 2 ranges (S1 part, S2 part); dictionary: 1 short stretch that is
+        // too small to prove a period, so up to 3 single-page ranges.
+        assert!(psm.range_count() >= 3);
+        assert_eq!(psm.total_pages(), 7);
+        assert_eq!(psm.socket_of(iv.base), Some(SocketId(0)));
+        assert_eq!(psm.socket_of(iv.base + 3 * PAGE_SIZE), Some(SocketId(1)));
+    }
+
+    #[test]
+    fn adding_overlapping_ranges_does_not_double_count() {
+        let mut m = mem();
+        let r = m.allocate(20 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(1))).unwrap();
+        let mut psm = Psm::new(4);
+        psm.add_range(&m, r).unwrap();
+        psm.add_range(&m, r).unwrap();
+        psm.add_range(&m, VirtRange::new(r.base + 5 * PAGE_SIZE, 5 * PAGE_SIZE)).unwrap();
+        assert_eq!(psm.total_pages(), 20);
+        assert_eq!(psm.range_count(), 1);
+    }
+
+    #[test]
+    fn unbacked_pages_are_ignored() {
+        let mut m = mem();
+        let r = m.allocate(10 * PAGE_SIZE, AllocPolicy::FirstTouch).unwrap();
+        m.touch(VirtRange::new(r.base, 4 * PAGE_SIZE), SocketId(3)).unwrap();
+        let psm = Psm::from_memory(&m, r).unwrap();
+        assert_eq!(psm.total_pages(), 4);
+        assert_eq!(psm.majority_socket(), Some(SocketId(3)));
+        assert_eq!(psm.socket_of(r.base + 9 * PAGE_SIZE), None);
+    }
+
+    #[test]
+    fn remove_range_splits_and_updates_summary() {
+        let mut m = mem();
+        let r = m.allocate(10 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        let mut psm = Psm::from_memory(&m, r).unwrap();
+        psm.remove_range(VirtRange::new(r.base + 3 * PAGE_SIZE, 4 * PAGE_SIZE));
+        assert_eq!(psm.total_pages(), 6);
+        assert_eq!(psm.range_count(), 2);
+        assert_eq!(psm.socket_of(r.base + 4 * PAGE_SIZE), None);
+        assert_eq!(psm.socket_of(r.base + 8 * PAGE_SIZE), Some(SocketId(0)));
+    }
+
+    #[test]
+    fn subset_extracts_only_the_requested_window() {
+        let mut m = mem();
+        let r = m.allocate(16 * PAGE_SIZE, AllocPolicy::Interleaved(all_sockets())).unwrap();
+        let psm = Psm::from_memory(&m, r).unwrap();
+        let window = VirtRange::new(r.base + 4 * PAGE_SIZE, 4 * PAGE_SIZE);
+        let sub = psm.subset(window);
+        assert_eq!(sub.total_pages(), 4);
+        for page in 0..4u64 {
+            let addr = window.base + page * PAGE_SIZE;
+            assert_eq!(sub.socket_of(addr), psm.socket_of(addr));
+        }
+    }
+
+    #[test]
+    fn merge_and_subtract_are_inverses_for_disjoint_psms() {
+        let mut m = mem();
+        let a = m.allocate(8 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        let b = m.allocate(8 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(1))).unwrap();
+        let psm_a = Psm::from_memory(&m, a).unwrap();
+        let psm_b = Psm::from_memory(&m, b).unwrap();
+        let mut merged = psm_a.clone();
+        merged.merge(&psm_b);
+        assert_eq!(merged.total_pages(), 16);
+        assert_eq!(merged.pages_per_socket(), &[8, 8, 0, 0]);
+        merged.subtract(&psm_b);
+        assert_eq!(merged, psm_a);
+    }
+
+    #[test]
+    fn move_range_updates_both_ledger_and_metadata() {
+        let mut m = mem();
+        let r = m.allocate(12 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        let mut psm = Psm::from_memory(&m, r).unwrap();
+        psm.move_range(&mut m, r, SocketId(2)).unwrap();
+        assert_eq!(psm.majority_socket(), Some(SocketId(2)));
+        assert_eq!(m.socket_of(r.base).unwrap(), Some(SocketId(2)));
+        assert_eq!(psm.pages_per_socket(), &[0, 0, 12, 0]);
+    }
+
+    #[test]
+    fn interleave_range_updates_metadata() {
+        let mut m = mem();
+        let r = m.allocate(12 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        let mut psm = Psm::from_memory(&m, r).unwrap();
+        psm.interleave_range(&mut m, r, &all_sockets()).unwrap();
+        assert_eq!(psm.pages_per_socket(), &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn size_accounting_matches_the_paper() {
+        // Section 4.3: a column placed wholly on one socket keeps r = 1 for
+        // the IV and dictionary and r = 2 for the IX, 26016 bits in total for
+        // the three PSMs.
+        let mut m = mem();
+        let iv = m.allocate(100 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        let psm = Psm::from_memory(&m, iv).unwrap();
+        assert_eq!(psm.size_bits(), 360 + 8192);
+        let psm_iv = psm.size_bits();
+        let psm_dict = psm.size_bits();
+        let two_range_psm = 2 * 360 + 8192;
+        assert_eq!(psm_iv + psm_dict + two_range_psm, 26016);
+    }
+
+    #[test]
+    fn pages_per_socket_in_window() {
+        let mut m = mem();
+        let r = m.allocate(8 * PAGE_SIZE, AllocPolicy::Interleaved(all_sockets())).unwrap();
+        let psm = Psm::from_memory(&m, r).unwrap();
+        let window = VirtRange::new(r.base, 4 * PAGE_SIZE);
+        let per = psm.pages_per_socket_in(window);
+        assert_eq!(per.iter().sum::<u64>(), 4);
+        assert!(psm.majority_socket_in(window).is_some());
+    }
+
+    #[test]
+    fn empty_psm_has_no_majority() {
+        let psm = Psm::new(4);
+        assert_eq!(psm.majority_socket(), None);
+        assert_eq!(psm.total_pages(), 0);
+        assert_eq!(psm.socket_of(0), None);
+    }
+}

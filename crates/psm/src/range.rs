@@ -1,0 +1,207 @@
+//! Ranges stored inside a PSM.
+
+use numascan_numasim::SocketId;
+
+/// Placement of one stored range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeKind {
+    /// Every page of the range is on one socket.
+    Socket(SocketId),
+    /// Pages cycle through `pattern`: page `first_page + i` is on
+    /// `pattern[i % pattern.len()]`.
+    Interleaved {
+        /// The recurring socket pattern, starting at the range's first page.
+        pattern: Vec<SocketId>,
+    },
+}
+
+/// One entry of the PSM's internal vector of ranges.
+///
+/// The paper sizes each entry at 64 bits for the first page address, 32 bits
+/// for the number of pages, 8 bits for the socket and 256 bits for the
+/// interleaving pattern — 360 bits in total; [`crate::Psm::size_bits`] uses
+/// that accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PsmRange {
+    /// Absolute index of the first page.
+    pub first_page: u64,
+    /// Number of consecutive pages.
+    pub pages: u64,
+    /// Placement of those pages.
+    pub kind: RangeKind,
+}
+
+impl PsmRange {
+    /// One past the last page of the range.
+    pub fn end_page(&self) -> u64 {
+        self.first_page + self.pages
+    }
+
+    /// Socket of an absolute page index inside this range.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the page is outside the range.
+    pub fn socket_of_page(&self, page: u64) -> SocketId {
+        debug_assert!(page >= self.first_page && page < self.end_page());
+        match &self.kind {
+            RangeKind::Socket(s) => *s,
+            RangeKind::Interleaved { pattern } => {
+                pattern[((page - self.first_page) % pattern.len() as u64) as usize]
+            }
+        }
+    }
+
+    /// Splits the range at an absolute page index, returning `(left, right)`.
+    /// For interleaved ranges the right half's pattern is rotated so page
+    /// locations are preserved.
+    ///
+    /// # Panics
+    /// Panics if the split point is not strictly inside the range.
+    pub fn split_at(&self, page: u64) -> (PsmRange, PsmRange) {
+        assert!(
+            page > self.first_page && page < self.end_page(),
+            "split point {page} must be strictly inside [{}, {})",
+            self.first_page,
+            self.end_page()
+        );
+        let left_pages = page - self.first_page;
+        let left = PsmRange { first_page: self.first_page, pages: left_pages, kind: self.kind.clone() };
+        let right_kind = match &self.kind {
+            RangeKind::Socket(s) => RangeKind::Socket(*s),
+            RangeKind::Interleaved { pattern } => {
+                let shift = (left_pages % pattern.len() as u64) as usize;
+                let mut rotated = pattern.clone();
+                rotated.rotate_left(shift);
+                RangeKind::Interleaved { pattern: rotated }
+            }
+        };
+        let right = PsmRange { first_page: page, pages: self.pages - left_pages, kind: right_kind };
+        (left, right)
+    }
+
+    /// Number of pages of this range on each socket (vector indexed by
+    /// socket), given the machine has `sockets` sockets.
+    pub fn pages_per_socket(&self, sockets: usize) -> Vec<u64> {
+        let mut out = vec![0u64; sockets];
+        match &self.kind {
+            RangeKind::Socket(s) => out[s.index()] += self.pages,
+            RangeKind::Interleaved { pattern } => {
+                let plen = pattern.len() as u64;
+                let full_cycles = self.pages / plen;
+                let remainder = self.pages % plen;
+                for (i, s) in pattern.iter().enumerate() {
+                    out[s.index()] += full_cycles + u64::from((i as u64) < remainder);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `other` directly follows this range and has a compatible
+    /// placement, so the two can be merged into one entry.
+    pub fn can_merge_with(&self, other: &PsmRange) -> bool {
+        if self.end_page() != other.first_page {
+            return false;
+        }
+        match (&self.kind, &other.kind) {
+            (RangeKind::Socket(a), RangeKind::Socket(b)) => a == b,
+            (RangeKind::Interleaved { pattern: a }, RangeKind::Interleaved { pattern: b }) => {
+                // Compatible when continuing this range's cycle lands exactly
+                // on the other range's pattern.
+                if a.len() != b.len() {
+                    return false;
+                }
+                let shift = (self.pages % a.len() as u64) as usize;
+                let mut rotated = a.clone();
+                rotated.rotate_left(shift);
+                rotated == *b
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u16) -> SocketId {
+        SocketId(i)
+    }
+
+    #[test]
+    fn socket_range_reports_constant_socket() {
+        let r = PsmRange { first_page: 10, pages: 5, kind: RangeKind::Socket(s(2)) };
+        for p in 10..15 {
+            assert_eq!(r.socket_of_page(p), s(2));
+        }
+        assert_eq!(r.pages_per_socket(4), vec![0, 0, 5, 0]);
+    }
+
+    #[test]
+    fn interleaved_range_cycles_through_pattern() {
+        let r = PsmRange {
+            first_page: 100,
+            pages: 7,
+            kind: RangeKind::Interleaved { pattern: vec![s(0), s(1), s(2)] },
+        };
+        let expected = [0u16, 1, 2, 0, 1, 2, 0];
+        for (i, exp) in expected.iter().enumerate() {
+            assert_eq!(r.socket_of_page(100 + i as u64), s(*exp));
+        }
+        assert_eq!(r.pages_per_socket(4), vec![3, 2, 2, 0]);
+    }
+
+    #[test]
+    fn split_preserves_page_locations() {
+        let r = PsmRange {
+            first_page: 0,
+            pages: 10,
+            kind: RangeKind::Interleaved { pattern: vec![s(0), s(1), s(2), s(3)] },
+        };
+        let before: Vec<SocketId> = (0..10).map(|p| r.socket_of_page(p)).collect();
+        let (left, right) = r.split_at(6);
+        assert_eq!(left.pages, 6);
+        assert_eq!(right.pages, 4);
+        let mut after: Vec<SocketId> = (0..6).map(|p| left.socket_of_page(p)).collect();
+        after.extend((6..10).map(|p| right.socket_of_page(p)));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly inside")]
+    fn split_at_boundary_is_rejected() {
+        let r = PsmRange { first_page: 0, pages: 4, kind: RangeKind::Socket(s(0)) };
+        let _ = r.split_at(0);
+    }
+
+    #[test]
+    fn merging_rules() {
+        let a = PsmRange { first_page: 0, pages: 4, kind: RangeKind::Socket(s(1)) };
+        let b = PsmRange { first_page: 4, pages: 2, kind: RangeKind::Socket(s(1)) };
+        let c = PsmRange { first_page: 6, pages: 2, kind: RangeKind::Socket(s(2)) };
+        assert!(a.can_merge_with(&b));
+        assert!(!b.can_merge_with(&c));
+        assert!(!a.can_merge_with(&c), "non-adjacent ranges cannot merge");
+
+        // Interleaved continuation: 5 pages of pattern [0,1] end on socket 0,
+        // so the continuation must start at socket 1.
+        let i1 = PsmRange {
+            first_page: 0,
+            pages: 5,
+            kind: RangeKind::Interleaved { pattern: vec![s(0), s(1)] },
+        };
+        let i2_good = PsmRange {
+            first_page: 5,
+            pages: 3,
+            kind: RangeKind::Interleaved { pattern: vec![s(1), s(0)] },
+        };
+        let i2_bad = PsmRange {
+            first_page: 5,
+            pages: 3,
+            kind: RangeKind::Interleaved { pattern: vec![s(0), s(1)] },
+        };
+        assert!(i1.can_merge_with(&i2_good));
+        assert!(!i1.can_merge_with(&i2_bad));
+    }
+}

@@ -1,0 +1,44 @@
+//! # numascan-scheduler
+//!
+//! The NUMA-aware task scheduler of Section 5.1 of the paper.
+//!
+//! Operations are encapsulated in tasks and processed by a pool of worker
+//! threads. To be NUMA-aware the scheduler mirrors the machine topology: every
+//! socket is divided into one or more **thread groups** (TG), each with two
+//! priority queues — a normal queue whose tasks may be stolen by other
+//! sockets, and a *hard-affinity* queue whose tasks may only be taken by
+//! workers of the same socket. Workers prefer their own TG's tasks, then steal
+//! within their socket, and finally steal (non-hard) tasks from other sockets.
+//!
+//! The crate provides:
+//!
+//! * [`task`] — task metadata: socket affinity, hard-affinity flag, statement
+//!   timestamp (older statements run first) and performance hints.
+//! * [`queue`] — the per-thread-group pair of priority queues, generic over
+//!   the task payload so both the real-thread pool and the virtual-time
+//!   simulation engine can reuse them.
+//! * [`policy`] — the three scheduling strategies compared in the paper
+//!   (`OS`, `Target`, `Bound`) and the stealing rules they imply.
+//! * [`concurrency`] — the concurrency hint that adapts task granularity to
+//!   the number of concurrently active statements.
+//! * [`pool`] — a real-thread worker pool implementing the worker main loop
+//!   and the watchdog, used for native (non-simulated) execution.
+//! * [`stats`] — counters (executed tasks, stolen tasks) reported by both
+//!   backends.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod concurrency;
+pub mod policy;
+pub mod pool;
+pub mod queue;
+pub mod stats;
+pub mod task;
+
+pub use concurrency::ConcurrencyHint;
+pub use policy::{SchedulingStrategy, StealScope};
+pub use pool::{PoolConfig, ThreadPool};
+pub use queue::{GroupQueues, QueueSet, ThreadGroupId};
+pub use stats::SchedulerStats;
+pub use task::{TaskMeta, TaskPriority, WorkClass};

@@ -1,0 +1,157 @@
+//! Scheduling strategies and stealing rules.
+//!
+//! The paper compares three task scheduling strategies for concurrent scans
+//! (Section 6):
+//!
+//! * **OS** — task affinities are not set and worker threads are not bound;
+//!   placement is left entirely to the operating system scheduler
+//!   (NUMA-agnostic execution).
+//! * **Target** — tasks carry an affinity for the socket of their data and are
+//!   enqueued there, but workers of other sockets may still steal them.
+//! * **Bound** — like Target, but tasks additionally set the hard-affinity
+//!   flag, so inter-socket stealing is prevented.
+
+use numascan_numasim::SocketId;
+
+use crate::task::TaskMeta;
+
+/// The strategy used to schedule tasks onto sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulingStrategy {
+    /// NUMA-agnostic: no affinities, the OS places worker threads.
+    Os,
+    /// NUMA-aware affinities; inter-socket stealing allowed.
+    Target,
+    /// NUMA-aware affinities; inter-socket stealing prevented (hard affinity).
+    Bound,
+}
+
+impl SchedulingStrategy {
+    /// All strategies, in the order the paper's figures present them.
+    pub const ALL: [SchedulingStrategy; 3] =
+        [SchedulingStrategy::Os, SchedulingStrategy::Target, SchedulingStrategy::Bound];
+
+    /// Short label used in result tables ("OS", "Target", "Bound").
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulingStrategy::Os => "OS",
+            SchedulingStrategy::Target => "Target",
+            SchedulingStrategy::Bound => "Bound",
+        }
+    }
+
+    /// Applies the strategy to a task creator's desired placement, producing
+    /// the effective `(affinity, hard_affinity)` of the task.
+    ///
+    /// `desired` is the socket the data lives on (from the PSM); callers pass
+    /// `None` when the data is interleaved and no socket is preferable.
+    pub fn apply(&self, desired: Option<SocketId>) -> (Option<SocketId>, bool) {
+        match self {
+            SchedulingStrategy::Os => (None, false),
+            SchedulingStrategy::Target => (desired, false),
+            SchedulingStrategy::Bound => (desired, desired.is_some()),
+        }
+    }
+
+    /// Rewrites a task's metadata according to the strategy.
+    pub fn apply_to_meta(&self, mut meta: TaskMeta) -> TaskMeta {
+        let (affinity, hard) = self.apply(meta.affinity);
+        meta.affinity = affinity;
+        meta.hard_affinity = hard;
+        meta
+    }
+
+    /// Whether this strategy assigns affinities at all.
+    pub fn is_numa_aware(&self) -> bool {
+        !matches!(self, SchedulingStrategy::Os)
+    }
+}
+
+/// From where a worker is allowed to take a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealScope {
+    /// The worker's own thread group (both queues).
+    OwnGroup,
+    /// Another thread group of the same socket (both queues).
+    SameSocket,
+    /// A thread group of a different socket (normal queue only — hard-affinity
+    /// tasks may never leave their socket).
+    RemoteSocket,
+}
+
+impl StealScope {
+    /// Whether a task with the given hard-affinity flag may be taken from this
+    /// scope.
+    pub fn may_take_hard_tasks(&self) -> bool {
+        !matches!(self, StealScope::RemoteSocket)
+    }
+}
+
+/// Decides whether a worker on `worker_socket` may execute a task whose
+/// metadata is `meta`, given where the task is queued.
+pub fn may_execute(worker_socket: SocketId, task_socket: SocketId, meta: &TaskMeta) -> bool {
+    if worker_socket == task_socket {
+        return true;
+    }
+    // Taking the task from another socket's queue is stealing; hard-affinity
+    // tasks must not be stolen across sockets.
+    !meta.hard_affinity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskPriority;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(SchedulingStrategy::Os.label(), "OS");
+        assert_eq!(SchedulingStrategy::Target.label(), "Target");
+        assert_eq!(SchedulingStrategy::Bound.label(), "Bound");
+    }
+
+    #[test]
+    fn os_strategy_strips_affinities() {
+        let (aff, hard) = SchedulingStrategy::Os.apply(Some(SocketId(2)));
+        assert_eq!(aff, None);
+        assert!(!hard);
+        assert!(!SchedulingStrategy::Os.is_numa_aware());
+    }
+
+    #[test]
+    fn target_keeps_affinity_but_allows_stealing() {
+        let (aff, hard) = SchedulingStrategy::Target.apply(Some(SocketId(2)));
+        assert_eq!(aff, Some(SocketId(2)));
+        assert!(!hard);
+    }
+
+    #[test]
+    fn bound_sets_hard_affinity_only_when_a_socket_is_desired() {
+        let (aff, hard) = SchedulingStrategy::Bound.apply(Some(SocketId(1)));
+        assert_eq!(aff, Some(SocketId(1)));
+        assert!(hard);
+        let (aff, hard) = SchedulingStrategy::Bound.apply(None);
+        assert_eq!(aff, None);
+        assert!(!hard, "interleaved data yields no hard binding");
+    }
+
+    #[test]
+    fn hard_tasks_cannot_be_stolen_across_sockets() {
+        let hard = TaskMeta::bound(TaskPriority::new(0, 0), SocketId(0), true);
+        let soft = TaskMeta::bound(TaskPriority::new(0, 0), SocketId(0), false);
+        assert!(may_execute(SocketId(0), SocketId(0), &hard));
+        assert!(!may_execute(SocketId(1), SocketId(0), &hard));
+        assert!(may_execute(SocketId(1), SocketId(0), &soft));
+        assert!(!StealScope::RemoteSocket.may_take_hard_tasks());
+        assert!(StealScope::SameSocket.may_take_hard_tasks());
+    }
+
+    #[test]
+    fn apply_to_meta_rewrites_flags() {
+        let meta = TaskMeta::bound(TaskPriority::new(0, 0), SocketId(3), false);
+        let bound = SchedulingStrategy::Bound.apply_to_meta(meta.clone());
+        assert!(bound.hard_affinity);
+        let os = SchedulingStrategy::Os.apply_to_meta(meta);
+        assert_eq!(os.affinity, None);
+    }
+}

@@ -1,0 +1,349 @@
+//! Real-thread worker pool.
+//!
+//! This is the native execution backend of the scheduler: a pool of worker
+//! threads organised into per-socket thread groups, running ordinary Rust
+//! closures. It implements the worker main loop of Section 5.1 — take the
+//! highest-priority task of the own thread group, otherwise steal within the
+//! socket, otherwise steal (non-hard tasks) from other sockets — together with
+//! a watchdog that periodically wakes sleeping workers when queued tasks and
+//! idle workers coexist.
+//!
+//! One deliberate simplification: worker threads are *not* pinned to physical
+//! CPUs of the host. The machine the experiments model (up to 32 sockets) is
+//! virtual, so binding to host CPUs would be meaningless; what matters for the
+//! library's correctness — and what is implemented faithfully — is the queue
+//! placement, priority and stealing discipline.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use numascan_numasim::Topology;
+use parking_lot::{Condvar, Mutex};
+
+use crate::policy::SchedulingStrategy;
+use crate::queue::{QueueSet, ThreadGroupId};
+use crate::stats::SchedulerStats;
+use crate::task::TaskMeta;
+
+/// A unit of work for the thread pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Configuration of the thread pool.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Scheduling strategy applied to every submitted task's metadata.
+    pub strategy: SchedulingStrategy,
+    /// Worker threads per thread group. `None` sizes each group to the number
+    /// of hardware contexts it represents (capped at 8 per group so that
+    /// large virtual topologies do not oversubscribe the host).
+    pub workers_per_group: Option<usize>,
+    /// Interval at which the watchdog wakes up to check for starving groups.
+    pub watchdog_interval: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            strategy: SchedulingStrategy::Bound,
+            workers_per_group: None,
+            watchdog_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+struct Shared {
+    queues: Mutex<QueueSet<(TaskMeta, Job)>>,
+    work_available: Condvar,
+    idle: Condvar,
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    stats: Mutex<SchedulerStats>,
+}
+
+/// A NUMA-aware pool of worker threads.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+    strategy: SchedulingStrategy,
+}
+
+impl ThreadPool {
+    /// Creates a pool whose thread groups mirror `topology`.
+    pub fn new(topology: &Topology, config: PoolConfig) -> Self {
+        let queues: QueueSet<(TaskMeta, Job)> = QueueSet::for_topology(topology);
+        let group_count = queues.group_count();
+        let contexts_per_group =
+            (topology.contexts_per_socket() / queues.groups_per_socket()).max(1);
+        let workers_per_group =
+            config.workers_per_group.unwrap_or_else(|| contexts_per_group.min(8)).max(1);
+
+        let shared = Arc::new(Shared {
+            queues: Mutex::new(queues),
+            work_available: Condvar::new(),
+            idle: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            stats: Mutex::new(SchedulerStats::new(topology.socket_count())),
+        });
+
+        let mut workers = Vec::with_capacity(group_count * workers_per_group);
+        for group in 0..group_count {
+            for w in 0..workers_per_group {
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("numascan-tg{group}-w{w}"))
+                    .spawn(move || worker_loop(shared, ThreadGroupId(group)))
+                    .expect("failed to spawn worker thread");
+                workers.push(handle);
+            }
+        }
+
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let interval = config.watchdog_interval;
+            Some(
+                std::thread::Builder::new()
+                    .name("numascan-watchdog".to_string())
+                    .spawn(move || watchdog_loop(shared, interval))
+                    .expect("failed to spawn watchdog thread"),
+            )
+        };
+
+        ThreadPool { shared, workers, watchdog, strategy: config.strategy }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The scheduling strategy in effect.
+    pub fn strategy(&self) -> SchedulingStrategy {
+        self.strategy
+    }
+
+    /// Submits a task. Its metadata is first rewritten according to the pool's
+    /// scheduling strategy (e.g. the `OS` strategy strips affinities).
+    pub fn submit<F>(&self, meta: TaskMeta, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let meta = self.strategy.apply_to_meta(meta);
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut queues = self.shared.queues.lock();
+            queues.push(&meta.clone(), None, (meta, Box::new(job)));
+        }
+        self.shared.work_available.notify_one();
+    }
+
+    /// Blocks until every submitted task has finished executing.
+    pub fn wait_idle(&self) {
+        let mut queues = self.shared.queues.lock();
+        while self.shared.pending.load(Ordering::SeqCst) > 0 {
+            self.shared.idle.wait(&mut queues);
+        }
+    }
+
+    /// A snapshot of the scheduler statistics.
+    pub fn stats(&self) -> SchedulerStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Number of tasks queued or currently running.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+
+    /// Stops the pool, waiting for running tasks to finish. Queued tasks that
+    /// have not started yet are still executed before shutdown completes.
+    pub fn shutdown(mut self) {
+        self.wait_idle();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, group: ThreadGroupId) {
+    loop {
+        let task = {
+            let mut queues = shared.queues.lock();
+            loop {
+                if let Some((item, scope)) = queues.pop_for_worker(group) {
+                    let socket = queues.socket_of_group(group);
+                    shared.stats.lock().record(socket, scope);
+                    break Some(item);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                // Free-thread behaviour: sleep, but wake periodically to check
+                // for stealable work.
+                shared
+                    .work_available
+                    .wait_for(&mut queues, Duration::from_millis(50));
+            }
+        };
+        match task {
+            Some((_meta, job)) => {
+                job();
+                if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    let _guard = shared.queues.lock();
+                    shared.idle.notify_all();
+                }
+            }
+            None => return,
+        }
+    }
+}
+
+fn watchdog_loop(shared: Arc<Shared>, interval: Duration) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        let has_work = { !shared.queues.lock().is_empty() };
+        if has_work {
+            shared.work_available.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{TaskPriority, WorkClass};
+    use numascan_numasim::SocketId;
+    use std::sync::atomic::AtomicU64;
+
+    fn small_topology() -> Topology {
+        Topology::four_socket_ivybridge_ex()
+    }
+
+    fn pool(strategy: SchedulingStrategy) -> ThreadPool {
+        ThreadPool::new(
+            &small_topology(),
+            PoolConfig { strategy, workers_per_group: Some(2), ..PoolConfig::default() },
+        )
+    }
+
+    fn meta_for(socket: u16, epoch: u64) -> TaskMeta {
+        TaskMeta {
+            affinity: Some(SocketId(socket)),
+            hard_affinity: true,
+            priority: TaskPriority::new(epoch, 0),
+            work_class: WorkClass::MemoryIntensive,
+            estimated_bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn executes_every_submitted_task() {
+        let p = pool(SchedulingStrategy::Bound);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..200u64 {
+            let counter = Arc::clone(&counter);
+            p.submit(meta_for((i % 4) as u16, i), move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        p.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+        let stats = p.stats();
+        assert_eq!(stats.executed, 200);
+        p.shutdown();
+    }
+
+    #[test]
+    fn bound_strategy_prevents_cross_socket_stealing() {
+        let p = pool(SchedulingStrategy::Bound);
+        // All tasks target socket 0; with Bound they may not run elsewhere.
+        for i in 0..100u64 {
+            p.submit(meta_for(0, i), move || {
+                std::thread::sleep(Duration::from_micros(100));
+            });
+        }
+        p.wait_idle();
+        let stats = p.stats();
+        assert_eq!(stats.stolen_cross_socket, 0);
+        assert_eq!(stats.executed_per_socket[0], 100);
+        p.shutdown();
+    }
+
+    #[test]
+    fn target_strategy_allows_cross_socket_stealing() {
+        let p = pool(SchedulingStrategy::Target);
+        for i in 0..400u64 {
+            p.submit(meta_for(0, i), move || {
+                std::thread::sleep(Duration::from_micros(200));
+            });
+        }
+        p.wait_idle();
+        let stats = p.stats();
+        assert_eq!(stats.executed, 400);
+        assert!(
+            stats.stolen_cross_socket > 0,
+            "workers of other sockets should have helped: {stats:?}"
+        );
+        p.shutdown();
+    }
+
+    #[test]
+    fn os_strategy_spreads_unaffine_tasks() {
+        let p = pool(SchedulingStrategy::Os);
+        for i in 0..200u64 {
+            p.submit(meta_for(0, i), || {});
+        }
+        p.wait_idle();
+        let stats = p.stats();
+        assert_eq!(stats.executed, 200);
+        // Without affinities, tasks round-robin over the groups, so more than
+        // one socket must have executed something.
+        let busy_sockets = stats.executed_per_socket.iter().filter(|c| **c > 0).count();
+        assert!(busy_sockets > 1, "OS strategy should not concentrate on one socket: {stats:?}");
+        p.shutdown();
+    }
+
+    #[test]
+    fn wait_idle_returns_immediately_when_nothing_is_pending() {
+        let p = pool(SchedulingStrategy::Bound);
+        p.wait_idle();
+        assert_eq!(p.pending(), 0);
+        p.shutdown();
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_workers() {
+        let p = pool(SchedulingStrategy::Bound);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..50u64 {
+            let counter = Arc::clone(&counter);
+            p.submit(meta_for((i % 4) as u16, i), move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        p.wait_idle();
+        drop(p);
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+}

@@ -1,0 +1,401 @@
+//! Per-thread-group task queues.
+//!
+//! Each thread group owns two priority queues (Figure 6 of the paper): a
+//! normal queue whose tasks may be stolen by other sockets, and a hard
+//! priority queue whose tasks may only be taken by workers of the same socket.
+//! Tasks are ordered by statement age (older statements first).
+//!
+//! The queues are generic over the task payload so that the real-thread pool
+//! (payload = closure) and the virtual-time simulation engine (payload = cost
+//! descriptor) share the same scheduling structure and rules.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use numascan_numasim::{SocketId, Topology};
+
+use crate::policy::StealScope;
+use crate::task::{TaskMeta, TaskPriority};
+
+/// Identifier of a thread group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadGroupId(pub usize);
+
+impl ThreadGroupId {
+    /// The group index as `usize`.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Heap entry ordered by priority then insertion sequence.
+#[derive(Debug)]
+struct Entry<T> {
+    priority: TaskPriority,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.priority, self.seq).cmp(&(other.priority, other.seq))
+    }
+}
+
+/// The two priority queues of one thread group.
+#[derive(Debug)]
+pub struct GroupQueues<T> {
+    socket: SocketId,
+    normal: BinaryHeap<Reverse<Entry<T>>>,
+    hard: BinaryHeap<Reverse<Entry<T>>>,
+}
+
+impl<T> GroupQueues<T> {
+    /// Creates empty queues for a thread group on `socket`.
+    pub fn new(socket: SocketId) -> Self {
+        GroupQueues { socket, normal: BinaryHeap::new(), hard: BinaryHeap::new() }
+    }
+
+    /// The socket this group belongs to.
+    pub fn socket(&self) -> SocketId {
+        self.socket
+    }
+
+    /// Number of queued tasks (both queues).
+    pub fn len(&self) -> usize {
+        self.normal.len() + self.hard.len()
+    }
+
+    /// `true` if both queues are empty.
+    pub fn is_empty(&self) -> bool {
+        self.normal.is_empty() && self.hard.is_empty()
+    }
+
+    /// Number of tasks in the normal (stealable) queue.
+    pub fn normal_len(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// Number of tasks in the hard-affinity queue.
+    pub fn hard_len(&self) -> usize {
+        self.hard.len()
+    }
+
+    fn push(&mut self, priority: TaskPriority, seq: u64, hard: bool, item: T) {
+        let entry = Reverse(Entry { priority, seq, item });
+        if hard {
+            self.hard.push(entry);
+        } else {
+            self.normal.push(entry);
+        }
+    }
+
+    /// Best (oldest-statement) priority available, considering the hard queue
+    /// only when `include_hard` is set.
+    pub fn best_priority(&self, include_hard: bool) -> Option<TaskPriority> {
+        let normal = self.normal.peek().map(|e| e.0.priority);
+        let hard = if include_hard { self.hard.peek().map(|e| e.0.priority) } else { None };
+        match (normal, hard) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Pops the highest-priority task, considering the hard queue only when
+    /// `include_hard` is set.
+    pub fn pop(&mut self, include_hard: bool) -> Option<T> {
+        let take_hard = match (self.normal.peek(), if include_hard { self.hard.peek() } else { None })
+        {
+            (Some(n), Some(h)) => h.0 < n.0, // smaller Entry = older statement = higher priority
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => return None,
+        };
+        let heap = if take_hard { &mut self.hard } else { &mut self.normal };
+        heap.pop().map(|e| e.0.item)
+    }
+}
+
+/// The queues of every thread group of the machine, plus placement and
+/// stealing rules.
+#[derive(Debug)]
+pub struct QueueSet<T> {
+    groups: Vec<GroupQueues<T>>,
+    groups_per_socket: usize,
+    seq: u64,
+    rr_cursor: usize,
+}
+
+impl<T> QueueSet<T> {
+    /// Creates queues for `sockets` sockets with `groups_per_socket` thread
+    /// groups each.
+    pub fn new(sockets: usize, groups_per_socket: usize) -> Self {
+        assert!(sockets > 0 && groups_per_socket > 0);
+        let groups = (0..sockets * groups_per_socket)
+            .map(|g| GroupQueues::new(SocketId((g / groups_per_socket) as u16)))
+            .collect();
+        QueueSet { groups, groups_per_socket, seq: 0, rr_cursor: 0 }
+    }
+
+    /// Creates queues mirroring a topology: small sockets get one thread group,
+    /// sockets with more than 16 hardware contexts get two (the paper assigns
+    /// "a couple" of groups per socket on larger topologies to reduce
+    /// synchronization contention).
+    pub fn for_topology(topology: &Topology) -> Self {
+        let groups = if topology.contexts_per_socket() > 16 { 2 } else { 1 };
+        Self::new(topology.socket_count(), groups)
+    }
+
+    /// Number of thread groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Thread groups per socket.
+    pub fn groups_per_socket(&self) -> usize {
+        self.groups_per_socket
+    }
+
+    /// Number of sockets covered.
+    pub fn socket_count(&self) -> usize {
+        self.groups.len() / self.groups_per_socket
+    }
+
+    /// The socket a thread group belongs to.
+    pub fn socket_of_group(&self, group: ThreadGroupId) -> SocketId {
+        self.groups[group.index()].socket()
+    }
+
+    /// The thread group ids of a socket.
+    pub fn groups_of_socket(&self, socket: SocketId) -> impl Iterator<Item = ThreadGroupId> {
+        let start = socket.index() * self.groups_per_socket;
+        (start..start + self.groups_per_socket).map(ThreadGroupId)
+    }
+
+    /// Total queued tasks across all groups.
+    pub fn total_len(&self) -> usize {
+        self.groups.iter().map(|g| g.len()).sum()
+    }
+
+    /// `true` if no task is queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.groups.iter().all(|g| g.is_empty())
+    }
+
+    /// Queued tasks per socket.
+    pub fn len_per_socket(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.socket_count()];
+        for g in &self.groups {
+            out[g.socket().index()] += g.len();
+        }
+        out
+    }
+
+    /// Direct access to one group's queues.
+    pub fn group(&self, group: ThreadGroupId) -> &GroupQueues<T> {
+        &self.groups[group.index()]
+    }
+
+    /// Enqueues a task according to its metadata.
+    ///
+    /// Tasks with an affinity go to the least-loaded thread group of their
+    /// socket (into the hard queue when the hard flag is set); tasks without
+    /// an affinity go to the submitter's group when known (for cache
+    /// affinity), or round-robin over all groups otherwise.
+    pub fn push(&mut self, meta: &TaskMeta, submitter: Option<ThreadGroupId>, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        let group = match meta.affinity {
+            Some(socket) => {
+                let start = socket.index() * self.groups_per_socket;
+                let gid = (start..start + self.groups_per_socket)
+                    .min_by_key(|g| self.groups[*g].len())
+                    .expect("socket has at least one group");
+                ThreadGroupId(gid)
+            }
+            None => submitter.unwrap_or_else(|| {
+                let g = ThreadGroupId(self.rr_cursor % self.groups.len());
+                self.rr_cursor += 1;
+                g
+            }),
+        };
+        self.groups[group.index()].push(meta.priority, seq, meta.hard_affinity, item);
+    }
+
+    /// Implements the worker main loop's search order: own group, then other
+    /// groups of the same socket, then (normal queues only) groups of other
+    /// sockets. Returns the task and where it was found.
+    pub fn pop_for_worker(&mut self, worker_group: ThreadGroupId) -> Option<(T, StealScope)> {
+        // 1. Own thread group.
+        if let Some(item) = self.groups[worker_group.index()].pop(true) {
+            return Some((item, StealScope::OwnGroup));
+        }
+        // 2. Other groups of the same socket (hard tasks allowed).
+        let socket = self.socket_of_group(worker_group);
+        let same_socket: Vec<usize> = self
+            .groups_of_socket(socket)
+            .map(|g| g.index())
+            .filter(|g| *g != worker_group.index())
+            .collect();
+        if let Some(best) = same_socket
+            .into_iter()
+            .filter_map(|g| self.groups[g].best_priority(true).map(|p| (p, g)))
+            .min()
+        {
+            if let Some(item) = self.groups[best.1].pop(true) {
+                return Some((item, StealScope::SameSocket));
+            }
+        }
+        // 3. Remote sockets: steal from normal queues only, oldest statement
+        //    first.
+        if let Some(best) = (0..self.groups.len())
+            .filter(|g| self.groups[*g].socket() != socket)
+            .filter_map(|g| self.groups[g].best_priority(false).map(|p| (p, g)))
+            .min()
+        {
+            if let Some(item) = self.groups[best.1].pop(false) {
+                return Some((item, StealScope::RemoteSocket));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::WorkClass;
+
+    fn meta(epoch: u64, socket: Option<u16>, hard: bool) -> TaskMeta {
+        TaskMeta {
+            affinity: socket.map(SocketId),
+            hard_affinity: hard,
+            priority: TaskPriority::new(epoch, 0),
+            work_class: WorkClass::MemoryIntensive,
+            estimated_bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn group_queue_orders_by_statement_age() {
+        let mut q: GroupQueues<u32> = GroupQueues::new(SocketId(0));
+        q.push(TaskPriority::new(5, 0), 0, false, 50);
+        q.push(TaskPriority::new(1, 0), 1, false, 10);
+        q.push(TaskPriority::new(3, 0), 2, true, 30);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(true), Some(10));
+        assert_eq!(q.pop(true), Some(30), "hard queue participates when allowed");
+        assert_eq!(q.pop(true), Some(50));
+        assert_eq!(q.pop(true), None);
+    }
+
+    #[test]
+    fn pop_without_hard_skips_hard_tasks() {
+        let mut q: GroupQueues<u32> = GroupQueues::new(SocketId(0));
+        q.push(TaskPriority::new(1, 0), 0, true, 1);
+        q.push(TaskPriority::new(2, 0), 1, false, 2);
+        assert_eq!(q.pop(false), Some(2));
+        assert_eq!(q.pop(false), None);
+        assert_eq!(q.hard_len(), 1);
+    }
+
+    #[test]
+    fn fifo_within_a_statement() {
+        let mut q: GroupQueues<u32> = GroupQueues::new(SocketId(0));
+        for i in 0..5u32 {
+            q.push(TaskPriority::new(7, i as u64), i as u64, false, i);
+        }
+        for i in 0..5u32 {
+            assert_eq!(q.pop(true), Some(i));
+        }
+    }
+
+    #[test]
+    fn queue_set_routes_by_affinity() {
+        let mut qs: QueueSet<u32> = QueueSet::new(4, 1);
+        qs.push(&meta(0, Some(2), false), None, 42);
+        assert_eq!(qs.len_per_socket(), vec![0, 0, 1, 0]);
+        qs.push(&meta(0, None, false), Some(ThreadGroupId(1)), 43);
+        assert_eq!(qs.len_per_socket(), vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn unaffine_tasks_without_submitter_round_robin() {
+        let mut qs: QueueSet<u32> = QueueSet::new(2, 1);
+        for i in 0..4 {
+            qs.push(&meta(0, None, false), None, i);
+        }
+        assert_eq!(qs.len_per_socket(), vec![2, 2]);
+    }
+
+    #[test]
+    fn affinity_tasks_balance_over_groups_of_the_socket() {
+        let mut qs: QueueSet<u32> = QueueSet::new(2, 2);
+        for i in 0..4 {
+            qs.push(&meta(0, Some(1), true), None, i);
+        }
+        // Socket 1 owns groups 2 and 3; both should have received tasks.
+        assert_eq!(qs.group(ThreadGroupId(2)).len(), 2);
+        assert_eq!(qs.group(ThreadGroupId(3)).len(), 2);
+    }
+
+    #[test]
+    fn worker_prefers_its_own_group_then_socket_then_remote() {
+        let mut qs: QueueSet<u32> = QueueSet::new(2, 2);
+        // Socket 0: groups 0, 1. Socket 1: groups 2, 3.
+        qs.push(&meta(1, Some(0), false), None, 100); // lands on a socket-0 group
+        qs.push(&meta(0, Some(1), false), None, 200); // older, but on socket 1
+
+        // Worker in group 0 takes the socket-0 task first even though the
+        // remote task is older, because local queues are searched first.
+        let (item, scope) = qs.pop_for_worker(ThreadGroupId(0)).unwrap();
+        assert_eq!(item, 100);
+        assert!(matches!(scope, StealScope::OwnGroup | StealScope::SameSocket));
+
+        // Next it steals the remote task.
+        let (item, scope) = qs.pop_for_worker(ThreadGroupId(0)).unwrap();
+        assert_eq!(item, 200);
+        assert_eq!(scope, StealScope::RemoteSocket);
+        assert!(qs.pop_for_worker(ThreadGroupId(0)).is_none());
+    }
+
+    #[test]
+    fn hard_tasks_are_never_stolen_across_sockets() {
+        let mut qs: QueueSet<u32> = QueueSet::new(2, 1);
+        qs.push(&meta(0, Some(1), true), None, 7);
+        assert!(qs.pop_for_worker(ThreadGroupId(0)).is_none(), "socket-0 worker must not steal");
+        let (item, scope) = qs.pop_for_worker(ThreadGroupId(1)).unwrap();
+        assert_eq!(item, 7);
+        assert_eq!(scope, StealScope::OwnGroup);
+    }
+
+    #[test]
+    fn same_socket_stealing_includes_hard_tasks() {
+        let mut qs: QueueSet<u32> = QueueSet::new(1, 2);
+        qs.push(&meta(0, Some(0), true), None, 9);
+        // The task landed on the least-loaded group of socket 0; a worker of
+        // the *other* group of the same socket may still take it.
+        let taken = qs.pop_for_worker(ThreadGroupId(1)).or_else(|| qs.pop_for_worker(ThreadGroupId(0)));
+        assert_eq!(taken.map(|(i, _)| i), Some(9));
+    }
+
+    #[test]
+    fn for_topology_sizes_groups() {
+        let qs: QueueSet<u32> = QueueSet::for_topology(&Topology::four_socket_ivybridge_ex());
+        // 30 contexts per socket -> 2 groups per socket.
+        assert_eq!(qs.group_count(), 8);
+        assert_eq!(qs.groups_per_socket(), 2);
+        assert_eq!(qs.socket_count(), 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! Scheduler statistics.
+//!
+//! The paper's figures report, next to throughput, the number of processed
+//! tasks and the number of tasks stolen across sockets. Both scheduler
+//! backends accumulate those numbers here.
+
+use numascan_numasim::SocketId;
+
+use crate::policy::StealScope;
+
+/// Counters describing what the scheduler did during a measurement interval.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Tasks executed in total.
+    pub executed: u64,
+    /// Tasks taken from another thread group of the same socket.
+    pub stolen_same_socket: u64,
+    /// Tasks taken from a thread group of a different socket.
+    pub stolen_cross_socket: u64,
+    /// Tasks executed per socket.
+    pub executed_per_socket: Vec<u64>,
+}
+
+impl SchedulerStats {
+    /// Creates zeroed statistics for a machine with `sockets` sockets.
+    pub fn new(sockets: usize) -> Self {
+        SchedulerStats { executed_per_socket: vec![0; sockets], ..Default::default() }
+    }
+
+    /// Records the execution of one task on `socket`, taken from `scope`.
+    pub fn record(&mut self, socket: SocketId, scope: StealScope) {
+        self.executed += 1;
+        if let Some(slot) = self.executed_per_socket.get_mut(socket.index()) {
+            *slot += 1;
+        }
+        match scope {
+            StealScope::OwnGroup => {}
+            StealScope::SameSocket => self.stolen_same_socket += 1,
+            StealScope::RemoteSocket => self.stolen_cross_socket += 1,
+        }
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &SchedulerStats) {
+        self.executed += other.executed;
+        self.stolen_same_socket += other.stolen_same_socket;
+        self.stolen_cross_socket += other.stolen_cross_socket;
+        if self.executed_per_socket.len() < other.executed_per_socket.len() {
+            self.executed_per_socket.resize(other.executed_per_socket.len(), 0);
+        }
+        for (a, b) in self.executed_per_socket.iter_mut().zip(&other.executed_per_socket) {
+            *a += b;
+        }
+    }
+
+    /// Fraction of executed tasks that were stolen across sockets.
+    pub fn cross_socket_steal_fraction(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.stolen_cross_socket as f64 / self.executed as f64
+        }
+    }
+
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        let sockets = self.executed_per_socket.len();
+        *self = SchedulerStats::new(sockets);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_steals() {
+        let mut s = SchedulerStats::new(2);
+        s.record(SocketId(0), StealScope::OwnGroup);
+        s.record(SocketId(0), StealScope::SameSocket);
+        s.record(SocketId(1), StealScope::RemoteSocket);
+        assert_eq!(s.executed, 3);
+        assert_eq!(s.stolen_same_socket, 1);
+        assert_eq!(s.stolen_cross_socket, 1);
+        assert_eq!(s.executed_per_socket, vec![2, 1]);
+        assert!((s.cross_socket_steal_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = SchedulerStats::new(2);
+        let mut b = SchedulerStats::new(2);
+        a.record(SocketId(0), StealScope::OwnGroup);
+        b.record(SocketId(1), StealScope::RemoteSocket);
+        a.merge(&b);
+        assert_eq!(a.executed, 2);
+        assert_eq!(a.executed_per_socket, vec![1, 1]);
+        a.reset();
+        assert_eq!(a.executed, 0);
+        assert_eq!(a.executed_per_socket, vec![0, 0]);
+    }
+
+    #[test]
+    fn steal_fraction_of_empty_stats_is_zero() {
+        assert_eq!(SchedulerStats::new(4).cross_socket_steal_fraction(), 0.0);
+    }
+}

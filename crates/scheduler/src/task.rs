@@ -1,0 +1,136 @@
+//! Task metadata.
+
+use numascan_numasim::SocketId;
+
+/// Classification of a task's resource profile, used by task creators to
+/// decide whether a task should be protected from inter-socket stealing
+/// (the paper's central finding: memory-intensive tasks must be bound,
+/// CPU-intensive tasks may be stolen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkClass {
+    /// Dominated by sequential memory bandwidth (e.g. scans over the IV).
+    MemoryIntensive,
+    /// Dominated by computation or latency-bound random accesses
+    /// (e.g. aggregation arithmetic, dictionary lookups).
+    CpuIntensive,
+}
+
+/// Priority of a task.
+///
+/// The scheduler augments the (unused here) user-defined priority with the
+/// time the related SQL statement was issued: the older the statement, the
+/// higher the priority, so the tasks of one query are handled at roughly the
+/// same time (Section 5.1, "Task priorities").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskPriority {
+    /// Logical issue time of the statement that created the task (smaller =
+    /// older = more urgent).
+    pub statement_epoch: u64,
+    /// Tie-breaker preserving insertion order within a statement.
+    pub sequence: u64,
+}
+
+impl TaskPriority {
+    /// Creates a priority for a statement issued at `statement_epoch`.
+    pub fn new(statement_epoch: u64, sequence: u64) -> Self {
+        TaskPriority { statement_epoch, sequence }
+    }
+}
+
+impl Ord for TaskPriority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Smaller epoch first, then smaller sequence.
+        self.statement_epoch
+            .cmp(&other.statement_epoch)
+            .then(self.sequence.cmp(&other.sequence))
+    }
+}
+
+impl PartialOrd for TaskPriority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Scheduling metadata attached to every task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskMeta {
+    /// Socket the task would like to run on (derived from the PSM of the data
+    /// it processes). `None` means no affinity.
+    pub affinity: Option<SocketId>,
+    /// When set, the task is placed in the hard-affinity queue and can only be
+    /// executed by workers of its affinity socket.
+    pub hard_affinity: bool,
+    /// Priority (statement age).
+    pub priority: TaskPriority,
+    /// Resource profile estimated by the task creator.
+    pub work_class: WorkClass,
+    /// Estimated bytes the task will stream from memory (performance metric
+    /// envisioned by the adaptive design of Section 7).
+    pub estimated_bytes: f64,
+}
+
+impl TaskMeta {
+    /// Metadata for a task without any affinity.
+    pub fn unbound(priority: TaskPriority) -> Self {
+        TaskMeta {
+            affinity: None,
+            hard_affinity: false,
+            priority,
+            work_class: WorkClass::CpuIntensive,
+            estimated_bytes: 0.0,
+        }
+    }
+
+    /// Metadata for a task with a (soft or hard) affinity for `socket`.
+    pub fn bound(priority: TaskPriority, socket: SocketId, hard: bool) -> Self {
+        TaskMeta {
+            affinity: Some(socket),
+            hard_affinity: hard,
+            priority,
+            work_class: WorkClass::MemoryIntensive,
+            estimated_bytes: 0.0,
+        }
+    }
+
+    /// Sets the work class.
+    pub fn with_work_class(mut self, class: WorkClass) -> Self {
+        self.work_class = class;
+        self
+    }
+
+    /// Sets the estimated streamed bytes.
+    pub fn with_estimated_bytes(mut self, bytes: f64) -> Self {
+        self.estimated_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn older_statements_have_higher_priority() {
+        let old = TaskPriority::new(10, 5);
+        let new = TaskPriority::new(20, 0);
+        assert!(old < new, "smaller epoch sorts first");
+        let a = TaskPriority::new(10, 1);
+        let b = TaskPriority::new(10, 2);
+        assert!(a < b, "sequence breaks ties");
+    }
+
+    #[test]
+    fn constructors_set_the_expected_fields() {
+        let u = TaskMeta::unbound(TaskPriority::new(1, 0));
+        assert_eq!(u.affinity, None);
+        assert!(!u.hard_affinity);
+
+        let b = TaskMeta::bound(TaskPriority::new(1, 0), SocketId(2), true)
+            .with_work_class(WorkClass::MemoryIntensive)
+            .with_estimated_bytes(1024.0);
+        assert_eq!(b.affinity, Some(SocketId(2)));
+        assert!(b.hard_affinity);
+        assert_eq!(b.estimated_bytes, 1024.0);
+    }
+}

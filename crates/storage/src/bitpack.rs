@@ -1,0 +1,244 @@
+//! Bit-compressed integer vectors.
+//!
+//! The index vector of a dictionary-encoded column stores one vid per row
+//! using the least number of bits able to represent the largest vid — the
+//! *bitcase* (Section 4.1). The paper's prototype scans such vectors with SSE
+//! instructions; this implementation uses a portable word-at-a-time kernel
+//! with the same asymptotic behaviour (a handful of ALU operations per code
+//! word, independent of the predicate).
+
+/// Smallest number of bits able to represent `max_value` (at least 1).
+pub fn bits_for_max_value(max_value: u64) -> u8 {
+    if max_value == 0 {
+        1
+    } else {
+        (64 - max_value.leading_zeros()) as u8
+    }
+}
+
+/// A densely bit-packed vector of `u32` code words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPackedVec {
+    bits: u8,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitPackedVec {
+    /// Creates an empty vector storing `bits` bits per element (1..=32).
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=32).contains(&bits), "bitcase must be between 1 and 32, got {bits}");
+        BitPackedVec { bits, len: 0, words: Vec::new() }
+    }
+
+    /// Creates an empty vector with space reserved for `capacity` elements.
+    pub fn with_capacity(bits: u8, capacity: usize) -> Self {
+        let mut v = Self::new(bits);
+        v.words.reserve((capacity * bits as usize + 63) / 64 + 1);
+        v
+    }
+
+    /// Builds a packed vector from plain code words.
+    ///
+    /// # Panics
+    /// Panics if any value does not fit in `bits` bits.
+    pub fn from_slice(bits: u8, values: &[u32]) -> Self {
+        let mut v = Self::with_capacity(bits, values.len());
+        for &value in values {
+            v.push(value);
+        }
+        v
+    }
+
+    /// Bits per element.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of the packed payload in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Appends a value.
+    ///
+    /// # Panics
+    /// Panics if the value does not fit in the configured number of bits.
+    pub fn push(&mut self, value: u32) {
+        assert!(
+            self.bits == 32 || u64::from(value) < (1u64 << self.bits),
+            "value {value} does not fit in {} bits",
+            self.bits
+        );
+        let bit_pos = self.len * self.bits as usize;
+        let word = bit_pos / 64;
+        let offset = bit_pos % 64;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= (value as u64) << offset;
+        let spill = offset + self.bits as usize;
+        if spill > 64 {
+            // The value straddles a word boundary.
+            if word + 1 >= self.words.len() {
+                self.words.push(0);
+            }
+            self.words[word + 1] |= (value as u64) >> (64 - offset);
+        }
+        self.len += 1;
+    }
+
+    /// Reads the element at `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of bounds.
+    #[inline]
+    pub fn get(&self, pos: usize) -> u32 {
+        assert!(pos < self.len, "position {pos} out of bounds (len {})", self.len);
+        let bits = self.bits as usize;
+        let bit_pos = pos * bits;
+        let word = bit_pos / 64;
+        let offset = bit_pos % 64;
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut v = self.words[word] >> offset;
+        if offset + bits > 64 {
+            v |= self.words[word + 1] << (64 - offset);
+        }
+        (v & mask) as u32
+    }
+
+    /// Iterates over all stored values.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Calls `on_match(position)` for every element in `positions`
+    /// (a sub-range of the vector) whose value lies in `[min, max]`.
+    ///
+    /// This is the scan kernel: it walks the packed words sequentially and
+    /// evaluates the predicate on the vids without consulting the dictionary.
+    pub fn scan_range<F: FnMut(usize)>(
+        &self,
+        positions: std::ops::Range<usize>,
+        min: u32,
+        max: u32,
+        mut on_match: F,
+    ) {
+        let end = positions.end.min(self.len);
+        let start = positions.start.min(end);
+        if min > max {
+            return;
+        }
+        for pos in start..end {
+            let v = self.get(pos);
+            if v >= min && v <= max {
+                on_match(pos);
+            }
+        }
+    }
+
+    /// Counts the elements of `positions` whose value lies in `[min, max]`.
+    pub fn count_range(&self, positions: std::ops::Range<usize>, min: u32, max: u32) -> usize {
+        let mut count = 0;
+        self.scan_range(positions, min, max, |_| count += 1);
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_max_value_covers_edge_cases() {
+        assert_eq!(bits_for_max_value(0), 1);
+        assert_eq!(bits_for_max_value(1), 1);
+        assert_eq!(bits_for_max_value(2), 2);
+        assert_eq!(bits_for_max_value(255), 8);
+        assert_eq!(bits_for_max_value(256), 9);
+        assert_eq!(bits_for_max_value(u32::MAX as u64), 32);
+    }
+
+    #[test]
+    fn push_get_roundtrip_for_various_bitcases() {
+        for bits in [1u8, 3, 7, 8, 17, 21, 26, 31, 32] {
+            let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            let values: Vec<u32> =
+                (0..1000u32).map(|i| (i.wrapping_mul(2654435761)) % (max.saturating_add(1).max(1))).collect();
+            let packed = BitPackedVec::from_slice(bits, &values);
+            assert_eq!(packed.len(), values.len());
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(packed.get(i), v, "bitcase {bits}, position {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn push_rejects_oversized_values() {
+        let mut v = BitPackedVec::new(4);
+        v.push(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_rejects_out_of_bounds() {
+        let v = BitPackedVec::from_slice(8, &[1, 2, 3]);
+        v.get(3);
+    }
+
+    #[test]
+    fn scan_range_finds_exactly_the_matches() {
+        let values: Vec<u32> = (0..10_000).map(|i| i % 100).collect();
+        let packed = BitPackedVec::from_slice(7, &values);
+        let mut matches = Vec::new();
+        packed.scan_range(0..values.len(), 10, 19, |p| matches.push(p));
+        let expected: Vec<usize> =
+            values.iter().enumerate().filter(|(_, &v)| (10..=19).contains(&v)).map(|(i, _)| i).collect();
+        assert_eq!(matches, expected);
+    }
+
+    #[test]
+    fn scan_range_respects_position_bounds() {
+        let values: Vec<u32> = (0..100).collect();
+        let packed = BitPackedVec::from_slice(7, &values);
+        assert_eq!(packed.count_range(10..20, 0, 127), 10);
+        assert_eq!(packed.count_range(0..0, 0, 127), 0);
+        // An end past the length is clamped.
+        assert_eq!(packed.count_range(90..200, 0, 127), 10);
+    }
+
+    #[test]
+    fn scan_with_inverted_range_matches_nothing() {
+        let packed = BitPackedVec::from_slice(8, &[1, 2, 3, 4]);
+        assert_eq!(packed.count_range(0..4, 3, 2), 0);
+    }
+
+    #[test]
+    fn memory_is_roughly_bits_per_row() {
+        let rows = 100_000usize;
+        let values: Vec<u32> = vec![1; rows];
+        let packed = BitPackedVec::from_slice(17, &values);
+        let expected_bytes = rows * 17 / 8;
+        assert!(packed.memory_bytes() >= expected_bytes);
+        assert!(packed.memory_bytes() < expected_bytes + expected_bytes / 10 + 64);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let values: Vec<u32> = (0..257).collect();
+        let packed = BitPackedVec::from_slice(9, &values);
+        let collected: Vec<u32> = packed.iter().collect();
+        assert_eq!(collected, values);
+    }
+}

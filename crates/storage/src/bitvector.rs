@@ -1,0 +1,138 @@
+//! Bit-vectors for high-selectivity match results.
+//!
+//! The paper (Section 5.2) stores qualifying matches either as a position list
+//! (low selectivity) or as a bit-vector where each bit says whether the
+//! corresponding row qualifies (high selectivity). This module provides the
+//! latter.
+
+/// A fixed-length bit-vector indexed by row position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVector {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVector {
+    /// Creates a bit-vector of `len` zero bits.
+    pub fn new(len: usize) -> Self {
+        BitVector { len, words: vec![0; (len + 63) / 64] }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the bit at `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, pos: usize) {
+        assert!(pos < self.len, "position {pos} out of bounds (len {})", self.len);
+        self.words[pos / 64] |= 1u64 << (pos % 64);
+    }
+
+    /// Whether the bit at `pos` is set.
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of bounds.
+    #[inline]
+    pub fn get(&self, pos: usize) -> bool {
+        assert!(pos < self.len, "position {pos} out of bounds (len {})", self.len);
+        self.words[pos / 64] & (1u64 << (pos % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the positions of all set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Bitwise OR of another vector of the same length into this one.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &BitVector) {
+        assert_eq!(self.len, other.len, "bit-vector lengths differ");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut bv = BitVector::new(130);
+        bv.set(0);
+        bv.set(64);
+        bv.set(129);
+        assert!(bv.get(0));
+        assert!(bv.get(64));
+        assert!(bv.get(129));
+        assert!(!bv.get(1));
+        assert_eq!(bv.count_ones(), 3);
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_positions() {
+        let mut bv = BitVector::new(200);
+        for p in [3usize, 64, 65, 127, 199] {
+            bv.set(p);
+        }
+        let ones: Vec<usize> = bv.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 127, 199]);
+    }
+
+    #[test]
+    fn union_merges_bits() {
+        let mut a = BitVector::new(100);
+        let mut b = BitVector::new(100);
+        a.set(1);
+        b.set(2);
+        a.union_with(&b);
+        assert!(a.get(1) && a.get(2));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        BitVector::new(10).set(10);
+    }
+
+    #[test]
+    fn memory_is_one_bit_per_row() {
+        let bv = BitVector::new(1_000_000);
+        assert_eq!(bv.memory_bytes(), 1_000_000usize.div_ceil(64) * 8);
+    }
+}

@@ -1,0 +1,197 @@
+//! Dictionary-encoded columns.
+//!
+//! A [`DictColumn`] bundles the three components of Figure 3 of the paper:
+//! the sorted dictionary, the bit-compressed index vector (IV) and an optional
+//! inverted index (IX).
+
+use crate::bitpack::BitPackedVec;
+use crate::dictionary::Dictionary;
+use crate::index::InvertedIndex;
+use crate::value::DictValue;
+
+/// A dictionary-encoded column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictColumn<T: DictValue> {
+    name: String,
+    dict: Dictionary<T>,
+    iv: BitPackedVec,
+    ix: Option<InvertedIndex>,
+}
+
+impl<T: DictValue> DictColumn<T> {
+    /// Builds a column from row values. An inverted index is built when
+    /// `with_index` is set.
+    pub fn from_values(name: impl Into<String>, values: &[T], with_index: bool) -> Self {
+        ColumnBuilder::new(name).with_index(with_index).build(values)
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.iv.len()
+    }
+
+    /// The column's dictionary.
+    pub fn dictionary(&self) -> &Dictionary<T> {
+        &self.dict
+    }
+
+    /// The column's index vector.
+    pub fn index_vector(&self) -> &BitPackedVec {
+        &self.iv
+    }
+
+    /// The column's inverted index, if one was built.
+    pub fn inverted_index(&self) -> Option<&InvertedIndex> {
+        self.ix.as_ref()
+    }
+
+    /// Whether the column has an inverted index.
+    pub fn has_index(&self) -> bool {
+        self.ix.is_some()
+    }
+
+    /// The bitcase (bits per vid) of the index vector.
+    pub fn bitcase(&self) -> u8 {
+        self.iv.bits()
+    }
+
+    /// The vid stored at a row position.
+    pub fn vid_at(&self, pos: usize) -> u32 {
+        self.iv.get(pos)
+    }
+
+    /// The decoded value at a row position.
+    pub fn value_at(&self, pos: usize) -> &T {
+        self.dict.value(self.vid_at(pos))
+    }
+
+    /// Memory footprint of the index vector in bytes.
+    pub fn iv_bytes(&self) -> usize {
+        self.iv.memory_bytes()
+    }
+
+    /// Memory footprint of the dictionary in bytes.
+    pub fn dictionary_bytes(&self) -> usize {
+        self.dict.memory_bytes()
+    }
+
+    /// Memory footprint of the inverted index in bytes (zero if absent).
+    pub fn index_bytes(&self) -> usize {
+        self.ix.as_ref().map_or(0, |ix| ix.memory_bytes())
+    }
+
+    /// Total memory footprint of the column in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.iv_bytes() + self.dictionary_bytes() + self.index_bytes()
+    }
+
+    /// Drops the inverted index (used after physical repartitioning when the
+    /// new parts should not pay for an index).
+    pub fn drop_index(&mut self) {
+        self.ix = None;
+    }
+
+    /// Builds (or rebuilds) the inverted index.
+    pub fn build_index(&mut self) {
+        self.ix = Some(InvertedIndex::build(&self.iv, self.dict.len()));
+    }
+}
+
+/// Builder for [`DictColumn`].
+#[derive(Debug, Clone)]
+pub struct ColumnBuilder {
+    name: String,
+    with_index: bool,
+}
+
+impl ColumnBuilder {
+    /// Creates a builder for a column with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ColumnBuilder { name: name.into(), with_index: false }
+    }
+
+    /// Whether to build an inverted index.
+    pub fn with_index(mut self, with_index: bool) -> Self {
+        self.with_index = with_index;
+        self
+    }
+
+    /// Builds the column from row values.
+    pub fn build<T: DictValue>(self, values: &[T]) -> DictColumn<T> {
+        let dict = Dictionary::from_values(values.to_vec());
+        let bits = dict.bitcase();
+        let mut iv = BitPackedVec::with_capacity(bits, values.len());
+        for v in values {
+            let vid = dict.lookup(v).expect("value must be in its own dictionary");
+            iv.push(vid);
+        }
+        let ix = if self.with_index { Some(InvertedIndex::build(&iv, dict.len())) } else { None };
+        DictColumn { name: self.name, dict, iv, ix }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values() -> Vec<i64> {
+        (0..1000i64).map(|i| (i * 37) % 250).collect()
+    }
+
+    #[test]
+    fn column_roundtrips_values() {
+        let vals = values();
+        let col = DictColumn::from_values("c1", &vals, false);
+        assert_eq!(col.row_count(), vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(col.value_at(i), v);
+        }
+        assert_eq!(col.name(), "c1");
+    }
+
+    #[test]
+    fn bitcase_matches_distinct_count() {
+        let col = DictColumn::from_values("c", &values(), false);
+        assert_eq!(col.dictionary().len(), 250);
+        assert_eq!(col.bitcase(), 8);
+    }
+
+    #[test]
+    fn index_is_optional_and_buildable_later() {
+        let mut col = DictColumn::from_values("c", &values(), false);
+        assert!(!col.has_index());
+        assert_eq!(col.index_bytes(), 0);
+        col.build_index();
+        assert!(col.has_index());
+        let ix = col.inverted_index().unwrap();
+        assert_eq!(ix.total_positions(), col.row_count());
+        col.drop_index();
+        assert!(!col.has_index());
+    }
+
+    #[test]
+    fn memory_accounting_sums_components() {
+        let col = DictColumn::from_values("c", &values(), true);
+        assert_eq!(
+            col.total_bytes(),
+            col.iv_bytes() + col.dictionary_bytes() + col.index_bytes()
+        );
+        assert!(col.iv_bytes() > 0 && col.dictionary_bytes() > 0 && col.index_bytes() > 0);
+    }
+
+    #[test]
+    fn string_columns_work_end_to_end() {
+        let vals: Vec<String> =
+            ["Carl", "Anna", "Emma", "Anna", "Evie", "Bree"].iter().map(|s| s.to_string()).collect();
+        let col = DictColumn::from_values("names", &vals, true);
+        assert_eq!(col.dictionary().len(), 5);
+        assert_eq!(col.value_at(3), "Anna");
+        let anna_vid = col.dictionary().lookup(&"Anna".to_string()).unwrap();
+        assert_eq!(col.inverted_index().unwrap().positions_of(anna_vid), &[1, 3]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Inverted index (IX) over a dictionary-encoded column.
+//!
+//! The simplest index described in Section 4.1 consists of two vectors: the
+//! first is indexed by vid and points into the second, which holds the
+//! (possibly multiple) positions at which that vid occurs in the index vector.
+//! Low-selectivity predicates can then be answered by a few lookups instead of
+//! a full scan.
+
+use crate::bitpack::BitPackedVec;
+
+/// An inverted index mapping each vid to the row positions where it occurs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvertedIndex {
+    /// `offsets[vid]..offsets[vid+1]` is the slice of `positions` for `vid`.
+    offsets: Vec<u64>,
+    /// Row positions, grouped by vid, ascending within each group.
+    positions: Vec<u32>,
+}
+
+impl InvertedIndex {
+    /// Builds the index from an index vector with `distinct` distinct vids.
+    pub fn build(iv: &BitPackedVec, distinct: usize) -> Self {
+        let mut counts = vec![0u64; distinct + 1];
+        for vid in iv.iter() {
+            counts[vid as usize + 1] += 1;
+        }
+        // Prefix sums give the offsets.
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursors = counts;
+        let mut positions = vec![0u32; iv.len()];
+        for (pos, vid) in iv.iter().enumerate() {
+            let c = &mut cursors[vid as usize];
+            positions[*c as usize] = pos as u32;
+            *c += 1;
+        }
+        InvertedIndex { offsets, positions }
+    }
+
+    /// Number of distinct vids covered by the index.
+    pub fn distinct_values(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of indexed row positions.
+    pub fn total_positions(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Row positions of one vid (ascending).
+    pub fn positions_of(&self, vid: u32) -> &[u32] {
+        let vid = vid as usize;
+        if vid >= self.distinct_values() {
+            return &[];
+        }
+        &self.positions[self.offsets[vid] as usize..self.offsets[vid + 1] as usize]
+    }
+
+    /// Number of rows with the given vid, without materializing them.
+    pub fn count_of(&self, vid: u32) -> usize {
+        self.positions_of(vid).len()
+    }
+
+    /// Row positions of every vid in the inclusive range `[first, last]`,
+    /// sorted ascending.
+    pub fn positions_in_range(&self, first: u32, last: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        for vid in first..=last.min(self.distinct_values().saturating_sub(1) as u32) {
+            out.extend_from_slice(self.positions_of(vid));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Approximate memory footprint in bytes (the two vectors of Figure 3).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 8 + self.positions.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_iv() -> BitPackedVec {
+        // vids: 3 3 6 1 4 0 1 ... (mirrors Figure 3's example spirit)
+        BitPackedVec::from_slice(3, &[3, 3, 6, 1, 4, 0, 1, 6, 3])
+    }
+
+    #[test]
+    fn positions_of_returns_all_occurrences_in_order() {
+        let ix = InvertedIndex::build(&sample_iv(), 7);
+        assert_eq!(ix.positions_of(3), &[0, 1, 8]);
+        assert_eq!(ix.positions_of(1), &[3, 6]);
+        assert_eq!(ix.positions_of(0), &[5]);
+        assert_eq!(ix.positions_of(2), &[] as &[u32]);
+        assert_eq!(ix.positions_of(100), &[] as &[u32]);
+    }
+
+    #[test]
+    fn counts_match_positions() {
+        let ix = InvertedIndex::build(&sample_iv(), 7);
+        for vid in 0..7 {
+            assert_eq!(ix.count_of(vid), ix.positions_of(vid).len());
+        }
+        assert_eq!(ix.total_positions(), 9);
+        assert_eq!(ix.distinct_values(), 7);
+    }
+
+    #[test]
+    fn range_lookup_merges_and_sorts() {
+        let ix = InvertedIndex::build(&sample_iv(), 7);
+        let pos = ix.positions_in_range(1, 4);
+        assert_eq!(pos, vec![0, 1, 3, 4, 6, 8]);
+        // Clamped at the top end.
+        let all = ix.positions_in_range(0, 100);
+        assert_eq!(all.len(), 9);
+    }
+
+    #[test]
+    fn index_agrees_with_a_full_scan() {
+        let values: Vec<u32> = (0..5000u32).map(|i| (i * 7919) % 97).collect();
+        let iv = BitPackedVec::from_slice(7, &values);
+        let ix = InvertedIndex::build(&iv, 97);
+        for vid in [0u32, 13, 96] {
+            let from_index: Vec<u32> = ix.positions_of(vid).to_vec();
+            let from_scan: Vec<u32> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v == vid)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(from_index, from_scan);
+        }
+    }
+
+    #[test]
+    fn memory_accounts_both_vectors() {
+        let ix = InvertedIndex::build(&sample_iv(), 7);
+        assert_eq!(ix.memory_bytes(), 8 * 8 + 9 * 4);
+    }
+}

@@ -1,0 +1,52 @@
+//! # numascan-storage
+//!
+//! The storage layer of a main-memory column-store, as described in Section 4.1
+//! of *"Scaling Up Concurrent Main-Memory Column-Store Scans"* (Psaroudakis et
+//! al., VLDB 2015).
+//!
+//! A column is stored dictionary-encoded (Figure 3 of the paper):
+//!
+//! * the **dictionary** holds the sorted distinct values; the position of a
+//!   value in the dictionary is its *value identifier* (vid),
+//! * the **index vector** (IV) holds one bit-compressed vid per row, using the
+//!   smallest number of bits that can represent every vid (the *bitcase*),
+//! * an optional **inverted index** (IX) maps a vid to the positions at which
+//!   it occurs, to speed up low-selectivity lookups.
+//!
+//! Scans evaluate a range predicate directly on the vids of the IV (the
+//! predicate boundaries are first translated into a vid range through the
+//! dictionary), producing either a position list or a bit-vector of
+//! qualifying rows. A separate materialization step converts qualifying vids
+//! back into real values through the dictionary.
+//!
+//! The module layout mirrors those concepts: [`dictionary`], [`bitpack`],
+//! [`index`], [`column`], [`predicate`], [`scan`], [`materialize`],
+//! [`bitvector`], [`partition`] (IVP split points and PP physical
+//! repartitioning) and [`table`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitpack;
+pub mod bitvector;
+pub mod column;
+pub mod dictionary;
+pub mod index;
+pub mod materialize;
+pub mod partition;
+pub mod predicate;
+pub mod scan;
+pub mod table;
+pub mod value;
+
+pub use bitpack::BitPackedVec;
+pub use bitvector::BitVector;
+pub use column::{ColumnBuilder, DictColumn};
+pub use dictionary::Dictionary;
+pub use index::InvertedIndex;
+pub use materialize::{materialize_positions, materialize_range};
+pub use partition::{ivp_ranges, PhysicalPartition, PhysicalPartitioning};
+pub use predicate::{Predicate, VidRange};
+pub use scan::{scan_bitvector, scan_positions, MatchList};
+pub use table::{ColumnId, Table, TableBuilder};
+pub use value::DictValue;

@@ -1,0 +1,108 @@
+//! Output materialization.
+//!
+//! The second phase of query execution (Section 5.2, Figure 7b): for every
+//! qualifying row position, read the vid from the index vector, look up the
+//! real value in the dictionary and write it to the output vector. Unlike the
+//! scan, this phase performs *random* (data-dependent) accesses into the
+//! dictionary, which is why the paper classifies high-selectivity executions
+//! as CPU-intensive rather than memory-intensive.
+
+use crate::column::DictColumn;
+use crate::scan::MatchList;
+use crate::value::DictValue;
+
+/// Materializes the values of the given row positions.
+pub fn materialize_positions<T: DictValue>(column: &DictColumn<T>, positions: &[u32]) -> Vec<T> {
+    let iv = column.index_vector();
+    let dict = column.dictionary();
+    positions.iter().map(|&p| dict.value(iv.get(p as usize)).clone()).collect()
+}
+
+/// Materializes a sub-range `[first, last)` of a match list into `out`.
+///
+/// This mirrors how the engine parallelizes materialization: the output vector
+/// is split into fixed regions and one task materializes each region.
+pub fn materialize_range<T: DictValue>(
+    column: &DictColumn<T>,
+    matches: &MatchList,
+    first: usize,
+    last: usize,
+    out: &mut Vec<T>,
+) {
+    let positions = matches.to_positions();
+    let last = last.min(positions.len());
+    let first = first.min(last);
+    let iv = column.index_vector();
+    let dict = column.dictionary();
+    out.reserve(last - first);
+    for &p in &positions[first..last] {
+        out.push(dict.value(iv.get(p as usize)).clone());
+    }
+}
+
+/// Materializes every qualifying row of a match list.
+pub fn materialize_all<T: DictValue>(column: &DictColumn<T>, matches: &MatchList) -> Vec<T> {
+    let mut out = Vec::with_capacity(matches.count());
+    materialize_range(column, matches, 0, matches.count(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::scan::{scan_bitvector, scan_positions};
+
+    fn column() -> DictColumn<i64> {
+        let values: Vec<i64> = (0..5000i64).map(|i| (i * 31) % 500).collect();
+        DictColumn::from_values("c", &values, false)
+    }
+
+    #[test]
+    fn materialized_values_satisfy_the_predicate() {
+        let col = column();
+        let pred = Predicate::Between { lo: 100, hi: 120 }.encode(col.dictionary());
+        let positions = scan_positions(&col, 0..col.row_count(), &pred);
+        let values = materialize_positions(&col, &positions);
+        assert_eq!(values.len(), positions.len());
+        assert!(values.iter().all(|v| (100..=120).contains(v)));
+    }
+
+    #[test]
+    fn range_materialization_concatenates_to_full_output() {
+        let col = column();
+        let pred = Predicate::Between { lo: 0, hi: 499 }.encode(col.dictionary());
+        let matches = scan_bitvector(&col, 0..col.row_count(), &pred);
+        let full = materialize_all(&col, &matches);
+        assert_eq!(full.len(), col.row_count());
+
+        // Materialize in 4 chunks and compare.
+        let total = matches.count();
+        let chunk = total / 4;
+        let mut pieces = Vec::new();
+        for i in 0..4 {
+            let first = i * chunk;
+            let last = if i == 3 { total } else { (i + 1) * chunk };
+            let mut out = Vec::new();
+            materialize_range(&col, &matches, first, last, &mut out);
+            pieces.extend(out);
+        }
+        assert_eq!(pieces, full);
+    }
+
+    #[test]
+    fn out_of_range_bounds_are_clamped() {
+        let col = column();
+        let pred = Predicate::Between { lo: 0, hi: 10 }.encode(col.dictionary());
+        let matches = MatchList::Positions(scan_positions(&col, 0..col.row_count(), &pred));
+        let mut out = Vec::new();
+        materialize_range(&col, &matches, 5, usize::MAX, &mut out);
+        assert_eq!(out.len(), matches.count().saturating_sub(5));
+    }
+
+    #[test]
+    fn materializing_no_positions_yields_empty_output() {
+        let col = column();
+        assert!(materialize_positions(&col, &[]).is_empty());
+    }
+}

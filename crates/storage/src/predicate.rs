@@ -1,0 +1,193 @@
+//! Predicates over dictionary-encoded columns.
+//!
+//! Before a scan or an index lookup starts, the query's predicate is encoded
+//! with vids (Section 5.2): for a range predicate the value boundaries are
+//! replaced by a vid range through the dictionary; for more complex
+//! predicates a list of qualifying vids is built.
+
+use crate::dictionary::Dictionary;
+use crate::value::DictValue;
+
+/// An inclusive range of vids `[first, last]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VidRange {
+    /// First qualifying vid.
+    pub first: u32,
+    /// Last qualifying vid (inclusive).
+    pub last: u32,
+}
+
+impl VidRange {
+    /// Number of vids in the range.
+    pub fn count(&self) -> u64 {
+        u64::from(self.last) - u64::from(self.first) + 1
+    }
+
+    /// Whether a vid falls in the range.
+    pub fn contains(&self, vid: u32) -> bool {
+        vid >= self.first && vid <= self.last
+    }
+}
+
+/// A predicate over the values of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate<T: DictValue> {
+    /// `value BETWEEN lo AND hi` (both inclusive), the shape used by every
+    /// experiment in the paper (`COLx >= ? AND COLx <= ?`).
+    Between {
+        /// Inclusive lower bound.
+        lo: T,
+        /// Inclusive upper bound.
+        hi: T,
+    },
+    /// `value = x`.
+    Equals(T),
+    /// `value IN (…)`.
+    InList(Vec<T>),
+}
+
+/// The vid-encoded form of a predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodedPredicate {
+    /// A contiguous vid range (fast path for scans).
+    Range(VidRange),
+    /// An explicit list of qualifying vids, sorted ascending.
+    VidList(Vec<u32>),
+    /// The predicate cannot match anything in this column.
+    Empty,
+}
+
+impl EncodedPredicate {
+    /// Number of distinct qualifying vids.
+    pub fn vid_count(&self) -> u64 {
+        match self {
+            EncodedPredicate::Range(r) => r.count(),
+            EncodedPredicate::VidList(v) => v.len() as u64,
+            EncodedPredicate::Empty => 0,
+        }
+    }
+
+    /// Whether a vid qualifies.
+    pub fn matches(&self, vid: u32) -> bool {
+        match self {
+            EncodedPredicate::Range(r) => r.contains(vid),
+            EncodedPredicate::VidList(v) => v.binary_search(&vid).is_ok(),
+            EncodedPredicate::Empty => false,
+        }
+    }
+
+    /// The tightest vid range covering every qualifying vid, if any.
+    pub fn bounding_range(&self) -> Option<VidRange> {
+        match self {
+            EncodedPredicate::Range(r) => Some(*r),
+            EncodedPredicate::VidList(v) => {
+                if v.is_empty() {
+                    None
+                } else {
+                    Some(VidRange { first: v[0], last: *v.last().expect("non-empty") })
+                }
+            }
+            EncodedPredicate::Empty => None,
+        }
+    }
+}
+
+impl<T: DictValue> Predicate<T> {
+    /// Encodes the predicate against a dictionary.
+    pub fn encode(&self, dict: &Dictionary<T>) -> EncodedPredicate {
+        match self {
+            Predicate::Between { lo, hi } => match dict.encode_range(lo, hi) {
+                Some(r) => EncodedPredicate::Range(r),
+                None => EncodedPredicate::Empty,
+            },
+            Predicate::Equals(v) => match dict.lookup(v) {
+                Some(vid) => EncodedPredicate::Range(VidRange { first: vid, last: vid }),
+                None => EncodedPredicate::Empty,
+            },
+            Predicate::InList(values) => {
+                let mut vids: Vec<u32> = values.iter().filter_map(|v| dict.lookup(v)).collect();
+                vids.sort_unstable();
+                vids.dedup();
+                if vids.is_empty() {
+                    EncodedPredicate::Empty
+                } else {
+                    EncodedPredicate::VidList(vids)
+                }
+            }
+        }
+    }
+
+    /// Estimated selectivity of the predicate against a dictionary, assuming
+    /// values are uniformly distributed over the dictionary entries (which is
+    /// exactly how the paper's synthetic dataset is generated).
+    pub fn estimated_selectivity(&self, dict: &Dictionary<T>) -> f64 {
+        if dict.is_empty() {
+            return 0.0;
+        }
+        self.encode(dict).vid_count() as f64 / dict.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> Dictionary<i64> {
+        Dictionary::from_values((0..1000).collect())
+    }
+
+    #[test]
+    fn between_encodes_to_vid_range() {
+        let d = dict();
+        let p = Predicate::Between { lo: 100, hi: 199 };
+        match p.encode(&d) {
+            EncodedPredicate::Range(r) => {
+                assert_eq!(r.first, 100);
+                assert_eq!(r.last, 199);
+                assert_eq!(r.count(), 100);
+            }
+            other => panic!("expected a range, got {other:?}"),
+        }
+        assert!((p.estimated_selectivity(&d) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equals_encodes_to_single_vid() {
+        let d = dict();
+        let p = Predicate::Equals(42);
+        assert_eq!(p.encode(&d).vid_count(), 1);
+        let missing = Predicate::Equals(5000);
+        assert_eq!(missing.encode(&d), EncodedPredicate::Empty);
+    }
+
+    #[test]
+    fn in_list_encodes_sorted_unique_vids() {
+        let d = dict();
+        let p = Predicate::InList(vec![7, 3, 7, 9999]);
+        match p.encode(&d) {
+            EncodedPredicate::VidList(v) => assert_eq!(v, vec![3, 7]),
+            other => panic!("expected a vid list, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encoded_predicate_matches_and_bounds() {
+        let r = EncodedPredicate::Range(VidRange { first: 5, last: 9 });
+        assert!(r.matches(5) && r.matches(9) && !r.matches(10));
+        assert_eq!(r.bounding_range().unwrap().count(), 5);
+
+        let l = EncodedPredicate::VidList(vec![2, 8]);
+        assert!(l.matches(8) && !l.matches(5));
+        assert_eq!(l.bounding_range(), Some(VidRange { first: 2, last: 8 }));
+
+        assert_eq!(EncodedPredicate::Empty.bounding_range(), None);
+        assert!(!EncodedPredicate::Empty.matches(0));
+    }
+
+    #[test]
+    fn selectivity_of_impossible_predicate_is_zero() {
+        let d = dict();
+        let p = Predicate::Between { lo: 2000, hi: 3000 };
+        assert_eq!(p.estimated_selectivity(&d), 0.0);
+    }
+}

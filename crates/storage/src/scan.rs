@@ -1,0 +1,248 @@
+//! Finding qualifying matches: scans and index lookups.
+//!
+//! The first phase of query execution (Section 5.2, Figure 7a) finds the row
+//! positions qualifying under the predicate, either by scanning the index
+//! vector or by a few lookups in the inverted index. The matches are stored
+//! either as a position list (low selectivity) or a bit-vector (high
+//! selectivity).
+
+use crate::bitvector::BitVector;
+use crate::column::DictColumn;
+use crate::predicate::EncodedPredicate;
+use crate::value::DictValue;
+
+/// Threshold above which a bit-vector representation is preferred over a
+/// position list (fraction of qualifying rows).
+pub const BITVECTOR_SELECTIVITY_THRESHOLD: f64 = 0.05;
+
+/// Qualifying matches of one scan (or one partition of a scan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchList {
+    /// Qualifying row positions, ascending. Preferred for low selectivities.
+    Positions(Vec<u32>),
+    /// One bit per row of the scanned range. Preferred for high selectivities.
+    Bits {
+        /// First row position covered by the bit-vector.
+        offset: usize,
+        /// The bits; bit `i` corresponds to row `offset + i`.
+        bits: BitVector,
+    },
+}
+
+impl MatchList {
+    /// Number of qualifying rows.
+    pub fn count(&self) -> usize {
+        match self {
+            MatchList::Positions(p) => p.len(),
+            MatchList::Bits { bits, .. } => bits.count_ones(),
+        }
+    }
+
+    /// Qualifying row positions, ascending (materializes the bit-vector form).
+    pub fn to_positions(&self) -> Vec<u32> {
+        match self {
+            MatchList::Positions(p) => p.clone(),
+            MatchList::Bits { offset, bits } => {
+                bits.iter_ones().map(|p| (p + offset) as u32).collect()
+            }
+        }
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            MatchList::Positions(p) => p.len() * 4,
+            MatchList::Bits { bits, .. } => bits.memory_bytes(),
+        }
+    }
+}
+
+/// Scans rows `positions` of the column's index vector and returns the
+/// qualifying positions as a list.
+pub fn scan_positions<T: DictValue>(
+    column: &DictColumn<T>,
+    positions: std::ops::Range<usize>,
+    predicate: &EncodedPredicate,
+) -> Vec<u32> {
+    let iv = column.index_vector();
+    let mut out = Vec::new();
+    match predicate {
+        EncodedPredicate::Empty => {}
+        EncodedPredicate::Range(r) => {
+            iv.scan_range(positions, r.first, r.last, |p| out.push(p as u32));
+        }
+        EncodedPredicate::VidList(_) => {
+            let end = positions.end.min(iv.len());
+            for p in positions.start.min(end)..end {
+                if predicate.matches(iv.get(p)) {
+                    out.push(p as u32);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scans rows `positions` of the column's index vector and returns the
+/// qualifying positions as a bit-vector anchored at `positions.start`.
+pub fn scan_bitvector<T: DictValue>(
+    column: &DictColumn<T>,
+    positions: std::ops::Range<usize>,
+    predicate: &EncodedPredicate,
+) -> MatchList {
+    let iv = column.index_vector();
+    let end = positions.end.min(iv.len());
+    let start = positions.start.min(end);
+    let mut bits = BitVector::new(end - start);
+    match predicate {
+        EncodedPredicate::Empty => {}
+        EncodedPredicate::Range(r) => {
+            iv.scan_range(start..end, r.first, r.last, |p| bits.set(p - start));
+        }
+        EncodedPredicate::VidList(_) => {
+            for p in start..end {
+                if predicate.matches(iv.get(p)) {
+                    bits.set(p - start);
+                }
+            }
+        }
+    }
+    MatchList::Bits { offset: start, bits }
+}
+
+/// Scans rows `positions`, choosing the result representation based on the
+/// estimated selectivity as the paper's prototype does.
+pub fn scan<T: DictValue>(
+    column: &DictColumn<T>,
+    positions: std::ops::Range<usize>,
+    predicate: &EncodedPredicate,
+    estimated_selectivity: f64,
+) -> MatchList {
+    if estimated_selectivity >= BITVECTOR_SELECTIVITY_THRESHOLD {
+        scan_bitvector(column, positions, predicate)
+    } else {
+        MatchList::Positions(scan_positions(column, positions, predicate))
+    }
+}
+
+/// Answers the predicate through the inverted index instead of scanning.
+///
+/// Returns `None` if the column has no index. The result positions are sorted
+/// ascending, covering the whole column.
+pub fn index_lookup<T: DictValue>(
+    column: &DictColumn<T>,
+    predicate: &EncodedPredicate,
+) -> Option<Vec<u32>> {
+    let ix = column.inverted_index()?;
+    let positions = match predicate {
+        EncodedPredicate::Empty => Vec::new(),
+        EncodedPredicate::Range(r) => ix.positions_in_range(r.first, r.last),
+        EncodedPredicate::VidList(vids) => {
+            let mut out = Vec::new();
+            for &vid in vids {
+                out.extend_from_slice(ix.positions_of(vid));
+            }
+            out.sort_unstable();
+            out
+        }
+    };
+    Some(positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+
+    fn column() -> DictColumn<i64> {
+        let values: Vec<i64> = (0..10_000i64).map(|i| (i * 7919) % 1000).collect();
+        DictColumn::from_values("c", &values, true)
+    }
+
+    fn encoded(col: &DictColumn<i64>, lo: i64, hi: i64) -> EncodedPredicate {
+        Predicate::Between { lo, hi }.encode(col.dictionary())
+    }
+
+    #[test]
+    fn scan_positions_matches_reference_filter() {
+        let col = column();
+        let pred = encoded(&col, 100, 149);
+        let got = scan_positions(&col, 0..col.row_count(), &pred);
+        let expected: Vec<u32> = (0..col.row_count())
+            .filter(|&i| (100..=149).contains(col.value_at(i)))
+            .map(|i| i as u32)
+            .collect();
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn bitvector_scan_agrees_with_position_scan() {
+        let col = column();
+        let pred = encoded(&col, 0, 499);
+        let positions = scan_positions(&col, 1000..9000, &pred);
+        let bits = scan_bitvector(&col, 1000..9000, &pred);
+        assert_eq!(bits.to_positions(), positions);
+        assert_eq!(bits.count(), positions.len());
+    }
+
+    #[test]
+    fn scan_chooses_representation_by_selectivity() {
+        let col = column();
+        let pred = encoded(&col, 0, 999);
+        match scan(&col, 0..100, &pred, 1.0) {
+            MatchList::Bits { .. } => {}
+            other => panic!("high selectivity should use bits, got {other:?}"),
+        }
+        match scan(&col, 0..100, &pred, 0.0001) {
+            MatchList::Positions(_) => {}
+            other => panic!("low selectivity should use positions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_lookup_agrees_with_scan() {
+        let col = column();
+        let pred = encoded(&col, 250, 251);
+        let from_scan = scan_positions(&col, 0..col.row_count(), &pred);
+        let from_index = index_lookup(&col, &pred).unwrap();
+        assert_eq!(from_index, from_scan);
+    }
+
+    #[test]
+    fn index_lookup_without_index_returns_none() {
+        let values: Vec<i64> = (0..100).collect();
+        let col = DictColumn::from_values("c", &values, false);
+        assert!(index_lookup(&col, &encoded(&col, 0, 10)).is_none());
+    }
+
+    #[test]
+    fn empty_predicate_matches_nothing() {
+        let col = column();
+        let pred = EncodedPredicate::Empty;
+        assert!(scan_positions(&col, 0..col.row_count(), &pred).is_empty());
+        assert_eq!(scan_bitvector(&col, 0..col.row_count(), &pred).count(), 0);
+        assert!(index_lookup(&col, &pred).unwrap().is_empty());
+    }
+
+    #[test]
+    fn vid_list_predicate_scans_correctly() {
+        let col = column();
+        let pred = Predicate::InList(vec![5i64, 700]).encode(col.dictionary());
+        let got = scan_positions(&col, 0..col.row_count(), &pred);
+        let expected: Vec<u32> = (0..col.row_count())
+            .filter(|&i| [5i64, 700].contains(col.value_at(i)))
+            .map(|i| i as u32)
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn partial_range_scans_cover_only_their_rows() {
+        let col = column();
+        let pred = encoded(&col, 0, 999);
+        let got = scan_positions(&col, 500..600, &pred);
+        assert_eq!(got.len(), 100);
+        assert!(got.iter().all(|&p| (500..600).contains(&(p as usize))));
+    }
+}

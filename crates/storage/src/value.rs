@@ -1,0 +1,54 @@
+//! Value types that can be dictionary-encoded.
+
+/// A value type that can be stored in a [`crate::Dictionary`].
+///
+/// Dictionary encoding requires values to have a total order (the dictionary
+/// is kept sorted so range predicates translate into vid ranges) and a way to
+/// estimate their in-memory footprint (used to reason about the memory
+/// overhead of physical partitioning, Section 6.2.3 of the paper).
+pub trait DictValue: Ord + Clone + std::fmt::Debug + Send + Sync + 'static {
+    /// Approximate heap + inline size of one value in bytes.
+    fn value_bytes(&self) -> usize;
+}
+
+impl DictValue for i64 {
+    fn value_bytes(&self) -> usize {
+        std::mem::size_of::<i64>()
+    }
+}
+
+impl DictValue for i32 {
+    fn value_bytes(&self) -> usize {
+        std::mem::size_of::<i32>()
+    }
+}
+
+impl DictValue for u64 {
+    fn value_bytes(&self) -> usize {
+        std::mem::size_of::<u64>()
+    }
+}
+
+impl DictValue for String {
+    fn value_bytes(&self) -> usize {
+        std::mem::size_of::<String>() + self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_sizes_are_fixed() {
+        assert_eq!(5i64.value_bytes(), 8);
+        assert_eq!(5i32.value_bytes(), 4);
+        assert_eq!(5u64.value_bytes(), 8);
+    }
+
+    #[test]
+    fn string_size_includes_payload() {
+        let s = "Anna".to_string();
+        assert_eq!(s.value_bytes(), std::mem::size_of::<String>() + 4);
+    }
+}

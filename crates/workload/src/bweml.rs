@@ -1,0 +1,104 @@
+//! A SAP BW-EML-style reporting workload (Section 6.3).
+//!
+//! BW-EML (Business Warehouse Enhanced Mixed Load) is a proprietary SAP
+//! benchmark; the paper describes the properties that matter for its
+//! experiments: the data model has three InfoCubes (around one billion records
+//! in total), the reporting load is dominated by scans and aggregations over
+//! the cubes, the aggregate expressions are *simple*, and the workload is
+//! therefore memory-intensive — which is why Bound beats Target for it.
+//! This module models exactly that shape.
+
+use numascan_core::{ColumnRef, ColumnSpec, QueryGenerator, QuerySpec, TableSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of InfoCubes in the BW-EML data model.
+pub const INFOCUBES: usize = 3;
+/// Key-figure (measure) columns per InfoCube that reporting queries aggregate.
+pub const KEY_FIGURES_PER_CUBE: usize = 8;
+/// CPU operations per row of a BW-EML aggregation (simple sums / counts).
+pub const BWEML_OPS_PER_ROW: f64 = 2.0;
+
+/// Metadata descriptions of the three InfoCubes, sized so that their total
+/// row count is `total_rows` (the paper uses one billion records).
+pub fn infocube_table_specs(total_rows: u64) -> Vec<TableSpec> {
+    let rows_per_cube = (total_rows / INFOCUBES as u64).max(1);
+    (0..INFOCUBES)
+        .map(|cube| {
+            let columns = (0..KEY_FIGURES_PER_CUBE)
+                .map(|k| {
+                    ColumnSpec::integer_with_bitcase(
+                        format!("cube{cube}_kf{k}"),
+                        rows_per_cube,
+                        18 + (k % 6) as u8,
+                        false,
+                    )
+                })
+                .collect();
+            TableSpec::new(format!("infocube{cube}"), rows_per_cube, columns)
+        })
+        .collect()
+}
+
+/// The BW-EML reporting load: every navigation step aggregates a key figure of
+/// a randomly chosen InfoCube.
+#[derive(Debug, Clone)]
+pub struct BwEmlWorkload {
+    /// Catalog table indexes of the three cubes.
+    cube_tables: Vec<usize>,
+    rng: StdRng,
+}
+
+impl BwEmlWorkload {
+    /// Creates the workload; `cube_tables` are the catalog indexes of the
+    /// placed InfoCubes.
+    pub fn new(cube_tables: Vec<usize>, seed: u64) -> Self {
+        assert!(!cube_tables.is_empty(), "BW-EML needs at least one InfoCube");
+        BwEmlWorkload { cube_tables, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl QueryGenerator for BwEmlWorkload {
+    fn next_query(&mut self, _client: usize) -> QuerySpec {
+        let cube = self.cube_tables[self.rng.gen_range(0..self.cube_tables.len())];
+        let column = self.rng.gen_range(0..KEY_FIGURES_PER_CUBE);
+        QuerySpec::aggregate(ColumnRef { table: cube, column }, BWEML_OPS_PER_ROW)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numascan_core::QueryKind;
+
+    #[test]
+    fn three_cubes_split_the_billion_rows() {
+        let cubes = infocube_table_specs(1_000_000_000);
+        assert_eq!(cubes.len(), 3);
+        for cube in &cubes {
+            assert_eq!(cube.rows, 333_333_333);
+            assert_eq!(cube.columns.len(), KEY_FIGURES_PER_CUBE);
+        }
+    }
+
+    #[test]
+    fn reporting_queries_are_simple_aggregations_over_all_cubes() {
+        let mut w = BwEmlWorkload::new(vec![0, 1, 2], 9);
+        let mut seen_tables = std::collections::HashSet::new();
+        for client in 0..300 {
+            let q = w.next_query(client);
+            seen_tables.insert(q.column.table);
+            match q.kind {
+                QueryKind::Aggregate { ops_per_row } => assert_eq!(ops_per_row, BWEML_OPS_PER_ROW),
+                other => panic!("unexpected kind {other:?}"),
+            }
+        }
+        assert_eq!(seen_tables.len(), 3, "all cubes should be queried");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one InfoCube")]
+    fn empty_cube_list_is_rejected() {
+        BwEmlWorkload::new(vec![], 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! # numascan-workload
+//!
+//! Dataset and workload generators reproducing the experimental setup of the
+//! paper's evaluation (Section 6):
+//!
+//! * [`dataset`] — the synthetic table used by the sensitivity analysis
+//!   (100 million rows, an ID column and 160 random integer columns whose
+//!   bitcases cycle through 17–26), both as a metadata-only [`TableSpec`] for
+//!   the simulator and as a real, materialised table for native execution.
+//! * [`selection`] — uniform and skewed column selection (the skewed workload
+//!   picks one of the first 80 columns with 20 % probability and one of the
+//!   remaining 80 columns with 80 % probability).
+//! * [`scans`] — the closed-loop scan workload: every client repeatedly
+//!   executes `SELECT COLx FROM TBL WHERE COLx BETWEEN ? AND ?` with a
+//!   configurable selectivity.
+//! * [`tpch`] — a TPC-H Q1-style workload: expression-heavy aggregation over
+//!   a single large table (CPU-intensive).
+//! * [`bweml`] — a SAP BW-EML-style reporting workload: simple aggregations
+//!   over three InfoCubes (memory-intensive). The real benchmark kit is
+//!   proprietary; this models its published shape.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bweml;
+pub mod dataset;
+pub mod scans;
+pub mod selection;
+pub mod tpch;
+
+pub use bweml::BwEmlWorkload;
+pub use dataset::{paper_table_spec, small_real_table, PAPER_COLUMNS, PAPER_ROWS};
+pub use scans::ScanWorkload;
+pub use selection::ColumnSelection;
+pub use tpch::TpchQ1Workload;
+
+use numascan_core::{Catalog, PlacedTable, PlacementStrategy, TableSpec};
+use numascan_numasim::{Machine, Result};
+
+/// Places `spec` on `machine` with `strategy` and returns a catalog containing
+/// it (the common setup step of every experiment).
+pub fn build_catalog(
+    machine: &mut Machine,
+    spec: &TableSpec,
+    strategy: PlacementStrategy,
+) -> Result<Catalog> {
+    let table = PlacedTable::place(machine, spec, strategy)?;
+    let mut catalog = Catalog::new();
+    catalog.add_table(table);
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numascan_numasim::Topology;
+
+    #[test]
+    fn build_catalog_places_the_paper_dataset() {
+        let mut machine = Machine::new(Topology::four_socket_ivybridge_ex());
+        let spec = paper_table_spec(1_000_000, 16, false);
+        let catalog = build_catalog(&mut machine, &spec, PlacementStrategy::RoundRobin).unwrap();
+        assert_eq!(catalog.table_count(), 1);
+        assert_eq!(catalog.table(0).columns.len(), 17); // ID + 16 payload columns
+    }
+}

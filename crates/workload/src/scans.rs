@@ -1,0 +1,136 @@
+//! The concurrent-scan workload of Sections 6.1 and 6.2.
+//!
+//! Every client holds a prepared statement per column
+//! (`SELECT COLx FROM TBL WHERE COLx >= ? AND COLx <= ?`) and continuously
+//! picks one to execute, with no think time. The workload parameters are the
+//! column-selection distribution, the predicate selectivity and whether the
+//! optimizer may use indexes.
+
+use numascan_core::{ColumnRef, QueryGenerator, QueryKind, QuerySpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::selection::ColumnSelection;
+
+/// The closed-loop scan workload.
+#[derive(Debug, Clone)]
+pub struct ScanWorkload {
+    table: usize,
+    payload_columns: usize,
+    first_payload_column: usize,
+    selection: ColumnSelection,
+    selectivity: f64,
+    allow_index: bool,
+    rng: StdRng,
+}
+
+impl ScanWorkload {
+    /// Creates a scan workload over the `payload_columns` payload columns of
+    /// table `table` (column 0 is assumed to be the ID column and is never
+    /// queried, as in the paper).
+    pub fn new(
+        table: usize,
+        payload_columns: usize,
+        selection: ColumnSelection,
+        selectivity: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(payload_columns > 0);
+        ScanWorkload {
+            table,
+            payload_columns,
+            first_payload_column: 1,
+            selection,
+            selectivity: selectivity.clamp(0.0, 1.0),
+            allow_index: false,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Allows the optimizer to use inverted indexes for low selectivities.
+    pub fn with_indexes(mut self, allow: bool) -> Self {
+        self.allow_index = allow;
+        self
+    }
+
+    /// Changes the predicate selectivity.
+    pub fn with_selectivity(mut self, selectivity: f64) -> Self {
+        self.selectivity = selectivity.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The configured selectivity.
+    pub fn selectivity(&self) -> f64 {
+        self.selectivity
+    }
+}
+
+impl QueryGenerator for ScanWorkload {
+    fn next_query(&mut self, _client: usize) -> QuerySpec {
+        let payload_index = self.selection.pick(&mut self.rng, self.payload_columns);
+        QuerySpec {
+            column: ColumnRef {
+                table: self.table,
+                column: self.first_payload_column + payload_index,
+            },
+            kind: QueryKind::Scan { selectivity: self.selectivity, allow_index: self.allow_index },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_never_touch_the_id_column() {
+        let mut w = ScanWorkload::new(0, 16, ColumnSelection::Uniform, 0.00001, 7);
+        for client in 0..1000 {
+            let q = w.next_query(client);
+            assert!(q.column.column >= 1 && q.column.column <= 16);
+            assert_eq!(q.column.table, 0);
+            match q.kind {
+                QueryKind::Scan { selectivity, allow_index } => {
+                    assert_eq!(selectivity, 0.00001);
+                    assert!(!allow_index);
+                }
+                other => panic!("unexpected kind {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_workload_concentrates_on_the_hot_half() {
+        let mut w = ScanWorkload::new(0, 160, ColumnSelection::paper_skew(), 0.001, 11);
+        let mut hot = 0;
+        for client in 0..10_000 {
+            let q = w.next_query(client);
+            if ColumnSelection::is_hot_column(q.column.column - 1) {
+                hot += 1;
+            }
+        }
+        assert!(hot > 7_500 && hot < 8_500, "hot queries: {hot}");
+    }
+
+    #[test]
+    fn builder_methods_adjust_parameters() {
+        let w = ScanWorkload::new(0, 4, ColumnSelection::Uniform, 0.5, 1)
+            .with_indexes(true)
+            .with_selectivity(0.1);
+        assert_eq!(w.selectivity(), 0.1);
+        let mut w = w;
+        match w.next_query(0).kind {
+            QueryKind::Scan { allow_index, selectivity } => {
+                assert!(allow_index);
+                assert_eq!(selectivity, 0.1);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selectivity_is_clamped() {
+        let w = ScanWorkload::new(0, 4, ColumnSelection::Uniform, 7.5, 1);
+        assert_eq!(w.selectivity(), 1.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Column selection distributions.
+//!
+//! Section 6.2: "Clients have a 20 % probability of choosing a random column
+//! from the first 80 columns of the dataset, and a 80 % probability of
+//! choosing one from the remaining 80 columns." In the paper's setup the hot
+//! set of columns ends up concentrated on a subset of the sockets (Figure 15
+//! shows only two of the four sockets serving traffic). To reproduce that
+//! socket-level hotspot under a round-robin per-column placement, the skewed
+//! distribution here uses the columns with *even* payload index as the hot
+//! set: under RR they map to half of the sockets.
+
+use rand::Rng;
+
+/// How clients pick the column of their next query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSelection {
+    /// Every payload column is equally likely.
+    Uniform,
+    /// Half of the columns (those with an even payload index — which RR
+    /// placement maps to half of the sockets) form the hot set and are chosen
+    /// with `hot_probability`; the other half with the remainder.
+    Skewed {
+        /// Probability of picking a column from the hot half (0.8 in the
+        /// paper).
+        hot_probability: f64,
+    },
+    /// Always the same column (used for single-table hotspots).
+    Single(usize),
+}
+
+impl ColumnSelection {
+    /// The paper's skewed workload (80 % of queries hit half of the columns).
+    pub fn paper_skew() -> Self {
+        ColumnSelection::Skewed { hot_probability: 0.8 }
+    }
+
+    /// `true` if the payload column index belongs to the hot set of the
+    /// skewed distribution.
+    pub fn is_hot_column(payload_index: usize) -> bool {
+        payload_index % 2 == 0
+    }
+
+    /// Draws a payload column index in `0..columns`.
+    pub fn pick<R: Rng>(&self, rng: &mut R, columns: usize) -> usize {
+        assert!(columns > 0, "cannot pick from zero columns");
+        match self {
+            ColumnSelection::Uniform => rng.gen_range(0..columns),
+            ColumnSelection::Skewed { hot_probability } => {
+                let hot_count = columns.div_ceil(2); // even indices
+                let cold_count = columns - hot_count;
+                if cold_count == 0 || rng.gen_bool(hot_probability.clamp(0.0, 1.0)) {
+                    2 * rng.gen_range(0..hot_count)
+                } else {
+                    2 * rng.gen_range(0..cold_count) + 1
+                }
+            }
+            ColumnSelection::Single(column) => (*column).min(columns - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_selection_covers_all_columns_evenly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = ColumnSelection::Uniform;
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[sel.pick(&mut rng, 10)] += 1;
+        }
+        assert!(counts.iter().all(|c| *c > 700 && *c < 1300), "{counts:?}");
+    }
+
+    #[test]
+    fn skewed_selection_prefers_the_hot_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sel = ColumnSelection::paper_skew();
+        let columns = 160;
+        let mut hot = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            let picked = sel.pick(&mut rng, columns);
+            assert!(picked < columns);
+            if ColumnSelection::is_hot_column(picked) {
+                hot += 1;
+            }
+        }
+        let fraction = hot as f64 / n as f64;
+        assert!((fraction - 0.8).abs() < 0.02, "hot fraction {fraction}");
+    }
+
+    #[test]
+    fn single_selection_is_constant_and_clamped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(ColumnSelection::Single(5).pick(&mut rng, 10), 5);
+        assert_eq!(ColumnSelection::Single(50).pick(&mut rng, 10), 9);
+    }
+
+    #[test]
+    fn skewed_selection_handles_tiny_tables() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sel = ColumnSelection::paper_skew();
+        for _ in 0..100 {
+            assert!(sel.pick(&mut rng, 1) == 0);
+            assert!(sel.pick(&mut rng, 2) < 2);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! A TPC-H Q1-style workload (Section 6.3).
+//!
+//! The paper measures the throughput of continuously issued TPC-H Q1
+//! instances at scale factor 100 with 32 concurrent clients. Q1's evaluation
+//! is dominated by aggregations over a single table (`lineitem`), and the
+//! paper's measurements show it is *CPU-intensive*: the multiplications of its
+//! aggregate expressions dominate. Consequently Target (stealing allowed)
+//! beats Bound for this workload.
+
+use numascan_core::{ColumnRef, ColumnSpec, QueryGenerator, QuerySpec, TableSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rows of `lineitem` per TPC-H scale factor unit.
+pub const LINEITEM_ROWS_PER_SF: u64 = 6_000_000;
+/// CPU operations per row of the Q1 aggregation (expression-heavy: several
+/// multiplications, additions and predicate checks per row).
+pub const Q1_OPS_PER_ROW: f64 = 30.0;
+
+/// The columns Q1 reads from `lineitem`.
+const Q1_COLUMNS: &[(&str, u8)] = &[
+    ("l_quantity", 6),
+    ("l_extendedprice", 21),
+    ("l_discount", 4),
+    ("l_tax", 4),
+    ("l_returnflag", 2),
+    ("l_linestatus", 2),
+    ("l_shipdate", 12),
+];
+
+/// Metadata description of the `lineitem` columns Q1 touches, at the given
+/// scale factor.
+pub fn lineitem_table_spec(scale_factor: u64) -> TableSpec {
+    let rows = LINEITEM_ROWS_PER_SF * scale_factor.max(1);
+    let columns = Q1_COLUMNS
+        .iter()
+        .map(|(name, bitcase)| ColumnSpec::integer_with_bitcase(*name, rows, *bitcase, false))
+        .collect();
+    TableSpec::new("lineitem", rows, columns)
+}
+
+/// Continuously issued TPC-H Q1 instances with random parameters.
+#[derive(Debug, Clone)]
+pub struct TpchQ1Workload {
+    table: usize,
+    columns: usize,
+    rng: StdRng,
+}
+
+impl TpchQ1Workload {
+    /// Creates the workload against table index `table` of the catalog, which
+    /// must have been placed from [`lineitem_table_spec`].
+    pub fn new(table: usize, seed: u64) -> Self {
+        TpchQ1Workload { table, columns: Q1_COLUMNS.len(), rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl QueryGenerator for TpchQ1Workload {
+    fn next_query(&mut self, _client: usize) -> QuerySpec {
+        // Each Q1 instance aggregates the lineitem columns; the simulation
+        // represents it as an expression-heavy aggregation over one of the
+        // touched columns (the per-row cost already accounts for the whole
+        // expression list).
+        let column = self.rng.gen_range(0..self.columns);
+        QuerySpec::aggregate(ColumnRef { table: self.table, column }, Q1_OPS_PER_ROW)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numascan_core::QueryKind;
+
+    #[test]
+    fn lineitem_scales_with_the_scale_factor() {
+        let sf100 = lineitem_table_spec(100);
+        assert_eq!(sf100.rows, 600_000_000);
+        assert_eq!(sf100.columns.len(), 7);
+        let sf1 = lineitem_table_spec(1);
+        assert_eq!(sf1.rows, 6_000_000);
+    }
+
+    #[test]
+    fn q1_queries_are_cpu_intensive_aggregations() {
+        let mut w = TpchQ1Workload::new(0, 3);
+        for client in 0..100 {
+            let q = w.next_query(client);
+            assert_eq!(q.column.table, 0);
+            assert!(q.column.column < 7);
+            match q.kind {
+                QueryKind::Aggregate { ops_per_row } => assert_eq!(ops_per_row, Q1_OPS_PER_ROW),
+                other => panic!("unexpected kind {other:?}"),
+            }
+        }
+    }
+}

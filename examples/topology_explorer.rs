@@ -1,0 +1,57 @@
+//! Topology explorer: prints the modelled servers of Table 1 and measures what
+//! their interconnects and memory controllers can sustain under a few
+//! synthetic traffic patterns.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example topology_explorer
+//! ```
+
+use numascan::numasim::bandwidth::MemoryDemand;
+use numascan::numasim::{BandwidthSolver, SocketId, Topology};
+
+fn aggregate(solver: &BandwidthSolver, demands: &[MemoryDemand]) -> f64 {
+    let allocation = solver.solve(demands);
+    demands.iter().zip(&allocation.rates).map(|(d, r)| r * d.weight).sum()
+}
+
+fn main() {
+    for topology in [
+        Topology::four_socket_ivybridge_ex(),
+        Topology::eight_socket_westmere_ex(),
+        Topology::thirty_two_socket_ivybridge_ex(),
+    ] {
+        let (l0, l1, lmax, b0, b1, bmax, total) = topology.table1_row();
+        println!("{}", topology.name);
+        println!("  latencies   : local {l0} ns, 1 hop {l1} ns, max hops {lmax} ns");
+        println!("  bandwidths  : local {b0} GiB/s, 1 hop {b1} GiB/s, max hops {bmax} GiB/s");
+        println!("  total local : {total} GiB/s (sum of controllers)");
+
+        let solver = BandwidthSolver::new(&topology);
+        let contexts = topology.contexts_per_socket();
+        let cap = topology.socket.per_context_stream_gibs;
+
+        // Pattern 1: every context streams from its local socket.
+        let local: Vec<MemoryDemand> = topology
+            .socket_ids()
+            .map(|s| MemoryDemand::aggregated(s.0 as u64, s, s, cap, contexts as f64))
+            .collect();
+        // Pattern 2: every context streams from the next socket over.
+        let remote: Vec<MemoryDemand> = topology
+            .socket_ids()
+            .map(|s| {
+                let mem = SocketId((s.0 + 1) % topology.socket_count() as u16);
+                MemoryDemand::aggregated(s.0 as u64, s, mem, cap, contexts as f64)
+            })
+            .collect();
+
+        let local_total = aggregate(&solver, &local);
+        let remote_total = aggregate(&solver, &remote);
+        println!("  all-local streaming  : {local_total:.0} GiB/s achievable");
+        println!(
+            "  all-remote streaming : {remote_total:.0} GiB/s achievable ({:.1}x slower)\n",
+            local_total / remote_total.max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Reduced-scale checks of the paper's headline claims, exercised through the
+//! experiment harness exactly as the `repro` binary runs them.
+
+use numascan::bench::experiments;
+use numascan::bench::ExperimentScale;
+
+fn tiny_scale() -> ExperimentScale {
+    ExperimentScale {
+        rows: 1_000_000,
+        payload_columns: 8,
+        client_sweep: vec![64],
+        high_concurrency: 64,
+        max_queries: 250,
+        max_virtual_seconds: 20.0,
+    }
+}
+
+#[test]
+fn claim_numa_awareness_multiplies_throughput() {
+    // Figure 1 / Figure 8: NUMA-aware scheduling is a multiple of NUMA-agnostic.
+    let tables = experiments::fig01::run(&tiny_scale());
+    let speedup = tables[0].cell_f64("64", "speedup").unwrap();
+    assert!(speedup > 2.0, "NUMA-awareness speedup too small: {speedup}");
+}
+
+#[test]
+fn claim_stealing_memory_intensive_tasks_hurts() {
+    // Section 6.2.1 / Figure 15: Target loses to Bound for skewed scans.
+    let tables = experiments::fig15::run(&ExperimentScale {
+        rows: 1_000_000,
+        payload_columns: 16,
+        client_sweep: vec![96],
+        high_concurrency: 96,
+        max_queries: 300,
+        max_virtual_seconds: 20.0,
+    });
+    let target = tables[0].cell_f64("96", "Target").unwrap();
+    let bound = tables[0].cell_f64("96", "Bound").unwrap();
+    assert!(bound > target, "Bound {bound} must beat Target {target} for skewed memory-bound scans");
+}
+
+#[test]
+fn claim_unnecessary_partitioning_hurts_at_scale() {
+    // Section 6.1.4 / Figure 12: partitioning across all sockets of the
+    // rack-scale machine loses a large fraction of the RR throughput.
+    let tables = experiments::fig12::run(&ExperimentScale {
+        rows: 1_000_000,
+        payload_columns: 32,
+        client_sweep: vec![192],
+        high_concurrency: 192,
+        max_queries: 400,
+        max_virtual_seconds: 20.0,
+    });
+    let rr = tables[0].cell_f64("RR", "Bound").unwrap();
+    let ivp32 = tables[0].cell_f64("IVP32", "Bound").unwrap();
+    assert!(
+        ivp32 < 0.75 * rr,
+        "partitioning across 32 sockets should cost a large fraction of throughput: RR {rr} vs IVP32 {ivp32}"
+    );
+}
+
+#[test]
+fn claim_table1_is_reproduced_exactly() {
+    let tables = experiments::table01::run(&tiny_scale());
+    let t = &tables[0];
+    assert_eq!(t.cell_f64("Local latency (ns)", "4xIvybridge-EX"), Some(150.0));
+    assert_eq!(t.cell_f64("1 hop B/W (GiB/s)", "32xIvybridge-EX"), Some(11.8));
+    assert_eq!(t.cell_f64("Max hops B/W (GiB/s)", "8xWestmere-EX"), Some(4.6));
+}

@@ -1,0 +1,185 @@
+//! Property-based tests over the core data structures and their invariants.
+
+use proptest::prelude::*;
+
+use numascan::numasim::memman::{AllocPolicy, MemoryManager, VirtRange, PAGE_SIZE};
+use numascan::numasim::{SocketId, Topology};
+use numascan::psm::Psm;
+use numascan::storage::{BitPackedVec, BitVector, Dictionary, InvertedIndex, Predicate};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packing and unpacking a bit-compressed vector is lossless for any
+    /// bitcase and any values that fit.
+    #[test]
+    fn bitpack_roundtrip(bits in 1u8..=32, values in proptest::collection::vec(any::<u32>(), 0..400)) {
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let values: Vec<u32> = values.into_iter().map(|v| v & mask).collect();
+        let packed = BitPackedVec::from_slice(bits, &values);
+        prop_assert_eq!(packed.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(packed.get(i), *v);
+        }
+    }
+
+    /// A range scan over the packed vector returns exactly the positions a
+    /// naive filter returns.
+    #[test]
+    fn bitpack_scan_equals_naive_filter(
+        values in proptest::collection::vec(0u32..1000, 1..500),
+        lo in 0u32..1000,
+        span in 0u32..1000,
+    ) {
+        let hi = lo.saturating_add(span);
+        let packed = BitPackedVec::from_slice(10, &values);
+        let mut scanned = Vec::new();
+        packed.scan_range(0..values.len(), lo, hi, |p| scanned.push(p));
+        let expected: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v >= lo && **v <= hi)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    /// Encoding a range predicate through the dictionary and evaluating it on
+    /// vids selects exactly the rows a direct value comparison selects.
+    #[test]
+    fn dictionary_range_encoding_is_equivalent_to_value_comparison(
+        values in proptest::collection::vec(-500i64..500, 1..300),
+        lo in -600i64..600,
+        span in 0i64..400,
+    ) {
+        let hi = lo + span;
+        let dict = Dictionary::from_values(values.clone());
+        let encoded = Predicate::Between { lo, hi }.encode(&dict);
+        for v in &values {
+            let vid = dict.lookup(v).unwrap();
+            let by_vid = encoded.matches(vid);
+            let by_value = *v >= lo && *v <= hi;
+            prop_assert_eq!(by_vid, by_value, "value {}", v);
+        }
+    }
+
+    /// The inverted index returns exactly the positions of each vid.
+    #[test]
+    fn inverted_index_matches_positions(values in proptest::collection::vec(0u32..50, 1..300)) {
+        let iv = BitPackedVec::from_slice(6, &values);
+        let ix = InvertedIndex::build(&iv, 50);
+        prop_assert_eq!(ix.total_positions(), values.len());
+        for vid in 0u32..50 {
+            let expected: Vec<u32> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v == vid)
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(ix.positions_of(vid), expected.as_slice());
+        }
+    }
+
+    /// Bit-vector set/count/iterate are consistent.
+    #[test]
+    fn bitvector_count_matches_iteration(positions in proptest::collection::btree_set(0usize..2000, 0..200)) {
+        let mut bv = BitVector::new(2000);
+        for &p in &positions {
+            bv.set(p);
+        }
+        prop_assert_eq!(bv.count_ones(), positions.len());
+        let collected: Vec<usize> = bv.iter_ones().collect();
+        let expected: Vec<usize> = positions.into_iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    /// PSM invariants hold under arbitrary sequences of page moves: the
+    /// summary equals the per-page ground truth of the memory manager, and the
+    /// total page count never changes.
+    #[test]
+    fn psm_tracks_memory_manager_ground_truth(
+        moves in proptest::collection::vec((0u64..64, 1u64..32, 0u16..4), 0..20),
+    ) {
+        let topology = Topology::four_socket_ivybridge_ex();
+        let mut mem = MemoryManager::new(&topology);
+        let range = mem.allocate(64 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        let mut psm = Psm::from_memory(&mem, range).unwrap();
+        prop_assert_eq!(psm.total_pages(), 64);
+
+        for (start, len, socket) in moves {
+            let start = start.min(63);
+            let len = len.min(64 - start);
+            if len == 0 {
+                continue;
+            }
+            let sub = VirtRange::new(range.base + start * PAGE_SIZE, len * PAGE_SIZE);
+            psm.move_range(&mut mem, sub, SocketId(socket)).unwrap();
+
+            // Invariant: total page count is preserved.
+            prop_assert_eq!(psm.total_pages(), 64);
+            // Invariant: per-socket summary matches the memory manager.
+            let truth = mem.pages_per_socket(range).unwrap();
+            prop_assert_eq!(psm.pages_per_socket(), truth.as_slice());
+            // Invariant: every page's socket agrees with the memory manager.
+            for page in 0..64 {
+                let addr = range.base + page * PAGE_SIZE;
+                prop_assert_eq!(psm.socket_of(addr), mem.socket_of(addr).unwrap());
+            }
+        }
+    }
+
+    /// Splitting a range into even parts always covers it exactly.
+    #[test]
+    fn virt_range_split_covers_exactly(bytes in 1u64..1_000_000, parts in 1usize..64) {
+        let range = VirtRange::new(4096, bytes);
+        let splits = range.split_even(parts);
+        prop_assert_eq!(splits.len(), parts);
+        prop_assert_eq!(splits.iter().map(|r| r.bytes).sum::<u64>(), bytes);
+        let mut cursor = range.base;
+        for part in &splits {
+            prop_assert_eq!(part.base, cursor);
+            cursor = part.end();
+        }
+        prop_assert_eq!(cursor, range.end());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The bandwidth solver never over-commits a resource and never exceeds a
+    /// demand's cap, for arbitrary demand sets on the 4-socket machine.
+    #[test]
+    fn bandwidth_allocation_respects_caps_and_capacities(
+        demands in proptest::collection::vec((0u16..4, 0u16..4, 1u32..8), 1..60),
+    ) {
+        use numascan::numasim::bandwidth::MemoryDemand;
+        use numascan::numasim::BandwidthSolver;
+        let topology = Topology::four_socket_ivybridge_ex();
+        let solver = BandwidthSolver::new(&topology);
+        let demands: Vec<MemoryDemand> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, (cpu, mem, cap))| {
+                MemoryDemand::new(i as u64, SocketId(*cpu), SocketId(*mem), *cap as f64)
+            })
+            .collect();
+        let allocation = solver.solve(&demands);
+        // Caps respected.
+        for (d, r) in demands.iter().zip(&allocation.rates) {
+            prop_assert!(*r >= 0.0);
+            prop_assert!(*r <= d.cap_gibs + 1e-6);
+        }
+        // Memory controllers not over-committed (remote penalty makes the
+        // true load at least the raw sum, so checking the raw sum suffices).
+        for socket in 0..4u16 {
+            let served: f64 = demands
+                .iter()
+                .zip(&allocation.rates)
+                .filter(|(d, _)| d.mem_socket == SocketId(socket))
+                .map(|(_, r)| *r)
+                .sum();
+            prop_assert!(served <= topology.socket.local_bandwidth_gibs + 1e-6);
+        }
+    }
+}
