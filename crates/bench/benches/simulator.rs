@@ -20,17 +20,15 @@ fn bench_bandwidth_solver(c: &mut Criterion) {
         // and remote traffic, like a busy simulation step.
         let demands: Vec<MemoryDemand> = (0..sockets)
             .flat_map(|cpu| {
-                [(cpu, cpu), (cpu, (cpu + 1) % sockets)]
-                    .into_iter()
-                    .map(move |(c0, m)| {
-                        MemoryDemand::aggregated(
-                            u64::from(c0) << 8 | u64::from(m),
-                            SocketId(c0),
-                            SocketId(m),
-                            5.0,
-                            30.0,
-                        )
-                    })
+                [(cpu, cpu), (cpu, (cpu + 1) % sockets)].into_iter().map(move |(c0, m)| {
+                    MemoryDemand::aggregated(
+                        u64::from(c0) << 8 | u64::from(m),
+                        SocketId(c0),
+                        SocketId(m),
+                        5.0,
+                        30.0,
+                    )
+                })
             })
             .collect();
         group.bench_with_input(BenchmarkId::new("solve", label), &demands, |b, demands| {

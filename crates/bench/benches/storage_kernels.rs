@@ -36,15 +36,13 @@ fn bench_scans(c: &mut Criterion) {
 
 fn bench_materialization(c: &mut Criterion) {
     let column = column_with_bitcase(12);
-    let encoded =
-        Predicate::Between { lo: 0, hi: 1 << 10 }.encode(column.dictionary());
+    let encoded = Predicate::Between { lo: 0, hi: 1 << 10 }.encode(column.dictionary());
     let positions = scan_positions(&column, 0..column.row_count(), &encoded);
     let mut group = c.benchmark_group("materialize");
     group.throughput(Throughput::Elements(positions.len() as u64));
     group.bench_function("positions_to_values", |b| {
         b.iter(|| {
-            let values =
-                numascan_storage::materialize_positions(&column, black_box(&positions));
+            let values = numascan_storage::materialize_positions(&column, black_box(&positions));
             black_box(values.len())
         })
     });

@@ -7,8 +7,8 @@
 //! traffic.
 
 use numascan_core::SimReport;
-use numascan_scheduler::SchedulingStrategy;
 use numascan_numasim::Topology;
+use numascan_scheduler::SchedulingStrategy;
 
 use crate::harness::{fmt, ResultTable};
 use crate::runner::{build_machine_and_catalog, run_scan_on, ScanRunConfig};

@@ -46,6 +46,9 @@ mod tests {
             gain_westmere < gain_ivybridge,
             "broadcast snooping should shrink the gain: {gain_westmere:.2} vs {gain_ivybridge:.2}"
         );
-        assert!(gain_westmere > 1.2, "Bound should still win on the 8-socket box: {gain_westmere:.2}");
+        assert!(
+            gain_westmere > 1.2,
+            "Bound should still win on the 8-socket box: {gain_westmere:.2}"
+        );
     }
 }

@@ -25,7 +25,10 @@ pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
     for strategy in [SchedulingStrategy::Target, SchedulingStrategy::Bound] {
         let mut table = ResultTable::new(
             format!("fig13_{}", strategy.label().to_lowercase()),
-            format!("32-socket server, {}: throughput (q/min) while scaling clients", strategy.label()),
+            format!(
+                "32-socket server, {}: throughput (q/min) while scaling clients",
+                strategy.label()
+            ),
             &["clients", "RR", "IVP8", "IVP32"],
         );
         // Build one machine per placement and sweep clients on it.

@@ -8,7 +8,9 @@
 //! then becomes overhead. Throughput is normalised to the maximum observed
 //! value of each benchmark, as in the paper.
 
-use numascan_core::{Catalog, PlacedTable, PlacementStrategy, QueryGenerator, SimConfig, SimEngine};
+use numascan_core::{
+    Catalog, PlacedTable, PlacementStrategy, QueryGenerator, SimConfig, SimEngine,
+};
 use numascan_numasim::{Machine, Topology};
 use numascan_scheduler::SchedulingStrategy;
 use numascan_workload::bweml::infocube_table_specs;
@@ -99,13 +101,12 @@ pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
             let bound = run_benchmark(scale, parts, SchedulingStrategy::Bound, bweml);
             raw.push((label_for(parts), target, bound));
         }
-        let max = raw
-            .iter()
-            .flat_map(|(_, t, b)| [*t, *b])
-            .fold(0.0f64, f64::max)
-            .max(1e-9);
-        let mut table =
-            ResultTable::new(id, title, &["placement", "Target (normalised)", "Bound (normalised)"]);
+        let max = raw.iter().flat_map(|(_, t, b)| [*t, *b]).fold(0.0f64, f64::max).max(1e-9);
+        let mut table = ResultTable::new(
+            id,
+            title,
+            &["placement", "Target (normalised)", "Bound (normalised)"],
+        );
         for (label, target, bound) in raw {
             table.push_row([label, fmt(target / max), fmt(bound / max)]);
         }
@@ -138,10 +139,16 @@ mod tests {
         // Q1 is CPU-intensive.
         let rr_target = tpch.cell_f64("RR", "Target (normalised)").unwrap();
         let rr_bound = tpch.cell_f64("RR", "Bound (normalised)").unwrap();
-        assert!(rr_target > rr_bound, "Target {rr_target} should beat Bound {rr_bound} for Q1 on RR");
+        assert!(
+            rr_target > rr_bound,
+            "Target {rr_target} should beat Bound {rr_bound} for Q1 on RR"
+        );
         // Partitioning improves Bound until it matches Target.
         let pp16_bound = tpch.cell_f64("PP16", "Bound (normalised)").unwrap();
-        assert!(pp16_bound > rr_bound, "partitioning should help Bound: {pp16_bound} vs {rr_bound}");
+        assert!(
+            pp16_bound > rr_bound,
+            "partitioning should help Bound: {pp16_bound} vs {rr_bound}"
+        );
     }
 
     #[test]

@@ -37,22 +37,86 @@ pub struct Experiment {
 /// The registry of every reproducible table and figure.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "table1", description: "Latencies and bandwidths of the three servers", run: table01::run },
-        Experiment { id: "table2", description: "Workload properties fitted by each data placement", run: table02::run },
-        Experiment { id: "fig1", description: "NUMA-agnostic vs NUMA-aware throughput and per-socket memory throughput", run: fig01::run },
-        Experiment { id: "fig8", description: "OS/Target/Bound with RR placement on the 4-socket server", run: fig08::run },
-        Experiment { id: "fig9", description: "OS/Target/Bound on the 8-socket broadcast-coherence server", run: fig09::run },
-        Experiment { id: "fig10", description: "Impact of intra-query parallelism on RR/IVP/PP", run: fig10::run },
-        Experiment { id: "fig11", description: "Latency distributions of RR/IVP/PP", run: fig11::run },
-        Experiment { id: "fig12", description: "Scheduling strategies x IVP granularity on the 32-socket server", run: fig12::run },
-        Experiment { id: "fig13", description: "Client sweep for RR/IVP8/IVP32 under Target and Bound", run: fig13::run },
-        Experiment { id: "fig14", description: "Selectivity sweep with indexes enabled", run: fig14::run },
-        Experiment { id: "fig15", description: "Skewed workload: OS/Target/Bound with RR placement", run: fig15::run },
-        Experiment { id: "fig16", description: "Skewed workload: RR/IVP/PP under Bound", run: fig16::run },
-        Experiment { id: "fig17", description: "Skewed workload at 10% selectivity: RR/IVP/PP under Bound", run: fig17::run },
-        Experiment { id: "fig18", description: "Skewed workload at 10% selectivity: RR/IVP/PP under Target", run: fig18::run },
-        Experiment { id: "fig19", description: "TPC-H Q1 and BW-EML with PP granularities under Target and Bound", run: fig19::run },
-        Experiment { id: "partcost", description: "IVP vs PP repartitioning cost and memory overhead (Section 6.2.3)", run: partcost::run },
+        Experiment {
+            id: "table1",
+            description: "Latencies and bandwidths of the three servers",
+            run: table01::run,
+        },
+        Experiment {
+            id: "table2",
+            description: "Workload properties fitted by each data placement",
+            run: table02::run,
+        },
+        Experiment {
+            id: "fig1",
+            description: "NUMA-agnostic vs NUMA-aware throughput and per-socket memory throughput",
+            run: fig01::run,
+        },
+        Experiment {
+            id: "fig8",
+            description: "OS/Target/Bound with RR placement on the 4-socket server",
+            run: fig08::run,
+        },
+        Experiment {
+            id: "fig9",
+            description: "OS/Target/Bound on the 8-socket broadcast-coherence server",
+            run: fig09::run,
+        },
+        Experiment {
+            id: "fig10",
+            description: "Impact of intra-query parallelism on RR/IVP/PP",
+            run: fig10::run,
+        },
+        Experiment {
+            id: "fig11",
+            description: "Latency distributions of RR/IVP/PP",
+            run: fig11::run,
+        },
+        Experiment {
+            id: "fig12",
+            description: "Scheduling strategies x IVP granularity on the 32-socket server",
+            run: fig12::run,
+        },
+        Experiment {
+            id: "fig13",
+            description: "Client sweep for RR/IVP8/IVP32 under Target and Bound",
+            run: fig13::run,
+        },
+        Experiment {
+            id: "fig14",
+            description: "Selectivity sweep with indexes enabled",
+            run: fig14::run,
+        },
+        Experiment {
+            id: "fig15",
+            description: "Skewed workload: OS/Target/Bound with RR placement",
+            run: fig15::run,
+        },
+        Experiment {
+            id: "fig16",
+            description: "Skewed workload: RR/IVP/PP under Bound",
+            run: fig16::run,
+        },
+        Experiment {
+            id: "fig17",
+            description: "Skewed workload at 10% selectivity: RR/IVP/PP under Bound",
+            run: fig17::run,
+        },
+        Experiment {
+            id: "fig18",
+            description: "Skewed workload at 10% selectivity: RR/IVP/PP under Target",
+            run: fig18::run,
+        },
+        Experiment {
+            id: "fig19",
+            description: "TPC-H Q1 and BW-EML with PP granularities under Target and Bound",
+            run: fig19::run,
+        },
+        Experiment {
+            id: "partcost",
+            description: "IVP vs PP repartitioning cost and memory overhead (Section 6.2.3)",
+            run: partcost::run,
+        },
     ]
 }
 

@@ -6,24 +6,22 @@ use numascan_numasim::Topology;
 use crate::harness::{fmt, ResultTable};
 use crate::scale::ExperimentScale;
 
+/// One row of Table 1: a label and the statistic it extracts from a topology.
+type StatRow = (&'static str, fn(&Topology) -> f64);
+
 /// Regenerates Table 1 from the topology presets.
 pub fn run(_scale: &ExperimentScale) -> Vec<ResultTable> {
     let mut table = ResultTable::new(
         "table1",
         "Idle latencies and peak memory bandwidths of the three servers",
-        &[
-            "Statistic",
-            "4xIvybridge-EX",
-            "32xIvybridge-EX",
-            "8xWestmere-EX",
-        ],
+        &["Statistic", "4xIvybridge-EX", "32xIvybridge-EX", "8xWestmere-EX"],
     );
     let machines = [
         Topology::four_socket_ivybridge_ex(),
         Topology::thirty_two_socket_ivybridge_ex(),
         Topology::eight_socket_westmere_ex(),
     ];
-    let rows: [(&str, fn(&Topology) -> f64); 7] = [
+    let rows: [StatRow; 7] = [
         ("Local latency (ns)", |t| t.table1_row().0),
         ("1 hop latency (ns)", |t| t.table1_row().1),
         ("Max hops latency (ns)", |t| t.table1_row().2),

@@ -36,10 +36,8 @@ pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
     ];
     let paper_spec = paper_table_spec(100_000_000, 160, false);
     for placement in placements {
-        let low = run_scan(
-            &ScanRunConfig { placement, clients: 1, ..ScanRunConfig::new(1) },
-            scale,
-        );
+        let low =
+            run_scan(&ScanRunConfig { placement, clients: 1, ..ScanRunConfig::new(1) }, scale);
         let high = run_scan(
             &ScanRunConfig {
                 placement,
@@ -55,9 +53,7 @@ pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
             let config = ScanRunConfig { placement, ..ScanRunConfig::new(1) };
             let (_, catalog) = crate::runner::build_machine_and_catalog(&config, scale);
             100.0
-                * (catalog.placed_bytes() as f64
-                    / catalog.table(0).spec.total_bytes() as f64
-                    - 1.0)
+                * (catalog.placed_bytes() as f64 / catalog.table(0).spec.total_bytes() as f64 - 1.0)
         };
         let readjust_minutes = match placement {
             PlacementStrategy::RoundRobin => 0.0,

@@ -42,7 +42,8 @@ impl ResultTable {
         let mut out = String::new();
         let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
         let _ = writeln!(out, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ =
+            writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }

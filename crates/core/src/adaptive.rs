@@ -22,9 +22,7 @@
 use numascan_numasim::{Machine, Result, SocketId, Topology};
 
 use crate::catalog::Catalog;
-use crate::placement::{
-    move_column_to, place_column_pp, repartition_ivp, PlacementStrategy,
-};
+use crate::placement::{move_column_to, place_column_pp, repartition_ivp, PlacementStrategy};
 use crate::query::ColumnRef;
 use crate::sim::SimReport;
 
@@ -141,10 +139,8 @@ impl AdaptiveDataPlacer {
             .iter()
             .map(|traffic| {
                 let column = catalog.column(traffic.column);
-                let primary_socket = column
-                    .iv_psm
-                    .majority_socket()
-                    .unwrap_or(numascan_numasim::SocketId(0));
+                let primary_socket =
+                    column.iv_psm.majority_socket().unwrap_or(numascan_numasim::SocketId(0));
                 ColumnHeat {
                     column: traffic.column,
                     primary_socket,
@@ -204,14 +200,9 @@ impl AdaptiveDataPlacer {
                 0.0
             };
             if socket_share < self.config.domination_threshold {
-                PlacerAction::MoveColumn {
-                    column: item.column,
-                    to: SocketId(cold_socket as u16),
-                }
+                PlacerAction::MoveColumn { column: item.column, to: SocketId(cold_socket as u16) }
             } else {
-                let parts = (item.partitions * 2)
-                    .max(2)
-                    .min(self.config.max_partitions.max(2));
+                let parts = (item.partitions * 2).max(2).min(self.config.max_partitions.max(2));
                 if item.iv_intensive {
                     PlacerAction::RepartitionIvp { column: item.column, parts }
                 } else {
@@ -276,7 +267,13 @@ mod tests {
     use crate::placement::{PlacedTable, PlacementStrategy};
     use crate::spec::{ColumnSpec, TableSpec};
 
-    fn heats(primary: &[u16], heat: &[f64], parts: &[usize], active: &[bool], iv: bool) -> Vec<ColumnHeat> {
+    fn heats(
+        primary: &[u16],
+        heat: &[f64],
+        parts: &[usize],
+        active: &[bool],
+        iv: bool,
+    ) -> Vec<ColumnHeat> {
         primary
             .iter()
             .enumerate()
@@ -353,17 +350,19 @@ mod tests {
         );
         assert_eq!(
             action,
-            PlacerAction::DecreasePartitions { column: ColumnRef { table: 0, column: 0 }, parts: 2 }
+            PlacerAction::DecreasePartitions {
+                column: ColumnRef { table: 0, column: 0 },
+                parts: 2
+            }
         );
     }
 
     #[test]
     fn partition_count_is_capped() {
-        let placer = AdaptiveDataPlacer::new(PlacerConfig { max_partitions: 4, ..Default::default() });
-        let action = placer.decide(
-            &[0.9, 0.1, 0.1, 0.1],
-            &heats(&[0], &[0.3], &[4], &[true], true),
-        );
+        let placer =
+            AdaptiveDataPlacer::new(PlacerConfig { max_partitions: 4, ..Default::default() });
+        let action =
+            placer.decide(&[0.9, 0.1, 0.1, 0.1], &heats(&[0], &[0.3], &[4], &[true], true));
         assert!(matches!(action, PlacerAction::RepartitionIvp { parts: 4, .. }));
     }
 
@@ -383,7 +382,11 @@ mod tests {
         let column = ColumnRef { table: 0, column: 0 };
 
         placer
-            .apply(&mut machine, &mut catalog, &PlacerAction::MoveColumn { column, to: SocketId(2) })
+            .apply(
+                &mut machine,
+                &mut catalog,
+                &PlacerAction::MoveColumn { column, to: SocketId(2) },
+            )
             .unwrap();
         assert_eq!(catalog.column(column).iv_psm.majority_socket(), Some(SocketId(2)));
 
@@ -449,8 +452,7 @@ mod tests {
             target_queries: 200,
             ..SimConfig::default()
         };
-        let report =
-            SimEngine::new(&mut machine, &catalog, config.clone()).run(&mut workload);
+        let report = SimEngine::new(&mut machine, &catalog, config.clone()).run(&mut workload);
 
         // The report's traffic accounting identifies the hot column.
         assert_eq!(report.column_traffic[0].column, hot);

@@ -18,6 +18,9 @@ use numascan_scheduler::{
 use numascan_storage::{scan_positions, ColumnId, Predicate, Table};
 use parking_lot::Mutex;
 
+/// Per-task output: the task's chunk index and the values it materialized.
+type TaskChunks = Vec<(usize, Vec<i64>)>;
+
 /// A column-store engine executing real scans on real worker threads.
 pub struct NativeEngine {
     table: Arc<Table>,
@@ -32,9 +35,8 @@ impl NativeEngine {
     /// scheduling with `strategy`.
     pub fn new(table: Table, topology: &Topology, strategy: SchedulingStrategy) -> Self {
         let sockets = topology.socket_count();
-        let column_sockets = (0..table.column_count())
-            .map(|c| SocketId((c % sockets) as u16))
-            .collect();
+        let column_sockets =
+            (0..table.column_count()).map(|c| SocketId((c % sockets) as u16)).collect();
         let pool = ThreadPool::new(topology, PoolConfig { strategy, ..PoolConfig::default() });
         NativeEngine {
             table: Arc::new(table),
@@ -69,13 +71,11 @@ impl NativeEngine {
         let predicate = Predicate::Between { lo, hi };
         let encoded = predicate.encode(column.dictionary());
         let socket = self.column_socket(column_id);
-        let epoch = self
-            .statement_epoch
-            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let epoch = self.statement_epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
 
         let tasks = self.hint.suggested_tasks(active_statements).min(column.row_count().max(1));
         let rows_per_task = column.row_count().div_ceil(tasks.max(1));
-        let results: Arc<Mutex<Vec<(usize, Vec<i64>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let results: Arc<Mutex<TaskChunks>> = Arc::new(Mutex::new(Vec::new()));
 
         for (i, start) in (0..column.row_count()).step_by(rows_per_task.max(1)).enumerate() {
             let end = (start + rows_per_task).min(column.row_count());
@@ -151,7 +151,8 @@ mod tests {
         let engine = NativeEngine::new(table(rows), &small_topology(), SchedulingStrategy::Bound);
         let values = engine.scan_between("payload", 100, 199, 1).unwrap();
         // Reference computation.
-        let expected = (0..rows as i64).filter(|i| (100..=199).contains(&((i * 7919) % 1000))).count();
+        let expected =
+            (0..rows as i64).filter(|i| (100..=199).contains(&((i * 7919) % 1000))).count();
         assert_eq!(values.len(), expected);
         assert!(values.iter().all(|v| (100..=199).contains(v)));
         engine.shutdown();
@@ -166,7 +167,10 @@ mod tests {
         // High concurrency: a single task.
         engine.count_between("payload", 0, 999, 10_000).unwrap();
         let delta = engine.scheduler_stats().executed - low_tasks;
-        assert!(low_tasks > delta, "low concurrency should produce more tasks ({low_tasks} vs {delta})");
+        assert!(
+            low_tasks > delta,
+            "low concurrency should produce more tasks ({low_tasks} vs {delta})"
+        );
         assert_eq!(delta, 1);
         engine.shutdown();
     }

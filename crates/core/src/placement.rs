@@ -136,10 +136,7 @@ impl PlacedColumn {
 
     /// The dictionary component responsible for a given row.
     pub fn dict_segment_of_row(&self, row: u64) -> &ComponentSegment {
-        self.dict_segments
-            .iter()
-            .find(|s| s.rows.contains(&row))
-            .unwrap_or(&self.dict_segments[0])
+        self.dict_segments.iter().find(|s| s.rows.contains(&row)).unwrap_or(&self.dict_segments[0])
     }
 
     /// The index component responsible for a given row, when an index exists.
@@ -222,11 +219,9 @@ impl PlacedTable {
         let mut columns = Vec::with_capacity(spec.columns.len());
         for (c, col) in spec.columns.iter().enumerate() {
             let placed = match strategy {
-                PlacementStrategy::RoundRobin => place_column_rr(
-                    machine,
-                    col,
-                    SocketId(((socket_offset + c) % sockets) as u16),
-                )?,
+                PlacementStrategy::RoundRobin => {
+                    place_column_rr(machine, col, SocketId(((socket_offset + c) % sockets) as u16))?
+                }
                 PlacementStrategy::IndexVectorPartitioned { parts } => place_column_ivp(
                     machine,
                     col,
@@ -616,7 +611,14 @@ mod tests {
 
     fn table_spec(columns: usize, rows: u64) -> TableSpec {
         let cols = (0..columns)
-            .map(|i| ColumnSpec::integer_with_bitcase(format!("col{i}"), rows, 17 + (i % 10) as u8, false))
+            .map(|i| {
+                ColumnSpec::integer_with_bitcase(
+                    format!("col{i}"),
+                    rows,
+                    17 + (i % 10) as u8,
+                    false,
+                )
+            })
             .collect();
         TableSpec::new("tbl", rows, cols)
     }
@@ -667,7 +669,10 @@ mod tests {
         assert!(rows.iter().all(|r| *r == 1_000_000));
         // The dictionary is spread over all sockets.
         let dict_pages = col.dict_psm.pages_per_socket();
-        assert!(dict_pages.iter().all(|p| *p > 0), "dictionary must be interleaved: {dict_pages:?}");
+        assert!(
+            dict_pages.iter().all(|p| *p > 0),
+            "dictionary must be interleaved: {dict_pages:?}"
+        );
         // Row -> socket lookup agrees with the segments.
         assert_eq!(col.iv_socket_of_row(0), col.iv_segments[0].socket);
         assert_eq!(col.iv_socket_of_row(3_999_999), col.iv_segments[3].socket);
@@ -680,11 +685,20 @@ mod tests {
         let spec = TableSpec::new(
             "t",
             4_000_000,
-            vec![ColumnSpec { name: "c".into(), rows: 4_000_000, distinct: 1 << 10, value_bytes: 8, with_index: true }],
+            vec![ColumnSpec {
+                name: "c".into(),
+                rows: 4_000_000,
+                distinct: 1 << 10,
+                value_bytes: 8,
+                with_index: true,
+            }],
         );
-        let placed =
-            PlacedTable::place(&mut m, &spec, PlacementStrategy::PhysicallyPartitioned { parts: 4 })
-                .unwrap();
+        let placed = PlacedTable::place(
+            &mut m,
+            &spec,
+            PlacementStrategy::PhysicallyPartitioned { parts: 4 },
+        )
+        .unwrap();
         let col = &placed.columns[0];
         assert_eq!(col.iv_segments.len(), 4);
         assert_eq!(col.dict_segments.len(), 4);
@@ -709,9 +723,12 @@ mod tests {
         // small relative to the IV, giving a single-digit percentage overhead
         // (the paper reports ~8% for the whole dataset).
         let spec = table_spec(1, 100_000_000);
-        let placed =
-            PlacedTable::place(&mut m, &spec, PlacementStrategy::PhysicallyPartitioned { parts: 4 })
-                .unwrap();
+        let placed = PlacedTable::place(
+            &mut m,
+            &spec,
+            PlacementStrategy::PhysicallyPartitioned { parts: 4 },
+        )
+        .unwrap();
         let overhead = placed.columns[0].memory_overhead_fraction();
         assert!(overhead > 0.0 && overhead < 0.25, "overhead {overhead}");
     }

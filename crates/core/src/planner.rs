@@ -95,13 +95,15 @@ impl ScanPlanner {
             QueryKind::Scan { selectivity, allow_index } => {
                 let selectivity = selectivity.clamp(0.0, 1.0);
                 let matches = selectivity * column.spec.rows as f64;
-                let phase1 = if self.cost.prefers_index(selectivity, *allow_index && column.spec.with_index)
-                {
-                    self.plan_index_lookup(column, selectivity, matches)
-                } else {
-                    self.plan_scan(column, active_statements, parallelism)
-                };
-                let phase2 = self.plan_materialization(column, matches, active_statements, parallelism);
+                let phase1 =
+                    if self.cost.prefers_index(selectivity, *allow_index && column.spec.with_index)
+                    {
+                        self.plan_index_lookup(column, selectivity, matches)
+                    } else {
+                        self.plan_scan(column, active_statements, parallelism)
+                    };
+                let phase2 =
+                    self.plan_materialization(column, matches, active_statements, parallelism);
                 QueryPlan { phase1, phase2 }
             }
             QueryKind::Aggregate { ops_per_row } => QueryPlan {
@@ -298,7 +300,11 @@ impl ScanPlanner {
                 work.add_stream(MemTarget::Socket(seg.socket), seg_rows * bytes_per_row);
             }
             work.cpu_ops = column.spec.rows as f64 * ops_per_row;
-            return vec![PlannedTask { affinity: Some(segments[0].socket), work_class: class, work }];
+            return vec![PlannedTask {
+                affinity: Some(segments[0].socket),
+                work_class: class,
+                work,
+            }];
         }
 
         let total_tasks = self
@@ -349,7 +355,8 @@ mod tests {
         let mut m = machine();
         let col = place_column_rr(&mut m, &spec(false), SocketId(2)).unwrap();
         let p = planner(&m);
-        let plan = p.plan(&col, &QueryKind::Scan { selectivity: 0.001, allow_index: false }, 1024, true);
+        let plan =
+            p.plan(&col, &QueryKind::Scan { selectivity: 0.001, allow_index: false }, 1024, true);
         assert_eq!(plan.phase1.len(), 1, "high concurrency collapses to one scan task");
         assert_eq!(plan.phase1[0].affinity, Some(SocketId(2)));
         assert_eq!(plan.phase1[0].work_class, WorkClass::MemoryIntensive);
@@ -366,7 +373,8 @@ mod tests {
         let mut m = machine();
         let col = place_column_rr(&mut m, &spec(false), SocketId(0)).unwrap();
         let p = planner(&m);
-        let plan = p.plan(&col, &QueryKind::Scan { selectivity: 0.001, allow_index: false }, 1, true);
+        let plan =
+            p.plan(&col, &QueryKind::Scan { selectivity: 0.001, allow_index: false }, 1, true);
         assert_eq!(plan.phase1.len(), m.topology().total_contexts());
     }
 
@@ -376,7 +384,8 @@ mod tests {
         let sockets = all_sockets(&m);
         let col = place_column_ivp(&mut m, &spec(false), 0, 4, &sockets).unwrap();
         let p = planner(&m);
-        let plan = p.plan(&col, &QueryKind::Scan { selectivity: 0.001, allow_index: false }, 1024, true);
+        let plan =
+            p.plan(&col, &QueryKind::Scan { selectivity: 0.001, allow_index: false }, 1024, true);
         // Rounded up to a multiple of the partitions: 4 tasks.
         assert_eq!(plan.phase1.len(), 4);
         let mut affinities: Vec<usize> =
@@ -395,11 +404,14 @@ mod tests {
         let sockets = all_sockets(&m);
         let col = place_column_pp(&mut m, &spec(false), 4, &sockets, 0).unwrap();
         let p = planner(&m);
-        let plan = p.plan(&col, &QueryKind::Scan { selectivity: 0.1, allow_index: false }, 1024, true);
+        let plan =
+            p.plan(&col, &QueryKind::Scan { selectivity: 0.1, allow_index: false }, 1024, true);
         for task in &plan.phase2 {
             let aff = task.affinity.unwrap();
             match &task.work.random[0].0 {
-                MemTarget::Socket(s) => assert_eq!(*s, aff, "dictionary accesses stay local under PP"),
+                MemTarget::Socket(s) => {
+                    assert_eq!(*s, aff, "dictionary accesses stay local under PP")
+                }
                 other => panic!("expected a socket target, got {other:?}"),
             }
         }
@@ -410,7 +422,8 @@ mod tests {
         let mut m = machine();
         let col = place_column_rr(&mut m, &spec(true), SocketId(1)).unwrap();
         let p = planner(&m);
-        let plan = p.plan(&col, &QueryKind::Scan { selectivity: 0.00001, allow_index: true }, 1024, true);
+        let plan =
+            p.plan(&col, &QueryKind::Scan { selectivity: 0.00001, allow_index: true }, 1024, true);
         assert_eq!(plan.phase1.len(), 1);
         assert_eq!(plan.phase1[0].work_class, WorkClass::CpuIntensive);
         assert_eq!(plan.phase1[0].affinity, Some(SocketId(1)));
@@ -424,7 +437,8 @@ mod tests {
         let sockets = all_sockets(&m);
         let col = place_column_ivp(&mut m, &spec(true), 0, 4, &sockets).unwrap();
         let p = planner(&m);
-        let plan = p.plan(&col, &QueryKind::Scan { selectivity: 0.00001, allow_index: true }, 1024, true);
+        let plan =
+            p.plan(&col, &QueryKind::Scan { selectivity: 0.00001, allow_index: true }, 1024, true);
         assert_eq!(plan.phase1[0].affinity, None);
     }
 
@@ -433,7 +447,8 @@ mod tests {
         let mut m = machine();
         let col = place_column_rr(&mut m, &spec(true), SocketId(0)).unwrap();
         let p = planner(&m);
-        let plan = p.plan(&col, &QueryKind::Scan { selectivity: 0.01, allow_index: true }, 1024, true);
+        let plan =
+            p.plan(&col, &QueryKind::Scan { selectivity: 0.01, allow_index: true }, 1024, true);
         assert_eq!(plan.phase1[0].work_class, WorkClass::MemoryIntensive);
         assert!(plan.phase1[0].work.total_stream_bytes() > 10_000_000.0);
     }
@@ -443,7 +458,8 @@ mod tests {
         let mut m = machine();
         let col = place_column_rr(&mut m, &spec(false), SocketId(0)).unwrap();
         let p = planner(&m);
-        let plan = p.plan(&col, &QueryKind::Scan { selectivity: 0.0, allow_index: false }, 16, true);
+        let plan =
+            p.plan(&col, &QueryKind::Scan { selectivity: 0.0, allow_index: false }, 16, true);
         assert!(plan.phase2.is_empty());
     }
 
@@ -453,7 +469,8 @@ mod tests {
         let sockets = all_sockets(&m);
         let col = place_column_ivp(&mut m, &spec(false), 0, 4, &sockets).unwrap();
         let p = planner(&m);
-        let plan = p.plan(&col, &QueryKind::Scan { selectivity: 0.001, allow_index: false }, 1, false);
+        let plan =
+            p.plan(&col, &QueryKind::Scan { selectivity: 0.001, allow_index: false }, 1, false);
         assert_eq!(plan.phase1.len(), 1);
         // The single task streams from all four sockets.
         assert_eq!(plan.phase1[0].work.streams.len(), 4);
@@ -478,7 +495,8 @@ mod tests {
         let col = place_column_ivp(&mut m, &spec(false), 0, 4, &sockets).unwrap();
         let p = planner(&m);
         // 4 active statements on 120 contexts: ~30 tasks rounded up to 32.
-        let plan = p.plan(&col, &QueryKind::Scan { selectivity: 0.001, allow_index: false }, 4, true);
+        let plan =
+            p.plan(&col, &QueryKind::Scan { selectivity: 0.001, allow_index: false }, 4, true);
         assert_eq!(plan.phase1.len(), 32);
     }
 }

@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn constructors_set_kinds() {
         let c = ColumnRef { table: 0, column: 3 };
-        assert!(matches!(QuerySpec::scan(c, 0.01).kind, QueryKind::Scan { allow_index: false, .. }));
+        assert!(matches!(
+            QuerySpec::scan(c, 0.01).kind,
+            QueryKind::Scan { allow_index: false, .. }
+        ));
         assert!(matches!(
             QuerySpec::scan_with_index(c, 0.01).kind,
             QueryKind::Scan { allow_index: true, .. }

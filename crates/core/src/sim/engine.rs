@@ -219,12 +219,7 @@ impl<'a> SimEngine<'a> {
                 .into_iter()
                 .map(|planned| PendingTask { query: query_id, planned })
                 .collect();
-            queries.push(QueryState {
-                client,
-                issued_at: now,
-                outstanding: phase1.len(),
-                phase2,
-            });
+            queries.push(QueryState { client, issued_at: now, outstanding: phase1.len(), phase2 });
             for (seq, task) in phase1.into_iter().enumerate() {
                 let meta = build_meta(&task.planned, statement_epoch, seq as u64, config.strategy);
                 queues.push(&meta, None, task);
@@ -266,12 +261,8 @@ impl<'a> SimEngine<'a> {
                     match queues.pop_for_worker(w.group) {
                         Some((pending, scope)) => {
                             stats.record(w.socket, scope);
-                            w.task = Some(start_task(
-                                pending,
-                                w.socket,
-                                &latency_model,
-                                overhead_ops,
-                            ));
+                            w.task =
+                                Some(start_task(pending, w.socket, &latency_model, overhead_ops));
                         }
                         None => socket_exhausted[w.socket.index()] = true,
                     }
@@ -304,8 +295,8 @@ impl<'a> SimEngine<'a> {
             }
 
             // 3. Solve (or reuse) the bandwidth allocation.
-            let need_solve = events_since_solve >= 16
-                || classes.keys().any(|k| !cached_rates.contains_key(k));
+            let need_solve =
+                events_since_solve >= 16 || classes.keys().any(|k| !cached_rates.contains_key(k));
             if need_solve && !classes.is_empty() {
                 let demands: Vec<MemoryDemand> = classes
                     .iter()
@@ -376,7 +367,9 @@ impl<'a> SimEngine<'a> {
                     if drained > 0.0 {
                         let demand = MemoryDemand::new(0, cpu, *mem, per_ctx_stream);
                         let (qpi_data, qpi_total) = solver.qpi_traffic_for(&demand, drained);
-                        self.machine.counters_mut().record_access(cpu, *mem, drained, qpi_data, qpi_total);
+                        self.machine
+                            .counters_mut()
+                            .record_access(cpu, *mem, drained, qpi_data, qpi_total);
                     }
                 }
                 if task.random_remaining > EPS {
@@ -388,7 +381,9 @@ impl<'a> SimEngine<'a> {
                         if part > 0.0 {
                             let demand = MemoryDemand::new(0, cpu, *mem, per_ctx_stream);
                             let (qpi_data, qpi_total) = solver.qpi_traffic_for(&demand, part);
-                            self.machine.counters_mut().record_access(cpu, *mem, part, qpi_data, qpi_total);
+                            self.machine
+                                .counters_mut()
+                                .record_access(cpu, *mem, part, qpi_data, qpi_total);
                         }
                     }
                 }
@@ -441,7 +436,8 @@ impl<'a> SimEngine<'a> {
                 if query_done {
                     latencies.push(now - queries[query_id].issued_at);
                     completed += 1;
-                    if completed < self.config.target_queries && now < self.config.max_virtual_seconds
+                    if completed < self.config.target_queries
+                        && now < self.config.max_virtual_seconds
                     {
                         issue_query(
                             client,
@@ -463,9 +459,8 @@ impl<'a> SimEngine<'a> {
         self.machine.counters_mut().elapsed_seconds = now;
         let throughput_qpm = if now > 0.0 { completed as f64 / now * 60.0 } else { 0.0 };
         let mut column_traffic: Vec<ColumnTraffic> = column_traffic.into_values().collect();
-        column_traffic.sort_by(|a, b| {
-            b.total_bytes().partial_cmp(&a.total_bytes()).expect("finite traffic")
-        });
+        column_traffic
+            .sort_by(|a, b| b.total_bytes().partial_cmp(&a.total_bytes()).expect("finite traffic"));
         SimReport {
             completed_queries: completed,
             elapsed_seconds: now,
@@ -525,11 +520,8 @@ fn start_task(
         // Time to perform all accesses is the sum over targets.
         let mut total_time = 0.0;
         for (target, count) in &work.random {
-            let t = latency_model.random_access_seconds(
-                cpu_socket,
-                &target.to_access_target(),
-                *count,
-            );
+            let t =
+                latency_model.random_access_seconds(cpu_socket, &target.to_access_target(), *count);
             total_time += t;
             let sockets = target.sockets();
             let share = count / sockets.len() as f64 / total_random;
@@ -597,7 +589,12 @@ mod tests {
             rows,
             (0..columns)
                 .map(|i| {
-                    ColumnSpec::integer_with_bitcase(format!("col{i}"), rows, 17 + (i % 10) as u8, false)
+                    ColumnSpec::integer_with_bitcase(
+                        format!("col{i}"),
+                        rows,
+                        17 + (i % 10) as u8,
+                        false,
+                    )
                 })
                 .collect(),
         );
@@ -636,8 +633,9 @@ mod tests {
     fn bound_strategy_never_steals_across_sockets() {
         let (mut machine, catalog) = build(8, 5_000_000, PlacementStrategy::RoundRobin);
         let mut generator = RoundRobinColumnGenerator::new(0, 8, 0.001, false);
-        let report = SimEngine::new(&mut machine, &catalog, quick_config(64, SchedulingStrategy::Bound))
-            .run(&mut generator);
+        let report =
+            SimEngine::new(&mut machine, &catalog, quick_config(64, SchedulingStrategy::Bound))
+                .run(&mut generator);
         assert_eq!(report.tasks_stolen(), 0);
     }
 
@@ -648,13 +646,15 @@ mod tests {
         // workload at high concurrency.
         let (mut machine, catalog) = build(8, 5_000_000, PlacementStrategy::RoundRobin);
         let mut generator = RoundRobinColumnGenerator::new(0, 8, 0.001, false);
-        let bound = SimEngine::new(&mut machine, &catalog, quick_config(256, SchedulingStrategy::Bound))
-            .run(&mut generator);
+        let bound =
+            SimEngine::new(&mut machine, &catalog, quick_config(256, SchedulingStrategy::Bound))
+                .run(&mut generator);
 
         let (mut machine_os, catalog_os) = build(8, 5_000_000, PlacementStrategy::RoundRobin);
         let mut generator_os = RoundRobinColumnGenerator::new(0, 8, 0.001, false);
-        let os = SimEngine::new(&mut machine_os, &catalog_os, quick_config(256, SchedulingStrategy::Os))
-            .run(&mut generator_os);
+        let os =
+            SimEngine::new(&mut machine_os, &catalog_os, quick_config(256, SchedulingStrategy::Os))
+                .run(&mut generator_os);
 
         let ratio = bound.throughput_qpm / os.throughput_qpm;
         assert!(
@@ -675,8 +675,9 @@ mod tests {
         let (mut machine, catalog) = build(4, 5_000_000, PlacementStrategy::RoundRobin);
         let q = QuerySpec::scan(ColumnRef { table: 0, column: 0 }, 0.001);
         let mut generator = FixedQueryGenerator::new(q);
-        let report = SimEngine::new(&mut machine, &catalog, quick_config(128, SchedulingStrategy::Bound))
-            .run(&mut generator);
+        let report =
+            SimEngine::new(&mut machine, &catalog, quick_config(128, SchedulingStrategy::Bound))
+                .run(&mut generator);
         let tp = report.memory_throughput_gibs();
         let busiest = tp.iter().cloned().fold(0.0, f64::max);
         let total: f64 = tp.iter().sum();
@@ -689,15 +690,13 @@ mod tests {
         let mut generator = RoundRobinColumnGenerator::new(0, 4, 0.001, false);
         let mut with = quick_config(1, SchedulingStrategy::Bound);
         with.target_queries = 100;
-        let report_with =
-            SimEngine::new(&mut machine, &catalog, with.clone()).run(&mut generator);
+        let report_with = SimEngine::new(&mut machine, &catalog, with.clone()).run(&mut generator);
 
         let (mut machine2, catalog2) = build(4, 20_000_000, PlacementStrategy::RoundRobin);
         let mut generator2 = RoundRobinColumnGenerator::new(0, 4, 0.001, false);
         let mut without = with;
         without.parallelism = false;
-        let report_without =
-            SimEngine::new(&mut machine2, &catalog2, without).run(&mut generator2);
+        let report_without = SimEngine::new(&mut machine2, &catalog2, without).run(&mut generator2);
 
         assert!(
             report_with.throughput_qpm > 1.5 * report_without.throughput_qpm,

@@ -28,7 +28,12 @@ impl ColumnSpec {
     /// An integer column with `rows` rows whose dictionary has `2^bitcase`
     /// entries, mirroring how the paper's dataset fixes the bitcase of each
     /// column.
-    pub fn integer_with_bitcase(name: impl Into<String>, rows: u64, bitcase: u8, with_index: bool) -> Self {
+    pub fn integer_with_bitcase(
+        name: impl Into<String>,
+        rows: u64,
+        bitcase: u8,
+        with_index: bool,
+    ) -> Self {
         assert!((1..=32).contains(&bitcase), "bitcase must be in 1..=32");
         ColumnSpec {
             name: name.into(),
@@ -157,7 +162,7 @@ mod tests {
         assert!(d as f64 > 0.99 * c.distinct as f64);
         // A tiny part sees roughly one distinct value per row.
         let small = c.expected_distinct_in(100);
-        assert!(small <= 100 && small >= 95);
+        assert!((95..=100).contains(&small));
         assert_eq!(c.expected_distinct_in(0), 0);
     }
 
@@ -169,7 +174,12 @@ mod tests {
         let mut columns = vec![ColumnSpec::integer_with_bitcase("id", 100_000_000, 27, false)];
         for i in 0..160 {
             let bitcase = 17 + (i % 10) as u8;
-            columns.push(ColumnSpec::integer_with_bitcase(format!("col{i}"), 100_000_000, bitcase, false));
+            columns.push(ColumnSpec::integer_with_bitcase(
+                format!("col{i}"),
+                100_000_000,
+                bitcase,
+                false,
+            ));
         }
         let table = TableSpec::new("tbl", 100_000_000, columns);
         let gib = table.total_bytes() as f64 / (1u64 << 30) as f64;

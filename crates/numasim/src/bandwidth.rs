@@ -284,8 +284,7 @@ impl BandwidthSolver {
                     continue;
                 }
                 let capped = rates[i] >= d.cap_gibs - EPS;
-                let bottlenecked =
-                    loads[i].iter().any(|&(slot, _)| remaining[slot] <= EPS);
+                let bottlenecked = loads[i].iter().any(|&(slot, _)| remaining[slot] <= EPS);
                 if capped || bottlenecked {
                     active[i] = false;
                     active_count -= 1;

@@ -140,10 +140,10 @@ impl HwCounters {
 
     /// Local and remote LLC load misses (counted as one miss per cache line).
     pub fn llc_misses(&self) -> (f64, f64) {
-        let local: f64 = self.sockets.iter().map(|s| s.local_access_bytes).sum::<f64>()
-            / CACHE_LINE_BYTES;
-        let remote: f64 = self.sockets.iter().map(|s| s.remote_access_bytes).sum::<f64>()
-            / CACHE_LINE_BYTES;
+        let local: f64 =
+            self.sockets.iter().map(|s| s.local_access_bytes).sum::<f64>() / CACHE_LINE_BYTES;
+        let remote: f64 =
+            self.sockets.iter().map(|s| s.remote_access_bytes).sum::<f64>() / CACHE_LINE_BYTES;
         (local, remote)
     }
 

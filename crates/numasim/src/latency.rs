@@ -41,10 +41,9 @@ impl LatencyModel {
     pub fn new(topology: &Topology) -> Self {
         let n = topology.socket_count();
         let mut latencies_ns = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in 0..n {
-                latencies_ns[i][j] =
-                    topology.access_latency_ns(SocketId(i as u16), SocketId(j as u16));
+        for (i, row) in latencies_ns.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = topology.access_latency_ns(SocketId(i as u16), SocketId(j as u16));
             }
         }
         LatencyModel { latencies_ns, mlp: topology.socket.memory_level_parallelism }
@@ -130,6 +129,9 @@ mod tests {
     fn zero_count_costs_nothing() {
         let t = Topology::four_socket_ivybridge_ex();
         let m = LatencyModel::new(&t);
-        assert_eq!(m.random_access_seconds(SocketId(0), &AccessTarget::Socket(SocketId(0)), 0.0), 0.0);
+        assert_eq!(
+            m.random_access_seconds(SocketId(0), &AccessTarget::Socket(SocketId(0)), 0.0),
+            0.0
+        );
     }
 }

@@ -148,20 +148,14 @@ mod tests {
         let mut m = Machine::new(Topology::four_socket_ivybridge_ex());
         assert_eq!(m.topology().socket_count(), 4);
         assert_eq!(m.bandwidth().socket_count(), 4);
-        let r = m
-            .memory_mut()
-            .allocate(8192, AllocPolicy::OnSocket(SocketId(1)))
-            .unwrap();
+        let r = m.memory_mut().allocate(8192, AllocPolicy::OnSocket(SocketId(1))).unwrap();
         assert_eq!(m.memory().socket_of(r.base).unwrap(), Some(SocketId(1)));
     }
 
     #[test]
     fn reset_measurement_clears_counters_but_not_memory() {
         let mut m = Machine::new(Topology::four_socket_ivybridge_ex());
-        let r = m
-            .memory_mut()
-            .allocate(8192, AllocPolicy::OnSocket(SocketId(0)))
-            .unwrap();
+        let r = m.memory_mut().allocate(8192, AllocPolicy::OnSocket(SocketId(0))).unwrap();
         m.counters_mut().record_busy(SocketId(0), 1.0);
         m.clock_mut().advance(1.0);
         m.reset_measurement();

@@ -51,7 +51,7 @@ impl VirtRange {
 
     /// Index one past the last page covered by the range.
     pub fn end_page(&self) -> u64 {
-        (self.end() + PAGE_SIZE - 1) / PAGE_SIZE
+        self.end().div_ceil(PAGE_SIZE)
     }
 
     /// Number of pages covered (a partially covered page counts fully).
@@ -133,7 +133,10 @@ enum Placement {
     Socket(SocketId),
     /// Round-robin over `sockets`, anchored at absolute page index
     /// `anchor_page` so that splitting a run does not change page locations.
-    Interleaved { sockets: Vec<SocketId>, anchor_page: u64 },
+    Interleaved {
+        sockets: Vec<SocketId>,
+        anchor_page: u64,
+    },
 }
 
 impl Placement {
@@ -283,13 +286,14 @@ impl MemoryManager {
         if bytes == 0 {
             return Err(NumaSimError::EmptyRange);
         }
-        let pages = (bytes + PAGE_SIZE - 1) / PAGE_SIZE;
+        let pages = bytes.div_ceil(PAGE_SIZE);
         let base_page = self.next_page;
 
         let placement = match policy {
             AllocPolicy::OnSocket(s) => {
                 self.validate_socket(s)?;
-                let target = if self.free_pages_on(s) >= pages { s } else { self.least_loaded_socket() };
+                let target =
+                    if self.free_pages_on(s) >= pages { s } else { self.least_loaded_socket() };
                 self.charge(target, pages)?;
                 Placement::Socket(target)
             }
@@ -369,8 +373,7 @@ impl MemoryManager {
                 let s = sockets[((seg.base_page + p) % sockets.len() as u64) as usize];
                 mgr.charge(s, 1)?;
             }
-            seg.placement =
-                Placement::Interleaved { sockets: sockets.clone(), anchor_page: 0 };
+            seg.placement = Placement::Interleaved { sockets: sockets.clone(), anchor_page: 0 };
             Ok(())
         })
     }
@@ -393,7 +396,9 @@ impl MemoryManager {
             .segments
             .range(..)
             .filter(|(_, seg)| {
-                seg.base_page >= first && seg.end_page() <= end && seg.placement == Placement::Unbacked
+                seg.base_page >= first
+                    && seg.end_page() <= end
+                    && seg.placement == Placement::Unbacked
             })
             .map(|(k, _)| *k)
             .collect();
@@ -406,11 +411,8 @@ impl MemoryManager {
     /// Location of the page containing `addr`.
     pub fn page_location(&self, addr: u64) -> Result<PageLocation> {
         let page = addr / PAGE_SIZE;
-        let (_, seg) = self
-            .segments
-            .range(..=page)
-            .next_back()
-            .ok_or(NumaSimError::UnknownRange { addr })?;
+        let (_, seg) =
+            self.segments.range(..=page).next_back().ok_or(NumaSimError::UnknownRange { addr })?;
         if page >= seg.end_page() {
             return Err(NumaSimError::UnknownRange { addr });
         }
@@ -483,11 +485,7 @@ impl MemoryManager {
         self.split_at(first)?;
         self.split_at(end)?;
 
-        let keys: Vec<u64> = self
-            .segments
-            .range(first..end)
-            .map(|(k, _)| *k)
-            .collect();
+        let keys: Vec<u64> = self.segments.range(first..end).map(|(k, _)| *k).collect();
         if keys.is_empty() {
             return Err(NumaSimError::UnknownRange { addr: range.base });
         }
@@ -673,10 +671,7 @@ mod tests {
     #[test]
     fn unknown_addresses_are_rejected() {
         let m = mgr();
-        assert!(matches!(
-            m.page_location(0xdead_beef),
-            Err(NumaSimError::UnknownRange { .. })
-        ));
+        assert!(matches!(m.page_location(0xdead_beef), Err(NumaSimError::UnknownRange { .. })));
     }
 
     #[test]

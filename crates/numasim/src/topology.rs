@@ -353,7 +353,10 @@ impl Topology {
     /// Checks that a socket id is valid for this topology.
     pub fn validate_socket(&self, socket: SocketId) -> crate::Result<()> {
         if socket.index() >= self.sockets {
-            Err(crate::NumaSimError::InvalidSocket { socket: socket.index(), sockets: self.sockets })
+            Err(crate::NumaSimError::InvalidSocket {
+                socket: socket.index(),
+                sockets: self.sockets,
+            })
         } else {
             Ok(())
         }
@@ -366,11 +369,7 @@ impl Topology {
 
     /// Maximum hop distance in the machine.
     pub fn max_hops(&self) -> u8 {
-        self.hops
-            .iter()
-            .flat_map(|row| row.iter().copied())
-            .max()
-            .unwrap_or(0)
+        self.hops.iter().flat_map(|row| row.iter().copied()).max().unwrap_or(0)
     }
 
     /// Idle access latency in nanoseconds from a core on `from` to memory on
@@ -447,9 +446,7 @@ impl Topology {
 /// Hop matrix for a fully interconnected machine: 1 hop between any two
 /// distinct sockets.
 fn fully_connected_hops(sockets: usize) -> Vec<Vec<u8>> {
-    (0..sockets)
-        .map(|i| (0..sockets).map(|j| u8::from(i != j)).collect())
-        .collect()
+    (0..sockets).map(|i| (0..sockets).map(|j| u8::from(i != j)).collect()).collect()
 }
 
 /// Hop matrix for two glued boxes of `box_size` sockets each: 1 hop within a

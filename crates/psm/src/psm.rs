@@ -557,6 +557,54 @@ mod tests {
     }
 
     #[test]
+    fn moving_a_middle_slice_away_and_back_remerges_to_one_range() {
+        // Regression test for the range-merge path of `normalize`: moving the
+        // middle of a single-socket range splits it in three; moving the
+        // slice back must collapse the metadata to one range again, not leave
+        // fragments behind.
+        let mut m = mem();
+        let r = m.allocate(64 * PAGE_SIZE, AllocPolicy::OnSocket(SocketId(0))).unwrap();
+        let mut psm = Psm::from_memory(&m, r).unwrap();
+        let middle = VirtRange::new(r.base + 16 * PAGE_SIZE, 16 * PAGE_SIZE);
+        psm.move_range(&mut m, middle, SocketId(2)).unwrap();
+        assert_eq!(psm.range_count(), 3);
+        assert_eq!(psm.pages_per_socket(), &[48, 0, 16, 0]);
+        psm.move_range(&mut m, middle, SocketId(0)).unwrap();
+        assert_eq!(
+            psm.range_count(),
+            1,
+            "restored placement must merge back into one range: {:?}",
+            psm.ranges()
+        );
+        assert_eq!(psm.pages_per_socket(), &[64, 0, 0, 0]);
+        assert_eq!(psm.total_pages(), 64);
+    }
+
+    #[test]
+    fn adjacent_interleaved_ranges_merge_only_when_phases_align() {
+        // Regression test for phase-aware merging: an interleaved range added
+        // in two halves must collapse back into a single pattern range,
+        // because the second half's pattern is exactly the continuation of
+        // the first's cycle.
+        let mut m = mem();
+        let r = m.allocate(32 * PAGE_SIZE, AllocPolicy::Interleaved(all_sockets())).unwrap();
+        let mut psm = Psm::new(4);
+        psm.add_range(&m, VirtRange::new(r.base, 16 * PAGE_SIZE)).unwrap();
+        psm.add_range(&m, VirtRange::new(r.base + 16 * PAGE_SIZE, 16 * PAGE_SIZE)).unwrap();
+        assert_eq!(
+            psm.range_count(),
+            1,
+            "two halves of one interleaving must merge: {:?}",
+            psm.ranges()
+        );
+        assert_eq!(psm.pages_per_socket(), &[8, 8, 8, 8]);
+        for page in 0..32u64 {
+            let addr = r.base + page * PAGE_SIZE;
+            assert_eq!(psm.socket_of(addr), m.socket_of(addr).unwrap());
+        }
+    }
+
+    #[test]
     fn size_accounting_matches_the_paper() {
         // Section 4.3: a column placed wholly on one socket keeps r = 1 for
         // the IV and dictionary and r = 2 for the IX, 26016 bits in total for

@@ -65,7 +65,8 @@ impl PsmRange {
             self.end_page()
         );
         let left_pages = page - self.first_page;
-        let left = PsmRange { first_page: self.first_page, pages: left_pages, kind: self.kind.clone() };
+        let left =
+            PsmRange { first_page: self.first_page, pages: left_pages, kind: self.kind.clone() };
         let right_kind = match &self.kind {
             RangeKind::Socket(s) => RangeKind::Socket(*s),
             RangeKind::Interleaved { pattern } => {

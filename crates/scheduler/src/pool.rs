@@ -133,11 +133,29 @@ impl ThreadPool {
     {
         let meta = self.strategy.apply_to_meta(meta);
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        {
+        let backlog = {
             let mut queues = self.shared.queues.lock();
             queues.push(&meta.clone(), None, (meta, Box::new(job)));
+            queues.total_len()
+        };
+        // Waking a single worker is enough to keep latency low, but the woken
+        // worker may belong to a different socket than the queue the task
+        // landed on (hard-affinity tasks are then unreachable until that
+        // socket's workers wake by themselves). Escalate to waking everyone
+        // exactly when the global backlog starts to build (a push can only
+        // grow the queue by one, so growth from empty always passes through
+        // 2); waking everyone on *every* backlogged submit would stampede all
+        // workers of all sockets onto the queue lock for each task of a
+        // burst. One race deliberately remains: under a sustained backlog a
+        // hard-affinity task for an all-idle socket may be signalled to a
+        // wrong-socket worker, costing up to one watchdog interval of latency
+        // until that socket is woken. Removing it needs per-socket condvars
+        // (a targeted wake), which is a planned scheduler refactor.
+        if backlog == 2 {
+            self.shared.work_available.notify_all();
+        } else {
+            self.shared.work_available.notify_one();
         }
-        self.shared.work_available.notify_one();
     }
 
     /// Blocks until every submitted task has finished executing.
@@ -201,14 +219,18 @@ fn worker_loop(shared: Arc<Shared>, group: ThreadGroupId) {
                 }
                 // Free-thread behaviour: sleep, but wake periodically to check
                 // for stealable work.
-                shared
-                    .work_available
-                    .wait_for(&mut queues, Duration::from_millis(50));
+                shared.work_available.wait_for(&mut queues, Duration::from_millis(50));
             }
         };
         match task {
             Some((_meta, job)) => {
-                job();
+                // A panicking job must still count as finished: `wait_idle`
+                // blocks on `pending`, so losing the decrement to an unwind
+                // would deadlock every waiter (and `shutdown`, which waits
+                // first). The payload is dropped; the panic is recorded.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                    shared.stats.lock().panicked += 1;
+                }
                 if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
                     let _guard = shared.queues.lock();
                     shared.idle.notify_all();
@@ -311,8 +333,13 @@ mod tests {
     #[test]
     fn os_strategy_spreads_unaffine_tasks() {
         let p = pool(SchedulingStrategy::Os);
+        // The tasks must take long enough that workers beyond the first-woken
+        // socket join in; instant no-op tasks can legitimately be drained by
+        // one socket before anyone else wakes up.
         for i in 0..200u64 {
-            p.submit(meta_for(0, i), || {});
+            p.submit(meta_for(0, i), || {
+                std::thread::sleep(Duration::from_micros(200));
+            });
         }
         p.wait_idle();
         let stats = p.stats();
@@ -321,6 +348,57 @@ mod tests {
         // one socket must have executed something.
         let busy_sockets = stats.executed_per_socket.iter().filter(|c| **c > 0).count();
         assert!(busy_sockets > 1, "OS strategy should not concentrate on one socket: {stats:?}");
+        p.shutdown();
+    }
+
+    #[test]
+    fn burst_of_hard_tasks_to_every_socket_completes() {
+        // Regression test for the submit wake-up path: `notify_one` can wake a
+        // worker of a different socket than the one a hard-affinity task is
+        // queued on, and that worker may not take the task. Before `submit`
+        // escalated to `notify_all` on backlog, a burst like this one relied
+        // entirely on the watchdog and the workers' periodic wake-ups.
+        let p = pool(SchedulingStrategy::Bound);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..400u64 {
+            let counter = Arc::clone(&counter);
+            p.submit(meta_for((i % 4) as u16, i), move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        p.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 400);
+        let stats = p.stats();
+        assert_eq!(stats.executed, 400);
+        // Hard affinity must still be respected: every task ran on its socket.
+        assert_eq!(stats.stolen_cross_socket, 0);
+        assert_eq!(stats.executed_per_socket, vec![100, 100, 100, 100]);
+        p.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_does_not_deadlock_wait_idle() {
+        // Regression test: a job that panics used to unwind past the
+        // `pending` decrement, leaving `wait_idle` (and `shutdown`, which
+        // waits first) blocked forever on a count that could never reach
+        // zero.
+        let p = pool(SchedulingStrategy::Bound);
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..40u64 {
+            if i % 10 == 0 {
+                p.submit(meta_for((i % 4) as u16, i), || panic!("task blew up"));
+            } else {
+                let counter = Arc::clone(&counter);
+                p.submit(meta_for((i % 4) as u16, i), move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        p.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 36);
+        let stats = p.stats();
+        assert_eq!(stats.executed, 40);
+        assert_eq!(stats.panicked, 4);
         p.shutdown();
     }
 

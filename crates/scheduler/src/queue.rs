@@ -115,13 +115,13 @@ impl<T> GroupQueues<T> {
     /// Pops the highest-priority task, considering the hard queue only when
     /// `include_hard` is set.
     pub fn pop(&mut self, include_hard: bool) -> Option<T> {
-        let take_hard = match (self.normal.peek(), if include_hard { self.hard.peek() } else { None })
-        {
-            (Some(n), Some(h)) => h.0 < n.0, // smaller Entry = older statement = higher priority
-            (None, Some(_)) => true,
-            (Some(_), None) => false,
-            (None, None) => return None,
-        };
+        let take_hard =
+            match (self.normal.peek(), if include_hard { self.hard.peek() } else { None }) {
+                (Some(n), Some(h)) => h.0 < n.0, // smaller Entry = older statement = higher priority
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => return None,
+            };
         let heap = if take_hard { &mut self.hard } else { &mut self.normal };
         heap.pop().map(|e| e.0.item)
     }
@@ -386,7 +386,8 @@ mod tests {
         qs.push(&meta(0, Some(0), true), None, 9);
         // The task landed on the least-loaded group of socket 0; a worker of
         // the *other* group of the same socket may still take it.
-        let taken = qs.pop_for_worker(ThreadGroupId(1)).or_else(|| qs.pop_for_worker(ThreadGroupId(0)));
+        let taken =
+            qs.pop_for_worker(ThreadGroupId(1)).or_else(|| qs.pop_for_worker(ThreadGroupId(0)));
         assert_eq!(taken.map(|(i, _)| i), Some(9));
     }
 

@@ -17,6 +17,9 @@ pub struct SchedulerStats {
     pub stolen_same_socket: u64,
     /// Tasks taken from a thread group of a different socket.
     pub stolen_cross_socket: u64,
+    /// Tasks whose closure panicked. A panicking task still counts as
+    /// executed; its panic payload is dropped so that the pool stays usable.
+    pub panicked: u64,
     /// Tasks executed per socket.
     pub executed_per_socket: Vec<u64>,
 }
@@ -45,6 +48,7 @@ impl SchedulerStats {
         self.executed += other.executed;
         self.stolen_same_socket += other.stolen_same_socket;
         self.stolen_cross_socket += other.stolen_cross_socket;
+        self.panicked += other.panicked;
         if self.executed_per_socket.len() < other.executed_per_socket.len() {
             self.executed_per_socket.resize(other.executed_per_socket.len(), 0);
         }

@@ -40,9 +40,7 @@ impl TaskPriority {
 impl Ord for TaskPriority {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Smaller epoch first, then smaller sequence.
-        self.statement_epoch
-            .cmp(&other.statement_epoch)
-            .then(self.sequence.cmp(&other.sequence))
+        self.statement_epoch.cmp(&other.statement_epoch).then(self.sequence.cmp(&other.sequence))
     }
 }
 

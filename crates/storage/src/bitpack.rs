@@ -34,7 +34,7 @@ impl BitPackedVec {
     /// Creates an empty vector with space reserved for `capacity` elements.
     pub fn with_capacity(bits: u8, capacity: usize) -> Self {
         let mut v = Self::new(bits);
-        v.words.reserve((capacity * bits as usize + 63) / 64 + 1);
+        v.words.reserve((capacity * bits as usize).div_ceil(64) + 1);
         v
     }
 
@@ -173,13 +173,33 @@ mod tests {
     fn push_get_roundtrip_for_various_bitcases() {
         for bits in [1u8, 3, 7, 8, 17, 21, 26, 31, 32] {
             let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
-            let values: Vec<u32> =
-                (0..1000u32).map(|i| (i.wrapping_mul(2654435761)) % (max.saturating_add(1).max(1))).collect();
+            let values: Vec<u32> = (0..1000u32)
+                .map(|i| (i.wrapping_mul(2654435761)) % (max.saturating_add(1).max(1)))
+                .collect();
             let packed = BitPackedVec::from_slice(bits, &values);
             assert_eq!(packed.len(), values.len());
             for (i, &v) in values.iter().enumerate() {
                 assert_eq!(packed.get(i), v, "bitcase {bits}, position {i}");
             }
+        }
+    }
+
+    #[test]
+    fn max_values_straddling_word_boundaries_roundtrip() {
+        // Regression test for the straddle path of `push`/`get`: with a
+        // 32-bit bitcase every odd element shares no word boundary, but any
+        // bitcase not dividing 64 produces elements whose bits straddle two
+        // words. All-ones values make a dropped or duplicated carry bit
+        // visible immediately.
+        for bits in [31u8, 32] {
+            let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            let values = vec![max; 129];
+            let packed = BitPackedVec::from_slice(bits, &values);
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(packed.get(i), v, "bitcase {bits}, position {i}");
+            }
+            // The scan kernel must see the same straddled values.
+            assert_eq!(packed.count_range(0..values.len(), max, max), values.len());
         }
     }
 
@@ -203,8 +223,12 @@ mod tests {
         let packed = BitPackedVec::from_slice(7, &values);
         let mut matches = Vec::new();
         packed.scan_range(0..values.len(), 10, 19, |p| matches.push(p));
-        let expected: Vec<usize> =
-            values.iter().enumerate().filter(|(_, &v)| (10..=19).contains(&v)).map(|(i, _)| i).collect();
+        let expected: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| (10..=19).contains(&v))
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(matches, expected);
     }
 

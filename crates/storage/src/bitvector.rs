@@ -15,7 +15,7 @@ pub struct BitVector {
 impl BitVector {
     /// Creates a bit-vector of `len` zero bits.
     pub fn new(len: usize) -> Self {
-        BitVector { len, words: vec![0; (len + 63) / 64] }
+        BitVector { len, words: vec![0; len.div_ceil(64)] }
     }
 
     /// Number of bits.

@@ -177,17 +177,16 @@ mod tests {
     #[test]
     fn memory_accounting_sums_components() {
         let col = DictColumn::from_values("c", &values(), true);
-        assert_eq!(
-            col.total_bytes(),
-            col.iv_bytes() + col.dictionary_bytes() + col.index_bytes()
-        );
+        assert_eq!(col.total_bytes(), col.iv_bytes() + col.dictionary_bytes() + col.index_bytes());
         assert!(col.iv_bytes() > 0 && col.dictionary_bytes() > 0 && col.index_bytes() > 0);
     }
 
     #[test]
     fn string_columns_work_end_to_end() {
-        let vals: Vec<String> =
-            ["Carl", "Anna", "Emma", "Anna", "Evie", "Bree"].iter().map(|s| s.to_string()).collect();
+        let vals: Vec<String> = ["Carl", "Anna", "Emma", "Anna", "Evie", "Bree"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let col = DictColumn::from_values("names", &vals, true);
         assert_eq!(col.dictionary().len(), 5);
         assert_eq!(col.value_at(3), "Anna");

@@ -59,10 +59,7 @@ impl Table {
 
     /// A column by name.
     pub fn column_by_name(&self, name: &str) -> Option<(ColumnId, &DictColumn<i64>)> {
-        self.columns
-            .iter()
-            .position(|c| c.name() == name)
-            .map(|i| (ColumnId(i), &self.columns[i]))
+        self.columns.iter().position(|c| c.name() == name).map(|i| (ColumnId(i), &self.columns[i]))
     }
 
     /// Iterates over `(id, column)` pairs.
@@ -160,9 +157,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "rows")]
     fn mismatched_row_counts_are_rejected() {
-        TableBuilder::new("t")
-            .add_values("a", &[1, 2, 3], false)
-            .add_values("b", &[1, 2], false);
+        TableBuilder::new("t").add_values("a", &[1, 2, 3], false).add_values("b", &[1, 2], false);
     }
 
     #[test]

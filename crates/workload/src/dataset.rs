@@ -38,7 +38,12 @@ pub fn paper_table_spec(rows: u64, payload_columns: usize, with_index: bool) -> 
     let bitcase_span = (*PAPER_BITCASES.end() - *PAPER_BITCASES.start() + 1) as usize;
     for i in 0..payload_columns {
         let bitcase = *PAPER_BITCASES.start() + (i % bitcase_span) as u8;
-        columns.push(ColumnSpec::integer_with_bitcase(format!("col{i:03}"), rows, bitcase, with_index));
+        columns.push(ColumnSpec::integer_with_bitcase(
+            format!("col{i:03}"),
+            rows,
+            bitcase,
+            with_index,
+        ));
     }
     TableSpec::new("scan_tbl", rows, columns)
 }

@@ -37,7 +37,7 @@ impl ColumnSelection {
     /// `true` if the payload column index belongs to the hot set of the
     /// skewed distribution.
     pub fn is_hot_column(payload_index: usize) -> bool {
-        payload_index % 2 == 0
+        payload_index.is_multiple_of(2)
     }
 
     /// Draws a payload column index in `0..columns`.

@@ -46,7 +46,8 @@ fn main() {
     for step in 0..4 {
         let report = measure(&mut machine, &catalog);
         let utilization = AdaptiveDataPlacer::utilization_from_report(&report, &topology);
-        let util_str: Vec<String> = utilization.iter().map(|u| format!("{:.0}%", u * 100.0)).collect();
+        let util_str: Vec<String> =
+            utilization.iter().map(|u| format!("{:.0}%", u * 100.0)).collect();
         println!(
             "step {step}: throughput {:>9.0} q/min, socket utilization [{}]",
             report.throughput_qpm,

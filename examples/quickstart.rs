@@ -37,18 +37,12 @@ fn main() {
     );
     for strategy in SchedulingStrategy::ALL {
         let mut machine = Machine::new(topology.clone());
-        let table =
-            PlacedTable::place(&mut machine, &spec, PlacementStrategy::RoundRobin).unwrap();
+        let table = PlacedTable::place(&mut machine, &spec, PlacementStrategy::RoundRobin).unwrap();
         let mut catalog = Catalog::new();
         catalog.add_table(table);
 
         let mut workload = ScanWorkload::new(0, 16, ColumnSelection::Uniform, 0.00001, 7);
-        let config = SimConfig {
-            strategy,
-            clients,
-            target_queries: 800,
-            ..SimConfig::default()
-        };
+        let config = SimConfig { strategy, clients, target_queries: 800, ..SimConfig::default() };
         let report = SimEngine::new(&mut machine, &catalog, config).run(&mut workload);
         let (_, remote) = report.llc_misses();
         println!(

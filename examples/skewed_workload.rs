@@ -28,12 +28,23 @@ fn run(placement: PlacementStrategy, strategy: SchedulingStrategy) -> SimReport 
 
 fn main() {
     println!("skewed workload (80% of queries on half the columns), 256 clients\n");
-    println!("{:<22} {:>12} {:>12} {:>16}", "configuration", "q/min", "CPU load %", "per-socket GiB/s");
+    println!(
+        "{:<22} {:>12} {:>12} {:>16}",
+        "configuration", "q/min", "CPU load %", "per-socket GiB/s"
+    );
     for (label, placement, strategy) in [
         ("RR + Bound", PlacementStrategy::RoundRobin, SchedulingStrategy::Bound),
         ("RR + Target (steal)", PlacementStrategy::RoundRobin, SchedulingStrategy::Target),
-        ("IVP4 + Bound", PlacementStrategy::IndexVectorPartitioned { parts: 4 }, SchedulingStrategy::Bound),
-        ("PP4 + Bound", PlacementStrategy::PhysicallyPartitioned { parts: 4 }, SchedulingStrategy::Bound),
+        (
+            "IVP4 + Bound",
+            PlacementStrategy::IndexVectorPartitioned { parts: 4 },
+            SchedulingStrategy::Bound,
+        ),
+        (
+            "PP4 + Bound",
+            PlacementStrategy::PhysicallyPartitioned { parts: 4 },
+            SchedulingStrategy::Bound,
+        ),
     ] {
         let report = run(placement, strategy);
         let per_socket: Vec<String> =

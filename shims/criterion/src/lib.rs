@@ -1,0 +1,281 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so this shim implements the subset of the `criterion 0.5` API
+//! the workspace's benches use: `criterion_group!` / `criterion_main!`,
+//! benchmark groups with `bench_function` / `bench_with_input`, `Bencher`
+//! with `iter` / `iter_with_setup`, `BenchmarkId`, `Throughput` and
+//! `black_box`. Replace the `criterion` entry in the workspace `Cargo.toml`
+//! with the real crate when a registry is available — no source changes are
+//! required.
+//!
+//! Measurement is deliberately simple (fixed warm-up, then `sample_size`
+//! timed samples, report min/median/mean); it produces stable wall-clock
+//! numbers without criterion's statistical machinery. `--test` (as passed by
+//! `cargo test --benches`) runs each benchmark once, like real criterion.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many elements/bytes one iteration processes; used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter display value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to the benchmark closure to drive timed iterations.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting one sample per batch of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and batch sizing: aim for samples of at least ~1ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` input each iteration; only the
+    /// `routine` part is timed.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.sample_size.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Alias of [`Bencher::iter_with_setup`] matching criterion's
+    /// `iter_batched` with `BatchSize` ignored.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        setup: impl FnMut() -> I,
+        routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+/// Batch sizing hint (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time (accepted for API compatibility;
+    /// the shim's sampling is driven by `sample_size` alone).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher);
+        report(&full, &samples, self.throughput, self.criterion.test_mode);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; matches criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// Prints one benchmark's result line.
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>, test_mode: bool) {
+    if test_mode {
+        println!("{name}: ok (test mode)");
+        return;
+    }
+    if samples.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let rate = throughput
+        .map(|t| {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => format!(" {:.3e} elem/s", per_sec(n)),
+                Throughput::Bytes(n) => {
+                    format!(" {:.3} GiB/s", per_sec(n) / (1u64 << 30) as f64)
+                }
+            }
+        })
+        .unwrap_or_default();
+    println!("{name}: median {median:?} (min {min:?}, {} samples){rate}", sorted.len());
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Applies a configuration closure (accepted for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, sample_size: 30, criterion: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = id.to_string();
+        let test_mode = self.test_mode;
+        let mut samples = Vec::new();
+        let mut bencher = Bencher { samples: &mut samples, sample_size: 30, test_mode };
+        f(&mut bencher);
+        report(&name, &samples, None, test_mode);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($fn:path),+ $(,)?) => {
+        /// Runs this group's benchmark functions.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $fn(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,317 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so this shim implements the subset of the `proptest 1.x` API the
+//! workspace's tests use: the [`proptest!`] macro with `#![proptest_config]`
+//! and `pattern in strategy` arguments, range / `any::<T>()` / tuple
+//! strategies, `proptest::collection::{vec, btree_set}`, and the
+//! `prop_assert*` macros. Replace the `proptest` entry in the workspace
+//! `Cargo.toml` with the real crate when a registry is available — no source
+//! changes are required.
+//!
+//! Differences from real proptest: inputs are random but **not shrunk** on
+//! failure (the failing values are printed instead), and there is no failure
+//! persistence. Each test function derives its RNG seed from its own name, so
+//! runs are fully deterministic.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng;
+use rand::{Rng as _, SampleUniform, SeedableRng as _, Standard};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + std::fmt::Debug> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + std::fmt::Debug> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates any value of `T` (uniform over the whole domain).
+pub fn any<T: Standard + std::fmt::Debug>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Standard + std::fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng as _;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` with random length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for a `BTreeSet` with random size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates a `BTreeSet` of up to `size` elements drawn from `element`
+    /// (fewer if duplicates are drawn, like real proptest under a sparse
+    /// domain).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs one property: `cases` iterations of `f` over values drawn by the
+/// caller (the macro passes a closure that generates its inputs from the
+/// provided RNG and returns `Err(message)` on assertion failure).
+///
+/// The seed is derived from the test name so each property is deterministic
+/// but distinct.
+pub fn run_property(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut f: impl FnMut(&mut StdRng) -> Result<(), String>,
+) {
+    let seed = test_name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3));
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in 0..config.cases {
+        if let Err(msg) = f(&mut rng) {
+            panic!("property '{test_name}' failed at case {case}: {msg}");
+        }
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the failing
+/// inputs via an `Err` return instead of panicking mid-case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Declares property tests, mirroring proptest's macro of the same name.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items (doc comments and
+/// other attributes on the functions are preserved).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test function.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_property(stringify!($name), &config, |__rng| {
+                $(let $pat = $crate::Strategy::generate(&$strategy, __rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn range_strategy_in_bounds(v in 10u32..20, w in 1u8..=3) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((1..=3).contains(&w));
+        }
+
+        /// Vec strategy respects the length range.
+        #[test]
+        fn vec_strategy_length(xs in collection::vec(0i64..5, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+            for x in &xs {
+                prop_assert!((0..5).contains(x));
+            }
+        }
+
+        /// Tuple strategies compose.
+        #[test]
+        fn tuple_strategy(t in (0u16..4, 1u32..8)) {
+            prop_assert!(t.0 < 4);
+            prop_assert_eq!(t.1.clamp(1, 7), t.1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::run_property("always_fails", &ProptestConfig::with_cases(3), |_| {
+            Err("nope".to_string())
+        });
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry. The workspace only uses `serde` for `#[derive(Serialize,
+//! Deserialize)]` annotations (no serialization is performed at runtime yet),
+//! so this shim defines both traits as empty marker traits and ships a
+//! hand-rolled derive that emits empty impls. Replace the `serde` entry in
+//! the workspace `Cargo.toml` with the real crate when a registry is
+//! available — no source changes are required, and the derives then become
+//! fully functional.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no required items).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no required items; the lifetime
+/// parameter of the real trait is dropped because nothing bounds on it here).
+pub trait Deserialize {}

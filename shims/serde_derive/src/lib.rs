@@ -1,0 +1,106 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The companion `serde` shim defines `Serialize` / `Deserialize` as marker
+//! traits with no required items, so deriving them only needs an empty
+//! `impl` block. This hand-rolled proc-macro (no `syn`/`quote`, which are
+//! equally unavailable offline) parses just enough of the item to find its
+//! name and generic parameters.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the `serde` shim's marker `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+/// Derives the `serde` shim's marker `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Emits `impl<params> serde::Trait for Name<args> {}` for the struct/enum in
+/// `input`.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes, doc comments and visibility until the item keyword.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => {
+                        name = Some(n.to_string());
+                        break;
+                    }
+                    other => panic!("serde shim derive: expected item name, got {other:?}"),
+                }
+            }
+        }
+    }
+    let name = name.expect("serde shim derive: no struct/enum found");
+
+    // Collect generic parameters (everything between the outermost < >), so
+    // the emitted impl is generic over the same parameters. Bounds on the
+    // parameters are kept verbatim; where-clauses and serde bounds are not
+    // needed because the traits have no required items.
+    let mut params = String::new();
+    let mut args = String::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut current = String::new();
+        let mut parts: Vec<String> = Vec::new();
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    current.push('<');
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    current.push('>');
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    parts.push(std::mem::take(&mut current));
+                }
+                other => {
+                    current.push_str(&other.to_string());
+                    current.push(' ');
+                }
+            }
+        }
+        if !current.trim().is_empty() {
+            parts.push(current);
+        }
+        params = parts.join(", ");
+        // The impl's type arguments are the parameter names without bounds or
+        // defaults: the first token of each comma-separated part (plus the
+        // quote for lifetimes).
+        let arg_list: Vec<String> = parts
+            .iter()
+            .map(|p| {
+                let p = p.trim();
+                if let Some(rest) = p.strip_prefix('\'') {
+                    format!("'{}", rest.split_whitespace().next().unwrap_or(""))
+                } else {
+                    p.split([' ', ':']).next().unwrap_or("").to_string()
+                }
+            })
+            .collect();
+        args = arg_list.join(", ");
+    }
+
+    let imp = if params.is_empty() {
+        format!("impl serde::{trait_name} for {name} {{}}")
+    } else {
+        format!("impl<{params}> serde::{trait_name} for {name}<{args}> {{}}")
+    };
+    imp.parse().expect("serde shim derive: generated impl failed to parse")
+}

@@ -2,11 +2,11 @@
 //! working together through the public `numascan` facade.
 
 use numascan::core::adaptive::{AdaptiveDataPlacer, ColumnHeat, PlacerAction};
+use numascan::core::cost::CostModel;
 use numascan::core::{
     Catalog, ColumnRef, NativeEngine, PlacedTable, PlacementStrategy, QueryKind, ScanPlanner,
     SimConfig, SimEngine,
 };
-use numascan::core::cost::CostModel;
 use numascan::numasim::{Machine, Topology};
 use numascan::scheduler::SchedulingStrategy;
 use numascan::storage::{scan_positions, Predicate};
@@ -18,9 +18,11 @@ fn native_engine_agrees_with_a_sequential_reference_scan() {
     let (_, reference_column) = table.column_by_name("col002").unwrap();
     let predicate = Predicate::Between { lo: 10, hi: 90 };
     let encoded = predicate.encode(reference_column.dictionary());
-    let expected = scan_positions(reference_column, 0..reference_column.row_count(), &encoded).len();
+    let expected =
+        scan_positions(reference_column, 0..reference_column.row_count(), &encoded).len();
 
-    let engine = NativeEngine::new(table, &Topology::four_socket_ivybridge_ex(), SchedulingStrategy::Bound);
+    let engine =
+        NativeEngine::new(table, &Topology::four_socket_ivybridge_ex(), SchedulingStrategy::Bound);
     let got = engine.count_between("col002", 10, 90, 4).unwrap();
     assert_eq!(got, expected);
     assert!(engine.scheduler_stats().executed > 0);
@@ -31,8 +33,11 @@ fn native_engine_agrees_with_a_sequential_reference_scan() {
 fn native_engine_results_are_identical_across_scheduling_strategies() {
     let reference: Vec<i64> = {
         let table = small_real_table(30_000, 2, 77);
-        let engine =
-            NativeEngine::new(table, &Topology::four_socket_ivybridge_ex(), SchedulingStrategy::Bound);
+        let engine = NativeEngine::new(
+            table,
+            &Topology::four_socket_ivybridge_ex(),
+            SchedulingStrategy::Bound,
+        );
         let out = engine.scan_between("col001", 0, 50, 2).unwrap();
         engine.shutdown();
         out
@@ -58,7 +63,12 @@ fn planner_affinities_match_the_placement_psm() {
     .unwrap();
     let planner = ScanPlanner::new(machine.topology(), CostModel::default());
     for column in &table.columns {
-        let plan = planner.plan(column, &QueryKind::Scan { selectivity: 0.001, allow_index: false }, 64, true);
+        let plan = planner.plan(
+            column,
+            &QueryKind::Scan { selectivity: 0.001, allow_index: false },
+            64,
+            true,
+        );
         for task in &plan.phase1 {
             let affinity = task.affinity.expect("scan tasks of partitioned IVs have affinities");
             assert!(

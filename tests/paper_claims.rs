@@ -36,7 +36,10 @@ fn claim_stealing_memory_intensive_tasks_hurts() {
     });
     let target = tables[0].cell_f64("96", "Target").unwrap();
     let bound = tables[0].cell_f64("96", "Bound").unwrap();
-    assert!(bound > target, "Bound {bound} must beat Target {target} for skewed memory-bound scans");
+    assert!(
+        bound > target,
+        "Bound {bound} must beat Target {target} for skewed memory-bound scans"
+    );
 }
 
 #[test]
