@@ -1,13 +1,15 @@
 //! Criterion micro-benchmarks for the NUMA-aware thread pool: task dispatch
-//! throughput under the three scheduling strategies.
+//! throughput under the three scheduling strategies, and hard-affinity
+//! submit latency under a sustained backlog (the targeted-wakeup fast path).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use numascan_numasim::{SocketId, Topology};
 use numascan_scheduler::{
     PoolConfig, SchedulingStrategy, TaskMeta, TaskPriority, ThreadPool, WorkClass,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 const TASKS: u64 = 2_000;
 
@@ -49,5 +51,78 @@ fn bench_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dispatch);
+fn hard_meta(socket: u16, epoch: u64) -> TaskMeta {
+    TaskMeta {
+        affinity: Some(SocketId(socket)),
+        hard_affinity: true,
+        priority: TaskPriority::new(epoch, 0),
+        work_class: WorkClass::MemoryIntensive,
+        estimated_bytes: 0.0,
+    }
+}
+
+/// Keeps a socket's queues backlogged: each filler re-submits itself until
+/// `stop` is raised, so the backlog never drains while the probe is measured.
+fn spawn_filler(pool: &Arc<ThreadPool>, stop: &Arc<AtomicBool>, socket: u16, epoch: u64) {
+    if stop.load(Ordering::Relaxed) {
+        return;
+    }
+    let pool2 = Arc::clone(pool);
+    let stop2 = Arc::clone(stop);
+    pool.submit(hard_meta(socket, epoch), move || {
+        std::thread::sleep(Duration::from_micros(50));
+        spawn_filler(&pool2, &stop2, socket, epoch.saturating_add(1));
+    });
+}
+
+/// Submit-to-completion latency of a hard-affinity task whose target socket
+/// is idle while every other socket runs a sustained hard backlog. Before
+/// per-group targeted wakeups, the global `notify_one` could hand this
+/// wakeup to a busy wrong-socket worker and the probe stranded until the
+/// watchdog fired — which is disabled here (60s interval), so the watchdog
+/// is provably off the critical path (asserted at the end).
+fn bench_submit_latency_under_backlog(c: &mut Criterion) {
+    let topology = Topology::four_socket_ivybridge_ex();
+    let pool = Arc::new(ThreadPool::new(
+        &topology,
+        PoolConfig {
+            strategy: SchedulingStrategy::Bound,
+            workers_per_group: Some(1),
+            watchdog_interval: Duration::from_secs(60),
+        },
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    // Sockets 1..=3 stay backlogged (more fillers than workers); socket 0
+    // stays idle so its workers are asleep when each probe is submitted.
+    for socket in 1..4u16 {
+        for f in 0..8u64 {
+            spawn_filler(&pool, &stop, socket, 1_000 + f);
+        }
+    }
+
+    let mut group = c.benchmark_group("scheduler_submit_latency");
+    group.sample_size(10);
+    group.bench_function("hard_affinity_probe_under_backlog", |b| {
+        let mut epoch = 0u64;
+        b.iter(|| {
+            let (tx, rx) = std::sync::mpsc::channel::<()>();
+            epoch += 1;
+            pool.submit(hard_meta(0, epoch), move || {
+                let _ = tx.send(());
+            });
+            rx.recv().expect("probe task must run");
+        });
+    });
+    group.finish();
+
+    stop.store(true, Ordering::Relaxed);
+    pool.wait_idle();
+    let stats = pool.stats();
+    assert_eq!(
+        stats.watchdog_wakeups, 0,
+        "the watchdog must stay off the submit critical path: {stats:?}"
+    );
+}
+
+criterion_group!(benches, bench_dispatch, bench_submit_latency_under_backlog);
 criterion_main!(benches);

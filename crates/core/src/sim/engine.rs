@@ -251,7 +251,11 @@ impl<'a> SimEngine<'a> {
 
             // 1. Hand queued tasks to idle workers. Workers of the same socket
             //    see the same queues, so once one of them fails to find a task
-            //    the rest of that socket is skipped for this round.
+            //    the rest of that socket is skipped for this round. Handing a
+            //    task to an idle worker is the virtual-time analogue of a
+            //    targeted wakeup (the real-thread pool counts actual condvar
+            //    signals); false and watchdog wakeups stay zero here because
+            //    virtual time never signals a worker speculatively.
             if !queues.is_empty() {
                 let mut socket_exhausted = vec![false; sockets];
                 for w in workers.iter_mut() {
@@ -261,6 +265,7 @@ impl<'a> SimEngine<'a> {
                     match queues.pop_for_worker(w.group) {
                         Some((pending, scope)) => {
                             stats.record(w.socket, scope);
+                            stats.targeted_wakeups += 1;
                             w.task =
                                 Some(start_task(pending, w.socket, &latency_model, overhead_ops));
                         }
@@ -627,6 +632,14 @@ mod tests {
         assert!(report.tasks_executed() >= report.completed_queries);
         assert!(report.total_memory_throughput_gibs() > 0.0);
         assert!(report.cpu_load_percent() > 0.0 && report.cpu_load_percent() <= 100.0);
+        // Every executed task was handed to an idle worker exactly once (the
+        // virtual-time analogue of a targeted wakeup); the virtual engine has
+        // no watchdog and never signals speculatively, so the other wakeup
+        // counters stay zero and the false-wakeup fraction stays a fraction.
+        assert_eq!(report.scheduler.targeted_wakeups, report.tasks_executed());
+        assert_eq!(report.scheduler.watchdog_wakeups, 0);
+        assert_eq!(report.scheduler.false_wakeups, 0);
+        assert_eq!(report.false_wakeup_fraction(), 0.0);
     }
 
     #[test]

@@ -21,10 +21,11 @@
 //!   (`OS`, `Target`, `Bound`) and the stealing rules they imply.
 //! * [`concurrency`] — the concurrency hint that adapts task granularity to
 //!   the number of concurrently active statements.
-//! * [`pool`] — a real-thread worker pool implementing the worker main loop
-//!   and the watchdog, used for native (non-simulated) execution.
-//! * [`stats`] — counters (executed tasks, stolen tasks) reported by both
-//!   backends.
+//! * [`pool`] — a real-thread worker pool implementing the worker main loop,
+//!   per-group targeted wakeups and the watchdog backstop, used for native
+//!   (non-simulated) execution.
+//! * [`stats`] — counters (executed tasks, stolen tasks, wakeup routing)
+//!   reported by both backends.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

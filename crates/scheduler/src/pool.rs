@@ -8,6 +8,33 @@
 //! a watchdog that periodically wakes sleeping workers when queued tasks and
 //! idle workers coexist.
 //!
+//! ## Targeted wakeups
+//!
+//! Every thread group owns its own condition variable and sleeper count
+//! (guarded by the shared queue lock), so a wakeup can be routed to a group
+//! whose workers are actually allowed to take the new task:
+//!
+//! * `submit` signals the group the task landed on when it has an unsignalled
+//!   sleeper; otherwise another group of the same socket; otherwise — for
+//!   stealable (non-hard) tasks only — the least-loaded group anywhere with an
+//!   unsignalled sleeper. A hard-affinity task whose socket has no sleeper
+//!   needs no signal: its socket's workers are awake and re-scan the queues
+//!   before they ever sleep.
+//! * A worker that takes a task while more work remains visible to some other
+//!   sleeping group re-publishes availability by signalling that group (the
+//!   chained wakeup), so a burst spreads over the eligible sleepers without
+//!   any producer-side broadcast.
+//! * The watchdog stays as a pure backstop: it only rescues a socket whose
+//!   queues hold tasks while every one of its workers sleeps unsignalled — a
+//!   state correct routing provably never produces — and counts every rescue
+//!   in [`SchedulerStats::watchdog_wakeups`], so a non-zero value flags a
+//!   lost wakeup.
+//!
+//! Lost wakeups cannot occur because a worker only starts waiting after
+//! checking the queues under the same lock `submit` holds while routing, and
+//! signalled-but-not-yet-woken sleepers are tracked (`signals`) so routing
+//! never double-books a sleeper that is already due to wake.
+//!
 //! One deliberate simplification: worker threads are *not* pinned to physical
 //! CPUs of the host. The machine the experiments model (up to 32 sockets) is
 //! virtual, so binding to host CPUs would be meaningless; what matters for the
@@ -19,7 +46,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use numascan_numasim::Topology;
+use numascan_numasim::{SocketId, Topology};
 use parking_lot::{Condvar, Mutex};
 
 use crate::policy::SchedulingStrategy;
@@ -53,13 +80,109 @@ impl Default for PoolConfig {
     }
 }
 
+/// Per-group sleep bookkeeping, guarded by the queue lock.
+#[derive(Debug, Default, Clone)]
+struct WaitState {
+    /// Workers of this group currently blocked on the group's condvar.
+    sleepers: usize,
+    /// Signals issued to this group whose receiver has not woken up yet.
+    /// Routing only considers a group available when `sleepers > signals`.
+    signals: usize,
+}
+
+impl WaitState {
+    fn has_unsignalled_sleeper(&self) -> bool {
+        self.sleepers > self.signals
+    }
+}
+
+/// Everything guarded by the single pool lock: the queues plus the per-group
+/// wait states (they must be read and written atomically with queue checks,
+/// otherwise wakeups could be lost or double-booked).
+struct PoolState {
+    queues: QueueSet<(TaskMeta, Job)>,
+    waits: Vec<WaitState>,
+}
+
 struct Shared {
-    queues: Mutex<QueueSet<(TaskMeta, Job)>>,
-    work_available: Condvar,
+    state: Mutex<PoolState>,
+    /// One condvar per thread group, all paired with `state`.
+    group_cvs: Vec<Condvar>,
+    /// Wakes the watchdog out of its interval sleep at shutdown.
+    watchdog_cv: Condvar,
     idle: Condvar,
     pending: AtomicUsize,
     shutdown: AtomicBool,
+    /// Worker threads per group; the watchdog needs it to tell "every worker
+    /// of this socket is asleep" from "some are awake and will re-scan".
+    workers_per_group: usize,
     stats: Mutex<SchedulerStats>,
+}
+
+impl Shared {
+    /// Picks the group `submit` should signal for a task that landed on
+    /// `landed`: the landing group itself, then the least-loaded other group
+    /// of the same socket, then — unless the task is hard-bound — the
+    /// least-loaded group anywhere. Only groups with an unsignalled sleeper
+    /// qualify; returns `None` when every eligible worker is already awake
+    /// (they re-scan the queues before sleeping, so no signal is needed).
+    fn route_submit_wakeup(state: &PoolState, landed: ThreadGroupId, hard: bool) -> Option<usize> {
+        if state.waits[landed.index()].has_unsignalled_sleeper() {
+            return Some(landed.index());
+        }
+        let socket = state.queues.socket_of_group(landed);
+        let same_socket = state
+            .queues
+            .groups_of_socket(socket)
+            .map(ThreadGroupId::index)
+            .filter(|g| *g != landed.index() && state.waits[*g].has_unsignalled_sleeper())
+            .min_by_key(|g| state.queues.group(ThreadGroupId(*g)).len());
+        if same_socket.is_some() {
+            return same_socket;
+        }
+        if hard {
+            return None;
+        }
+        (0..state.queues.group_count())
+            .filter(|g| state.waits[*g].has_unsignalled_sleeper())
+            .min_by_key(|g| state.queues.group(ThreadGroupId(*g)).len())
+    }
+
+    /// Picks a group to re-publish availability to after a worker took a
+    /// task: any group with an unsignalled sleeper that still has visible
+    /// work (own-socket queues or a stealable foreign task), least-loaded
+    /// first. This is how a burst of submissions fans out over sleepers
+    /// without the producer broadcasting to every group. Runs on every pop
+    /// under the pool lock, so visibility is precomputed per socket in
+    /// O(groups) rather than asking `has_work_for` (O(groups)) per group.
+    fn route_chained_wakeup(state: &PoolState) -> Option<usize> {
+        // Hot-path early-out: a saturated pool has no sleepers at all, and
+        // then there is nothing to route and nothing worth precomputing.
+        if !state.waits.iter().any(WaitState::has_unsignalled_sleeper) {
+            return None;
+        }
+        let sockets = state.queues.socket_count();
+        let mut total_per_socket = vec![0usize; sockets];
+        let mut normal_per_socket = vec![0usize; sockets];
+        let mut normal_total = 0usize;
+        for g in 0..state.queues.group_count() {
+            let queues = state.queues.group(ThreadGroupId(g));
+            let socket = queues.socket().index();
+            total_per_socket[socket] += queues.len();
+            normal_per_socket[socket] += queues.normal_len();
+            normal_total += queues.normal_len();
+        }
+        (0..state.queues.group_count())
+            .filter(|g| {
+                if !state.waits[*g].has_unsignalled_sleeper() {
+                    return false;
+                }
+                let socket = state.queues.socket_of_group(ThreadGroupId(*g)).index();
+                // Same visibility rule as `QueueSet::has_work_for`.
+                total_per_socket[socket] > 0 || normal_total > normal_per_socket[socket]
+            })
+            .min_by_key(|g| state.queues.group(ThreadGroupId(*g)).len())
+    }
 }
 
 /// A NUMA-aware pool of worker threads.
@@ -81,11 +204,13 @@ impl ThreadPool {
             config.workers_per_group.unwrap_or_else(|| contexts_per_group.min(8)).max(1);
 
         let shared = Arc::new(Shared {
-            queues: Mutex::new(queues),
-            work_available: Condvar::new(),
+            state: Mutex::new(PoolState { queues, waits: vec![WaitState::default(); group_count] }),
+            group_cvs: (0..group_count).map(|_| Condvar::new()).collect(),
+            watchdog_cv: Condvar::new(),
             idle: Condvar::new(),
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            workers_per_group,
             stats: Mutex::new(SchedulerStats::new(topology.socket_count())),
         });
 
@@ -132,37 +257,32 @@ impl ThreadPool {
         F: FnOnce() + Send + 'static,
     {
         let meta = self.strategy.apply_to_meta(meta);
+        let hard = meta.hard_affinity;
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        let backlog = {
-            let mut queues = self.shared.queues.lock();
-            queues.push(&meta.clone(), None, (meta, Box::new(job)));
-            queues.total_len()
+        let wake = {
+            let mut state = self.shared.state.lock();
+            let landed = state.queues.push(&meta.clone(), None, (meta, Box::new(job)));
+            let target = Shared::route_submit_wakeup(&state, landed, hard);
+            if let Some(g) = target {
+                state.waits[g].signals += 1;
+            }
+            target
         };
-        // Waking a single worker is enough to keep latency low, but the woken
-        // worker may belong to a different socket than the queue the task
-        // landed on (hard-affinity tasks are then unreachable until that
-        // socket's workers wake by themselves). Escalate to waking everyone
-        // exactly when the global backlog starts to build (a push can only
-        // grow the queue by one, so growth from empty always passes through
-        // 2); waking everyone on *every* backlogged submit would stampede all
-        // workers of all sockets onto the queue lock for each task of a
-        // burst. One race deliberately remains: under a sustained backlog a
-        // hard-affinity task for an all-idle socket may be signalled to a
-        // wrong-socket worker, costing up to one watchdog interval of latency
-        // until that socket is woken. Removing it needs per-socket condvars
-        // (a targeted wake), which is a planned scheduler refactor.
-        if backlog == 2 {
-            self.shared.work_available.notify_all();
-        } else {
-            self.shared.work_available.notify_one();
+        // Stats and the notification stay off the state critical section: the
+        // signal is already booked, so the sleeper cannot be double-routed,
+        // and the stats mutex (taken by every worker per pop) must not extend
+        // the pool-wide lock hold time.
+        if let Some(g) = wake {
+            self.shared.stats.lock().targeted_wakeups += 1;
+            self.shared.group_cvs[g].notify_one();
         }
     }
 
     /// Blocks until every submitted task has finished executing.
     pub fn wait_idle(&self) {
-        let mut queues = self.shared.queues.lock();
+        let mut state = self.shared.state.lock();
         while self.shared.pending.load(Ordering::SeqCst) > 0 {
-            self.shared.idle.wait(&mut queues);
+            self.shared.idle.wait(&mut state);
         }
     }
 
@@ -180,50 +300,105 @@ impl ThreadPool {
     /// have not started yet are still executed before shutdown completes.
     pub fn shutdown(mut self) {
         self.wait_idle();
+        self.join_all();
+    }
+
+    /// Signals shutdown, wakes every per-group condvar exactly once, joins
+    /// all threads, and (in debug builds) asserts that no sleeper survived —
+    /// the per-group discipline makes the shutdown wakeup provably complete,
+    /// where the old global condvar only papered over the race.
+    fn join_all(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.work_available.notify_all();
+        // Taking the lock once orders the flag against every worker's
+        // check-then-wait (which happens atomically under this lock): any
+        // worker not yet waiting will see the flag before it sleeps, and any
+        // worker already waiting receives the notification below.
+        drop(self.shared.state.lock());
+        for cv in &self.shared.group_cvs {
+            cv.notify_all();
+        }
+        self.shared.watchdog_cv.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
         if let Some(w) = self.watchdog.take() {
             let _ = w.join();
+        }
+        if cfg!(debug_assertions) {
+            let state = self.shared.state.lock();
+            debug_assert!(
+                state.waits.iter().all(|w| w.sleepers == 0),
+                "a worker was left sleeping through shutdown: {:?}",
+                state.waits
+            );
         }
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.work_available.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-        if let Some(w) = self.watchdog.take() {
-            let _ = w.join();
-        }
+        self.join_all();
     }
 }
 
 fn worker_loop(shared: Arc<Shared>, group: ThreadGroupId) {
+    let gi = group.index();
+    // Set after waking from a signalled wait; a failed pop then counts as a
+    // false wakeup (routing signalled us but someone else took the work).
+    // The count is accumulated locally and flushed outside the state lock so
+    // the stats mutex never extends the pool-wide critical section.
+    let mut signalled = false;
+    let mut false_wakes = 0u64;
     loop {
-        let task = {
-            let mut queues = shared.queues.lock();
+        let (task, chain) = {
+            let mut state = shared.state.lock();
             loop {
-                if let Some((item, scope)) = queues.pop_for_worker(group) {
-                    let socket = queues.socket_of_group(group);
-                    shared.stats.lock().record(socket, scope);
-                    break Some(item);
+                if let Some((item, scope)) = state.queues.pop_for_worker(group) {
+                    signalled = false;
+                    // Re-publish availability: if another sleeping group can
+                    // still make progress, chain one signal to it so bursts
+                    // fan out without a producer-side broadcast. Booking the
+                    // signal must happen under the lock; the notification and
+                    // the stats accounting happen after it is released.
+                    let chain = Shared::route_chained_wakeup(&state);
+                    if let Some(g) = chain {
+                        state.waits[g].signals += 1;
+                    }
+                    let socket = state.queues.socket_of_group(group);
+                    break (Some((item, socket, scope)), chain);
+                }
+                if std::mem::take(&mut signalled) {
+                    false_wakes += 1;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    break None;
+                    break (None, None);
                 }
-                // Free-thread behaviour: sleep, but wake periodically to check
-                // for stealable work.
-                shared.work_available.wait_for(&mut queues, Duration::from_millis(50));
+                state.waits[gi].sleepers += 1;
+                shared.group_cvs[gi].wait(&mut state);
+                let wait = &mut state.waits[gi];
+                wait.sleepers -= 1;
+                // Consume one outstanding signal (if any): this wakeup
+                // fulfils it, whether it was meant for this worker or a
+                // spurious wake beat the notification to the lock.
+                if wait.signals > 0 {
+                    wait.signals -= 1;
+                    signalled = true;
+                }
             }
         };
         match task {
-            Some((_meta, job)) => {
+            Some(((_meta, job), socket, scope)) => {
+                {
+                    let mut stats = shared.stats.lock();
+                    stats.record(socket, scope);
+                    stats.false_wakeups += std::mem::take(&mut false_wakes);
+                    if chain.is_some() {
+                        stats.chained_wakeups += 1;
+                    }
+                }
+                if let Some(g) = chain {
+                    shared.group_cvs[g].notify_one();
+                }
                 // A panicking job must still count as finished: `wait_idle`
                 // blocks on `pending`, so losing the decrement to an unwind
                 // would deadlock every waiter (and `shutdown`, which waits
@@ -232,21 +407,77 @@ fn worker_loop(shared: Arc<Shared>, group: ThreadGroupId) {
                     shared.stats.lock().panicked += 1;
                 }
                 if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-                    let _guard = shared.queues.lock();
+                    let _guard = shared.state.lock();
                     shared.idle.notify_all();
                 }
             }
-            None => return,
+            None => {
+                if false_wakes > 0 {
+                    shared.stats.lock().false_wakeups += false_wakes;
+                }
+                return;
+            }
         }
     }
 }
 
+/// The backstop: every `interval`, rescue any socket that has queued tasks
+/// while *every* one of its workers sleeps with *no* signal outstanding.
+/// That state is unreachable under correct routing — a worker only sleeps
+/// after seeing no visible work under the lock, and any later push signals a
+/// sleeper of the socket under the same lock — so a rescue flags a lost
+/// wakeup, and every one is counted in `SchedulerStats::watchdog_wakeups`.
+/// (A weaker condition, e.g. "any unsignalled sleeper with visible work",
+/// would fire on healthy states: one queued task signalled to worker A while
+/// worker B of the same group still sleeps.) The interval wait is
+/// interruptible so that shutdown does not block for up to one (possibly
+/// very long) interval.
 fn watchdog_loop(shared: Arc<Shared>, interval: Duration) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(interval);
-        let has_work = { !shared.queues.lock().is_empty() };
-        if has_work {
-            shared.work_available.notify_all();
+    loop {
+        let rescued: Vec<(usize, u64)> = {
+            let mut state = shared.state.lock();
+            // Check-then-wait must happen under the lock (shutdown takes it
+            // between setting the flag and notifying): otherwise a shutdown
+            // racing the watchdog's startup loses its notification and the
+            // join blocks for a full interval.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            shared.watchdog_cv.wait_for(&mut state, interval);
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut groups: Vec<(usize, u64)> = Vec::new();
+            for socket in 0..state.queues.socket_count() {
+                let socket = SocketId(socket as u16);
+                let members: Vec<usize> =
+                    state.queues.groups_of_socket(socket).map(ThreadGroupId::index).collect();
+                let queued: usize =
+                    members.iter().map(|g| state.queues.group(ThreadGroupId(*g)).len()).sum();
+                if queued == 0 {
+                    continue;
+                }
+                let sleepers: usize = members.iter().map(|g| state.waits[*g].sleepers).sum();
+                let signals: usize = members.iter().map(|g| state.waits[*g].signals).sum();
+                let all_asleep = sleepers == members.len() * shared.workers_per_group;
+                if all_asleep && signals == 0 {
+                    for g in members {
+                        let wait = &mut state.waits[g];
+                        wait.signals = wait.sleepers;
+                        groups.push((g, wait.sleepers as u64));
+                    }
+                }
+            }
+            groups
+        };
+        if !rescued.is_empty() {
+            // Count one watchdog wakeup per *signal* booked (not per group),
+            // so that every false wakeup a rescue produces stays covered by
+            // `total_wakeups` and `false_wakeup_fraction` remains a fraction.
+            shared.stats.lock().watchdog_wakeups += rescued.iter().map(|(_, n)| n).sum::<u64>();
+            for (g, _) in rescued {
+                shared.group_cvs[g].notify_all();
+            }
         }
     }
 }
@@ -353,11 +584,10 @@ mod tests {
 
     #[test]
     fn burst_of_hard_tasks_to_every_socket_completes() {
-        // Regression test for the submit wake-up path: `notify_one` can wake a
-        // worker of a different socket than the one a hard-affinity task is
-        // queued on, and that worker may not take the task. Before `submit`
-        // escalated to `notify_all` on backlog, a burst like this one relied
-        // entirely on the watchdog and the workers' periodic wake-ups.
+        // Regression test for the submit wake-up path: before per-group
+        // condvars, a global `notify_one` could wake a worker of a different
+        // socket than the one a hard-affinity task was queued on, and a burst
+        // like this one relied on the watchdog to unstrand the task.
         let p = pool(SchedulingStrategy::Bound);
         let counter = Arc::new(AtomicU64::new(0));
         for i in 0..400u64 {
@@ -373,6 +603,32 @@ mod tests {
         // Hard affinity must still be respected: every task ran on its socket.
         assert_eq!(stats.stolen_cross_socket, 0);
         assert_eq!(stats.executed_per_socket, vec![100, 100, 100, 100]);
+        p.shutdown();
+    }
+
+    #[test]
+    fn targeted_wakeups_carry_the_load_not_the_watchdog() {
+        // Trickle tasks so workers actually go to sleep between submissions;
+        // every sleep/wake cycle must then be served by a targeted wakeup.
+        let p = ThreadPool::new(
+            &small_topology(),
+            PoolConfig {
+                strategy: SchedulingStrategy::Bound,
+                workers_per_group: Some(1),
+                watchdog_interval: Duration::from_secs(120),
+            },
+        );
+        for i in 0..40u64 {
+            p.submit(meta_for((i % 4) as u16, i), || {});
+            p.wait_idle();
+        }
+        let stats = p.stats();
+        assert_eq!(stats.executed, 40);
+        assert_eq!(stats.watchdog_wakeups, 0, "watchdog had to rescue: {stats:?}");
+        assert!(
+            stats.targeted_wakeups > 0,
+            "trickled tasks must be served by targeted wakeups: {stats:?}"
+        );
         p.shutdown();
     }
 
@@ -423,5 +679,29 @@ mod tests {
         p.wait_idle();
         drop(p);
         assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn shutdown_with_long_watchdog_interval_returns_promptly() {
+        // The watchdog's interval sleep must be interruptible: with the old
+        // `thread::sleep` loop, shutting down a pool configured with a long
+        // interval blocked until the sleep expired.
+        let p = ThreadPool::new(
+            &small_topology(),
+            PoolConfig {
+                strategy: SchedulingStrategy::Bound,
+                workers_per_group: Some(1),
+                watchdog_interval: Duration::from_secs(3600),
+            },
+        );
+        p.submit(meta_for(0, 0), || {});
+        p.wait_idle();
+        let start = std::time::Instant::now();
+        p.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "shutdown blocked on the watchdog interval: {:?}",
+            start.elapsed()
+        );
     }
 }

@@ -207,13 +207,19 @@ impl<T> QueueSet<T> {
         &self.groups[group.index()]
     }
 
-    /// Enqueues a task according to its metadata.
+    /// Enqueues a task according to its metadata and returns the thread group
+    /// it landed on (so callers can route a targeted wakeup to that group).
     ///
     /// Tasks with an affinity go to the least-loaded thread group of their
     /// socket (into the hard queue when the hard flag is set); tasks without
     /// an affinity go to the submitter's group when known (for cache
     /// affinity), or round-robin over all groups otherwise.
-    pub fn push(&mut self, meta: &TaskMeta, submitter: Option<ThreadGroupId>, item: T) {
+    pub fn push(
+        &mut self,
+        meta: &TaskMeta,
+        submitter: Option<ThreadGroupId>,
+        item: T,
+    ) -> ThreadGroupId {
         let seq = self.seq;
         self.seq += 1;
         let group = match meta.affinity {
@@ -231,6 +237,28 @@ impl<T> QueueSet<T> {
             }),
         };
         self.groups[group.index()].push(meta.priority, seq, meta.hard_affinity, item);
+        group
+    }
+
+    /// Whether a worker of `group` would find a task right now, following the
+    /// same search order as [`QueueSet::pop_for_worker`] without mutating
+    /// anything: any task of the own socket (both queues), or a normal
+    /// (stealable) task of a foreign socket.
+    ///
+    /// This is the canonical single-group form of the visibility rule the
+    /// pool's chained-wakeup routing applies (the pool precomputes the same
+    /// rule per socket because it tests every group at once); the property
+    /// suite checks it against a reference model, so the two copies cannot
+    /// silently diverge from `pop_for_worker`.
+    pub fn has_work_for(&self, group: ThreadGroupId) -> bool {
+        let socket = self.socket_of_group(group);
+        self.groups.iter().any(|g| {
+            if g.socket() == socket {
+                !g.is_empty()
+            } else {
+                g.normal_len() > 0
+            }
+        })
     }
 
     /// Implements the worker main loop's search order: own group, then other
@@ -389,6 +417,41 @@ mod tests {
         let taken =
             qs.pop_for_worker(ThreadGroupId(1)).or_else(|| qs.pop_for_worker(ThreadGroupId(0)));
         assert_eq!(taken.map(|(i, _)| i), Some(9));
+    }
+
+    #[test]
+    fn push_returns_the_landing_group() {
+        let mut qs: QueueSet<u32> = QueueSet::new(2, 2);
+        let g = qs.push(&meta(0, Some(1), true), None, 1);
+        assert_eq!(qs.socket_of_group(g), SocketId(1));
+        assert_eq!(qs.group(g).len(), 1);
+        // The second task balances to the other (now least-loaded) group of
+        // the same socket.
+        let g2 = qs.push(&meta(0, Some(1), true), None, 2);
+        assert_eq!(qs.socket_of_group(g2), SocketId(1));
+        assert_ne!(g, g2);
+        // An unaffine task with a known submitter lands on the submitter.
+        let g3 = qs.push(&meta(0, None, false), Some(ThreadGroupId(0)), 3);
+        assert_eq!(g3, ThreadGroupId(0));
+    }
+
+    #[test]
+    fn has_work_for_follows_the_stealing_rules() {
+        let mut qs: QueueSet<u32> = QueueSet::new(2, 2);
+        assert!(!qs.has_work_for(ThreadGroupId(0)));
+        // A hard task on socket 1 is visible to both socket-1 groups, but to
+        // no socket-0 group.
+        qs.push(&meta(0, Some(1), true), None, 7);
+        assert!(!qs.has_work_for(ThreadGroupId(0)));
+        assert!(!qs.has_work_for(ThreadGroupId(1)));
+        assert!(qs.has_work_for(ThreadGroupId(2)));
+        assert!(qs.has_work_for(ThreadGroupId(3)));
+        // A normal task is visible to everyone.
+        qs.push(&meta(0, Some(1), false), None, 8);
+        assert!(qs.has_work_for(ThreadGroupId(0)));
+        let _ = qs.pop_for_worker(ThreadGroupId(2));
+        let _ = qs.pop_for_worker(ThreadGroupId(2));
+        assert!(!qs.has_work_for(ThreadGroupId(2)));
     }
 
     #[test]

@@ -20,6 +20,19 @@ pub struct SchedulerStats {
     /// Tasks whose closure panicked. A panicking task still counts as
     /// executed; its panic payload is dropped so that the pool stays usable.
     pub panicked: u64,
+    /// Wakeups `submit` routed directly to a thread group that had an
+    /// unsignalled sleeping worker eligible for the new task.
+    pub targeted_wakeups: u64,
+    /// Wakeups issued by a worker that took a task while more work remained
+    /// visible to another sleeping group (the steal-path re-publish).
+    pub chained_wakeups: u64,
+    /// Sleeper wakeups issued by the watchdog (one per worker it signals).
+    /// The watchdog is a pure backstop: with correct targeted routing this
+    /// stays at zero, so any non-zero value flags a wakeup the submit/steal
+    /// paths missed.
+    pub watchdog_wakeups: u64,
+    /// Times a signalled worker woke up and found no task to take.
+    pub false_wakeups: u64,
     /// Tasks executed per socket.
     pub executed_per_socket: Vec<u64>,
 }
@@ -49,6 +62,10 @@ impl SchedulerStats {
         self.stolen_same_socket += other.stolen_same_socket;
         self.stolen_cross_socket += other.stolen_cross_socket;
         self.panicked += other.panicked;
+        self.targeted_wakeups += other.targeted_wakeups;
+        self.chained_wakeups += other.chained_wakeups;
+        self.watchdog_wakeups += other.watchdog_wakeups;
+        self.false_wakeups += other.false_wakeups;
         if self.executed_per_socket.len() < other.executed_per_socket.len() {
             self.executed_per_socket.resize(other.executed_per_socket.len(), 0);
         }
@@ -63,6 +80,22 @@ impl SchedulerStats {
             0.0
         } else {
             self.stolen_cross_socket as f64 / self.executed as f64
+        }
+    }
+
+    /// Wakeups issued on any path (targeted, chained or watchdog).
+    pub fn total_wakeups(&self) -> u64 {
+        self.targeted_wakeups + self.chained_wakeups + self.watchdog_wakeups
+    }
+
+    /// Fraction of issued wakeups that found no task (a measure of how
+    /// precise the wakeup routing is; 0.0 when no wakeup was issued).
+    pub fn false_wakeup_fraction(&self) -> f64 {
+        let total = self.total_wakeups();
+        if total == 0 {
+            0.0
+        } else {
+            self.false_wakeups as f64 / total as f64
         }
     }
 
@@ -107,5 +140,27 @@ mod tests {
     #[test]
     fn steal_fraction_of_empty_stats_is_zero() {
         assert_eq!(SchedulerStats::new(4).cross_socket_steal_fraction(), 0.0);
+    }
+
+    #[test]
+    fn wakeup_counters_merge_and_summarize() {
+        let mut a = SchedulerStats::new(2);
+        a.targeted_wakeups = 6;
+        a.chained_wakeups = 3;
+        a.watchdog_wakeups = 1;
+        a.false_wakeups = 2;
+        let mut b = SchedulerStats::new(2);
+        b.targeted_wakeups = 4;
+        b.false_wakeups = 3;
+        a.merge(&b);
+        assert_eq!(a.targeted_wakeups, 10);
+        assert_eq!(a.chained_wakeups, 3);
+        assert_eq!(a.watchdog_wakeups, 1);
+        assert_eq!(a.false_wakeups, 5);
+        assert_eq!(a.total_wakeups(), 14);
+        assert!((a.false_wakeup_fraction() - 5.0 / 14.0).abs() < 1e-12);
+        a.reset();
+        assert_eq!(a.total_wakeups(), 0);
+        assert_eq!(a.false_wakeup_fraction(), 0.0);
     }
 }

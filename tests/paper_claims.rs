@@ -63,6 +63,92 @@ fn claim_unnecessary_partitioning_hurts_at_scale() {
 }
 
 #[test]
+fn claim_parallelism_decides_the_ivp_vs_pp_and_vs_rr_crossover() {
+    // Figure 10: partitioned placements *depend* on intra-query parallelism.
+    // Without it, a single task scans most of the partitioned IV remotely and
+    // RR wins at high concurrency; with it, the partitioned placements pull
+    // even with RR again and multiply single-client throughput.
+    let scale = ExperimentScale {
+        rows: 4_000_000,
+        payload_columns: 32,
+        client_sweep: vec![1, 256],
+        high_concurrency: 256,
+        max_queries: 1_200,
+        max_virtual_seconds: 20.0,
+    };
+    let tables = experiments::fig10::run(&scale);
+    let without = &tables[0];
+    let with = &tables[2];
+
+    // Without parallelism, IVP loses a large fraction of RR's throughput at
+    // high concurrency, and PP (whose partitions at least keep their scans
+    // socket-local) stays ahead of IVP.
+    let rr_hc_without = without.cell_f64("256", "RR").unwrap();
+    let ivp_hc_without = without.cell_f64("256", "IVP").unwrap();
+    let pp_hc_without = without.cell_f64("256", "PP").unwrap();
+    assert!(
+        ivp_hc_without < 0.75 * rr_hc_without,
+        "unparallelized IVP should lose badly to RR: {ivp_hc_without} vs {rr_hc_without}"
+    );
+    assert!(
+        pp_hc_without > ivp_hc_without,
+        "unparallelized PP should beat unparallelized IVP: {pp_hc_without} vs {ivp_hc_without}"
+    );
+
+    // With parallelism the order flips back: IVP converges to within 15% of
+    // RR at high concurrency and multiplies single-client throughput.
+    let rr_hc_with = with.cell_f64("256", "RR").unwrap();
+    let ivp_hc_with = with.cell_f64("256", "IVP").unwrap();
+    assert!(
+        ivp_hc_with > 0.85 * rr_hc_with,
+        "parallelized IVP should converge to RR: {ivp_hc_with} vs {rr_hc_with}"
+    );
+    let rr_low_with = with.cell_f64("1", "RR").unwrap();
+    let ivp_low_with = with.cell_f64("1", "IVP").unwrap();
+    assert!(
+        ivp_low_with > 1.5 * rr_low_with,
+        "a lone client should gain from partitioning + parallelism: {ivp_low_with} vs {rr_low_with}"
+    );
+}
+
+#[test]
+fn claim_table2_placement_tradeoffs_are_measured() {
+    // Table 2: the placements trade single-client speed, latency fairness,
+    // memory and readjustment cost against each other.
+    let scale = ExperimentScale {
+        rows: 4_000_000,
+        payload_columns: 8,
+        client_sweep: vec![64],
+        high_concurrency: 64,
+        max_queries: 250,
+        max_virtual_seconds: 20.0,
+    };
+    let t = &experiments::table02::run(&scale)[0];
+
+    // Partitioned placements use the whole machine for a single client.
+    let rr_low = t.cell_f64("RR", "TP @ 1 client (q/min)").unwrap();
+    let ivp_low = t.cell_f64("IVP4", "TP @ 1 client (q/min)").unwrap();
+    assert!(ivp_low > 1.5 * rr_low, "IVP single-client: {ivp_low} vs RR {rr_low}");
+
+    // Partitioning evens out per-query latency (smaller coefficient of
+    // variation than RR at high concurrency).
+    let rr_cov = t.cell_f64("RR", "Latency CoV @ high conc.").unwrap();
+    let ivp_cov = t.cell_f64("IVP4", "Latency CoV @ high conc.").unwrap();
+    assert!(ivp_cov < rr_cov, "IVP latency fairness: CoV {ivp_cov} vs RR {rr_cov}");
+
+    // RR needs no readjustment; PP is by far the slowest to readjust; memory
+    // overhead never shrinks below RR's.
+    let rr_adj = t.cell_f64("RR", "Readjustment (min, paper dataset)").unwrap();
+    let ivp_adj = t.cell_f64("IVP4", "Readjustment (min, paper dataset)").unwrap();
+    let pp_adj = t.cell_f64("PP4", "Readjustment (min, paper dataset)").unwrap();
+    assert_eq!(rr_adj, 0.0);
+    assert!(pp_adj > 2.0 * ivp_adj, "PP readjustment {pp_adj} vs IVP {ivp_adj}");
+    let rr_mem = t.cell_f64("RR", "Memory overhead (%)").unwrap();
+    let pp_mem = t.cell_f64("PP4", "Memory overhead (%)").unwrap();
+    assert!(pp_mem >= rr_mem);
+}
+
+#[test]
 fn claim_table1_is_reproduced_exactly() {
     let tables = experiments::table01::run(&tiny_scale());
     let t = &tables[0];

@@ -5,7 +5,60 @@ use proptest::prelude::*;
 use numascan::numasim::memman::{AllocPolicy, MemoryManager, VirtRange, PAGE_SIZE};
 use numascan::numasim::{SocketId, Topology};
 use numascan::psm::Psm;
+use numascan::scheduler::{QueueSet, StealScope, TaskMeta, TaskPriority, ThreadGroupId, WorkClass};
 use numascan::storage::{BitPackedVec, BitVector, Dictionary, InvertedIndex, Predicate};
+
+/// Reference model of one queued task, keyed by the id stored as payload.
+#[derive(Debug, Clone, Copy)]
+struct ModelTask {
+    priority: TaskPriority,
+    /// Global insertion order (mirrors the `QueueSet` sequence counter).
+    seq: u64,
+    hard: bool,
+    id: u32,
+}
+
+/// What `pop_for_worker(worker)` must return according to the scheduling
+/// discipline: the best task of the own group (both queues), else the best
+/// same-socket task (both queues, group index breaking priority ties), else
+/// the best foreign *normal* task. "Best" is (priority, insertion order).
+fn model_expected_pop(
+    groups: &[Vec<ModelTask>],
+    groups_per_socket: usize,
+    worker: usize,
+) -> Option<(usize, usize, StealScope)> {
+    let best_in = |g: usize, include_hard: bool| -> Option<(TaskPriority, u64, usize)> {
+        groups[g]
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| include_hard || !t.hard)
+            .map(|(i, t)| (t.priority, t.seq, i))
+            .min()
+    };
+    if let Some((_, _, i)) = best_in(worker, true) {
+        return Some((worker, i, StealScope::OwnGroup));
+    }
+    let socket = worker / groups_per_socket;
+    let same_socket = (socket * groups_per_socket..(socket + 1) * groups_per_socket)
+        .filter(|g| *g != worker)
+        // Cross-group selection compares best *priorities* only (insertion
+        // order is a within-group tie-breaker), then the group index.
+        .filter_map(|g| best_in(g, true).map(|(p, _, _)| (p, g)))
+        .min();
+    if let Some((_, g)) = same_socket {
+        let (_, _, i) = best_in(g, true).expect("candidate group is non-empty");
+        return Some((g, i, StealScope::SameSocket));
+    }
+    let remote = (0..groups.len())
+        .filter(|g| *g / groups_per_socket != socket)
+        .filter_map(|g| best_in(g, false).map(|(p, _, _)| (p, g)))
+        .min();
+    if let Some((_, g)) = remote {
+        let (_, _, i) = best_in(g, false).expect("candidate group is non-empty");
+        return Some((g, i, StealScope::RemoteSocket));
+    }
+    None
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -124,6 +177,106 @@ proptest! {
             for page in 0..64 {
                 let addr = range.base + page * PAGE_SIZE;
                 prop_assert_eq!(psm.socket_of(addr), mem.socket_of(addr).unwrap());
+            }
+        }
+    }
+
+    /// The `QueueSet` scheduling discipline holds under arbitrary push/pop
+    /// interleavings on a 2-socket, 2-groups-per-socket machine: a worker's
+    /// pop returns exactly the task the paper's search order dictates (own
+    /// group by priority, then same-socket, then foreign normal tasks), a
+    /// hard-affinity task is never handed to a foreign socket, and the
+    /// pending counts always agree with a naive reference model.
+    ///
+    /// Op encoding: `kind` 0/1 = push (1 = unaffine), 2/3 = pop; `epoch`
+    /// deliberately collides so that priority ties exercise the insertion
+    /// order and group-index tie-breakers.
+    #[test]
+    fn queue_set_discipline_matches_reference_model(
+        ops in proptest::collection::vec((0u8..4, 0u64..4, 0u16..2, 0u8..2, 0usize..4), 0..100),
+    ) {
+        const GROUPS_PER_SOCKET: usize = 2;
+        let mut qs: QueueSet<u32> = QueueSet::new(2, GROUPS_PER_SOCKET);
+        let mut model: Vec<Vec<ModelTask>> = vec![Vec::new(); qs.group_count()];
+        let mut seq: u64 = 0;
+
+        for (kind, epoch, socket, hard_sel, worker) in ops {
+            match kind {
+                0 | 1 => {
+                    let hard = hard_sel == 1;
+                    let meta = TaskMeta {
+                        affinity: (kind == 0).then_some(SocketId(socket)),
+                        // An unaffine hard task is legal for the queues (the
+                        // policy layer never produces one, but the invariant
+                        // "hard tasks never leave their landing socket" must
+                        // hold regardless of how the task got there).
+                        hard_affinity: hard,
+                        priority: TaskPriority::new(epoch, 0),
+                        work_class: WorkClass::MemoryIntensive,
+                        estimated_bytes: 0.0,
+                    };
+                    let id = seq as u32;
+                    let landed = qs.push(&meta, None, id);
+                    // Affine tasks must land on a group of their socket.
+                    if kind == 0 {
+                        prop_assert_eq!(qs.socket_of_group(landed), SocketId(socket));
+                    }
+                    model[landed.index()].push(ModelTask {
+                        priority: meta.priority,
+                        seq,
+                        hard,
+                        id,
+                    });
+                    seq += 1;
+                }
+                _ => {
+                    let expected = model_expected_pop(&model, GROUPS_PER_SOCKET, worker);
+                    let actual = qs.pop_for_worker(ThreadGroupId(worker));
+                    match (expected, actual) {
+                        (None, None) => {}
+                        (Some((g, i, scope)), Some((id, actual_scope))) => {
+                            let task = model[g][i];
+                            prop_assert_eq!(id, task.id, "pop must return the best visible task");
+                            prop_assert_eq!(actual_scope, scope);
+                            // Hard tasks never cross sockets.
+                            if task.hard {
+                                prop_assert_ne!(actual_scope, StealScope::RemoteSocket);
+                                prop_assert_eq!(
+                                    g / GROUPS_PER_SOCKET,
+                                    worker / GROUPS_PER_SOCKET,
+                                    "hard task handed to a foreign socket"
+                                );
+                            }
+                            model[g].remove(i);
+                        }
+                        (expected, actual) => {
+                            prop_assert!(
+                                false,
+                                "model/queue divergence: expected {:?}, got {:?}",
+                                expected,
+                                actual
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Pending counts stay consistent with the model after every op.
+            let model_total: usize = model.iter().map(Vec::len).sum();
+            prop_assert_eq!(qs.total_len(), model_total);
+            prop_assert_eq!(qs.is_empty(), model_total == 0);
+            let mut per_socket = vec![0usize; qs.socket_count()];
+            for (g, tasks) in model.iter().enumerate() {
+                per_socket[g / GROUPS_PER_SOCKET] += tasks.len();
+            }
+            prop_assert_eq!(qs.len_per_socket(), per_socket);
+            // `has_work_for` agrees with "would a pop succeed".
+            for g in 0..qs.group_count() {
+                prop_assert_eq!(
+                    qs.has_work_for(ThreadGroupId(g)),
+                    model_expected_pop(&model, GROUPS_PER_SOCKET, g).is_some(),
+                    "has_work_for diverges for group {}", g
+                );
             }
         }
     }
