@@ -1,19 +1,43 @@
-//! Criterion micro-benchmarks for the storage kernels: bit-packed scans over
-//! different bitcases (the reason the paper's dataset cycles bitcases 17–26),
+//! Criterion micro-benchmarks for the storage kernels: word-parallel (SWAR)
+//! bit-packed scans over the paper's bitcases and a selectivity sweep for
+//! every mask consumer (count, position list, bit-vector), plus
 //! materialization, dictionary lookups and inverted-index lookups.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use numascan_storage::{scan_positions, DictColumn, Predicate};
+use numascan_storage::{
+    scan_bitvector, scan_positions, scan_positions_with_estimate, BitPackedVec, DictColumn,
+    Predicate,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const ROWS: usize = 1_000_000;
+
+/// The bitcases the benchmarks sweep: the paper's dataset cycles bitcases
+/// 17–26; 8 and 12 cover the denser lane counts.
+const BITCASES: [u32; 5] = [8, 12, 17, 22, 26];
+const SELECTIVITIES: [f64; 3] = [0.001, 0.05, 0.5];
 
 fn column_with_bitcase(bits: u32) -> DictColumn<i64> {
     let mut rng = StdRng::seed_from_u64(bits as u64);
     let max = 1i64 << bits;
     let values: Vec<i64> = (0..ROWS).map(|_| rng.gen_range(0..max)).collect();
     DictColumn::from_values(format!("col_b{bits}"), &values, true)
+}
+
+fn packed_with_bitcase(bits: u32) -> BitPackedVec {
+    let mut rng = StdRng::seed_from_u64(bits as u64);
+    let max = 1u32 << bits;
+    let values: Vec<u32> = (0..ROWS).map(|_| rng.gen_range(0..max as i64) as u32).collect();
+    BitPackedVec::from_slice(bits as u8, &values)
+}
+
+/// Predicate bounds selecting roughly `selectivity` of a uniform column.
+fn bounds(bits: u32, selectivity: f64) -> (u32, u32) {
+    let domain = (1u64 << bits) as f64;
+    let lo = (domain * 0.25) as u32;
+    let hi = lo + ((domain * selectivity) as u32).max(1);
+    (lo, hi.min((1u64 << bits) as u32 - 1))
 }
 
 fn bench_scans(c: &mut Criterion) {
@@ -32,6 +56,57 @@ fn bench_scans(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// The three mask-stream consumers of the SWAR kernel across bitcases and
+/// selectivities: popcount (`count_range`), position-list emission and
+/// bit-vector ORs. The scalar reference runs alongside as the baseline the
+/// perf smoke test holds the kernels against.
+fn bench_swar_kernels(c: &mut Criterion) {
+    for bits in BITCASES {
+        let packed = packed_with_bitcase(bits);
+        let column = column_with_bitcase(bits);
+        for selectivity in SELECTIVITIES {
+            let (lo, hi) = bounds(bits, selectivity);
+            let encoded =
+                Predicate::Between { lo: lo as i64, hi: hi as i64 }.encode(column.dictionary());
+            let label = format!("b{bits}_sel{selectivity}");
+
+            let mut group = c.benchmark_group("swar_kernels");
+            group.throughput(Throughput::Elements(ROWS as u64));
+            group.bench_function(BenchmarkId::new("count", &label), |b| {
+                b.iter(|| black_box(packed.count_range(0..ROWS, black_box(lo), black_box(hi))))
+            });
+            group.bench_function(BenchmarkId::new("positions", &label), |b| {
+                b.iter(|| {
+                    let out = scan_positions_with_estimate(
+                        &column,
+                        0..column.row_count(),
+                        black_box(&encoded),
+                        selectivity,
+                    );
+                    black_box(out.len())
+                })
+            });
+            group.bench_function(BenchmarkId::new("bitvector", &label), |b| {
+                b.iter(|| {
+                    let out = scan_bitvector(&column, 0..column.row_count(), black_box(&encoded));
+                    black_box(out.count())
+                })
+            });
+            group.bench_function(BenchmarkId::new("scalar_reference", &label), |b| {
+                b.iter(|| {
+                    let mut count = 0usize;
+                    packed.scan_range_scalar(0..ROWS, black_box(lo), black_box(hi), |p| {
+                        black_box(p);
+                        count += 1;
+                    });
+                    black_box(count)
+                })
+            });
+            group.finish();
+        }
+    }
 }
 
 fn bench_materialization(c: &mut Criterion) {
@@ -71,5 +146,11 @@ fn bench_dictionary_and_index(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scans, bench_materialization, bench_dictionary_and_index);
+criterion_group!(
+    benches,
+    bench_scans,
+    bench_swar_kernels,
+    bench_materialization,
+    bench_dictionary_and_index
+);
 criterion_main!(benches);

@@ -15,7 +15,7 @@ use numascan_scheduler::{
     ConcurrencyHint, PoolConfig, SchedulerStats, SchedulingStrategy, TaskMeta, TaskPriority,
     ThreadPool, WorkClass,
 };
-use numascan_storage::{scan_positions, ColumnId, Predicate, Table};
+use numascan_storage::{scan_positions_with_estimate, ColumnId, Predicate, Table};
 use parking_lot::Mutex;
 
 /// Per-task output: the task's chunk index and the values it materialized.
@@ -70,6 +70,9 @@ impl NativeEngine {
         let (column_id, column) = self.table.column_by_name(column_name)?;
         let predicate = Predicate::Between { lo, hi };
         let encoded = predicate.encode(column.dictionary());
+        // Computed once per statement and shipped to every task, so each
+        // scan's position list is allocated at its final size up front.
+        let selectivity = predicate.estimated_selectivity(column.dictionary());
         let socket = self.column_socket(column_id);
         let epoch = self.statement_epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
 
@@ -91,7 +94,8 @@ impl NativeEngine {
             };
             self.pool.submit(meta, move || {
                 let column = table.column(column_id);
-                let positions = scan_positions(column, start..end, &encoded);
+                let positions =
+                    scan_positions_with_estimate(column, start..end, &encoded, selectivity);
                 let values = numascan_storage::materialize_positions(column, &positions);
                 results.lock().push((i, values));
             });

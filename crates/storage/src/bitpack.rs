@@ -1,11 +1,30 @@
-//! Bit-compressed integer vectors.
+//! Bit-compressed integer vectors and their word-parallel scan kernels.
 //!
 //! The index vector of a dictionary-encoded column stores one vid per row
 //! using the least number of bits able to represent the largest vid — the
 //! *bitcase* (Section 4.1). The paper's prototype scans such vectors with SSE
-//! instructions; this implementation uses a portable word-at-a-time kernel
-//! with the same asymptotic behaviour (a handful of ALU operations per code
-//! word, independent of the predicate).
+//! instructions, comparing many codes per instruction; this implementation
+//! uses portable SWAR ("SIMD within a register") kernels with the same
+//! structure:
+//!
+//! * the packed payload is read through unaligned 64-bit **windows** that
+//!   always start on a code boundary, so every window holds `64 / bits`
+//!   complete code lanes in the same layout — the predicate constants are
+//!   replicated once per scan and live in registers (codes crossing a window
+//!   edge are not straddles to stitch: the next window starts there),
+//! * all lanes of a window are compared against the predicate simultaneously
+//!   using the per-lane sentinel-bit subtraction trick (set the top bit of
+//!   every lane of the minuend, clear it in the subtrahend: borrows then
+//!   never cross a lane boundary, and the surviving top bit reports the
+//!   per-lane comparison outcome),
+//! * the result is a stream of **match masks** — one bit per row, compacted
+//!   to the low bits of a `u64` — consumed by popcount (`count_range`, which
+//!   popcounts the sentinel bits and skips compaction), word-wise ORs into a
+//!   bit-vector, or `trailing_zeros` iteration for position lists. No
+//!   per-element decode happens anywhere on the hot path.
+//!
+//! The pre-rework scalar kernel is retained as [`BitPackedVec::scan_range_scalar`],
+//! the reference oracle the property tests compare every SWAR path against.
 
 /// Smallest number of bits able to represent `max_value` (at least 1).
 pub fn bits_for_max_value(max_value: u64) -> u8 {
@@ -16,12 +35,168 @@ pub fn bits_for_max_value(max_value: u64) -> u8 {
     }
 }
 
+/// Low `n` bits set, for `n <= 64`.
+#[inline]
+fn low_mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Branch-free unaligned 64-bit load starting at bit `bit` of the packed
+/// payload. Requires `bit / 64 + 1 < words.len()` — guaranteed by the
+/// padding-word invariant for any bit position inside the payload.
+///
+/// `<< 1 << (63 - offset)` is `<< (64 - offset)` without the undefined
+/// 64-bit shift at offset 0 (where the high word must contribute 0).
+#[inline(always)]
+fn window_at(words: &[u64], bit: usize) -> u64 {
+    let word = bit >> 6;
+    let offset = (bit & 63) as u32;
+    (words[word] >> offset) | ((words[word + 1] << 1) << (63 - offset))
+}
+
+/// Lane layout and replicated predicate constants of one windowed range scan.
+///
+/// The kernels process the packed payload through unaligned 64-bit *windows*
+/// that always start on a code boundary, advancing `k * bits` bits per step
+/// (`k = 64 / bits` lanes per window). Every window therefore has the same
+/// lane layout — lane `i` occupies bits `[i * bits, (i + 1) * bits)` — so all
+/// of these constants are loop-invariant scalars the compiler keeps in
+/// registers; there is no per-word phase table and no straddling code to
+/// stitch (the code crossing the window edge is simply where the next window
+/// starts).
+#[derive(Debug, Clone, Copy)]
+struct WindowPlan {
+    /// Lanes (codes) per window.
+    k: u32,
+    /// Bits the cursor advances per window: `k * bits`.
+    advance: usize,
+    /// Sentinel mask: the top bit of every lane.
+    high: u64,
+    /// `min`'s low `bits - 1` bits replicated into every lane.
+    min_low: u64,
+    /// `max`'s low `bits - 1` bits plus one, replicated into every lane.
+    max_low_p1: u64,
+    /// `min`'s lane top bit (dispatches the monomorphized kernels).
+    min_high: bool,
+    /// `max`'s lane top bit.
+    max_high: bool,
+    /// Stride-compaction masks per doubling step (padded with no-ops).
+    fold_masks: [u64; 6],
+    /// Number of meaningful entries in `fold_masks`.
+    fold_steps: u32,
+    /// Low `k` bits set — the valid bits of a compacted window mask.
+    lane_select: u64,
+}
+
+impl WindowPlan {
+    fn new(bits: u32, min: u32, max: u32) -> WindowPlan {
+        let k = 64 / bits;
+        let lane_low = low_mask(bits - 1);
+        let mut high = 0u64;
+        let mut min_low = 0u64;
+        let mut max_low_p1 = 0u64;
+        for lane in 0..k {
+            let at = lane * bits;
+            high |= 1u64 << (at + bits - 1);
+            min_low |= (u64::from(min) & lane_low) << at;
+            max_low_p1 |= ((u64::from(max) & lane_low) + 1) << at;
+        }
+        // Compaction masks: after the step that merges groups of `g` matched
+        // bits into groups of `2g`, every super-lane of `2g * bits` bits must
+        // keep exactly its low `2g` bits.
+        let mut fold_masks = [u64::MAX; 6];
+        let mut fold_steps = 0;
+        let mut group = 1u32;
+        while group < k {
+            let merged = 2 * group;
+            let block = low_mask(merged);
+            let stride = merged * bits;
+            let mut mask = 0u64;
+            let mut at = 0u32;
+            loop {
+                mask |= block << at;
+                if stride >= 64 - at {
+                    break;
+                }
+                at += stride;
+            }
+            fold_masks[fold_steps as usize] = mask;
+            fold_steps += 1;
+            group = merged;
+        }
+        WindowPlan {
+            k,
+            advance: (k * bits) as usize,
+            high,
+            min_low,
+            max_low_p1,
+            min_high: (min >> (bits - 1)) & 1 == 1,
+            max_high: (max >> (bits - 1)) & 1 == 1,
+            fold_masks,
+            fold_steps,
+            lane_select: low_mask(k),
+        }
+    }
+
+    /// Sentinel-bit evaluation of `min <= lane <= max` on every lane of a
+    /// window: returns a word whose lane *top* bits report the matches.
+    ///
+    /// Forcing the lane top bit on in the minuend and keeping the subtrahend
+    /// below `2^(bits-1)` means borrows never cross a lane boundary, and the
+    /// surviving sentinel reports `low(lane) >= subtrahend`; `MINH`/`MAXH`
+    /// (the lane top bits of `min` and `max`, fixed per scan) select how the
+    /// lanes' own top bits combine with those low-bit comparisons.
+    #[inline(always)]
+    fn matches<const MINH: bool, const MAXH: bool>(&self, x: u64) -> u64 {
+        let sentineled = x | self.high;
+        let t = sentineled.wrapping_sub(self.min_low); // low(x) >= low(min)
+        let u = sentineled.wrapping_sub(self.max_low_p1); // low(x) > low(max)
+        let ge_min = if MINH { x & t } else { x | t };
+        let le_max = if MAXH { !(x & u) } else { !(x | u) };
+        ge_min & le_max & self.high
+    }
+
+    /// Compacts the sentinel bits (stride `bits`, starting at `bits - 1`) to
+    /// the low `k` bits, one bit per lane, by doubling the gathered group
+    /// each step.
+    #[inline(always)]
+    fn compact(&self, matched: u64, top_shift: u32) -> u64 {
+        let mut mask = matched >> top_shift;
+        let mut shift = top_shift;
+        for &fold in &self.fold_masks[..self.fold_steps as usize] {
+            mask |= mask >> shift;
+            mask &= fold;
+            shift *= 2;
+        }
+        mask & self.lane_select
+    }
+}
+
 /// A densely bit-packed vector of `u32` code words.
+///
+/// Invariant: `words` always holds one zeroed word beyond the packed payload
+/// (when non-empty), so every decode can read two consecutive words
+/// unconditionally — the straddle handling of `get`, the word cursor and the
+/// scan kernels are branch-free because of it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitPackedVec {
     bits: u8,
     len: usize,
     words: Vec<u64>,
+}
+
+/// Words needed to store `len` elements of `bits` bits each, including the
+/// trailing padding word.
+fn required_words(bits: usize, len: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        (len * bits).div_ceil(64) + 1
+    }
 }
 
 impl BitPackedVec {
@@ -34,7 +209,7 @@ impl BitPackedVec {
     /// Creates an empty vector with space reserved for `capacity` elements.
     pub fn with_capacity(bits: u8, capacity: usize) -> Self {
         let mut v = Self::new(bits);
-        v.words.reserve((capacity * bits as usize).div_ceil(64) + 1);
+        v.words.reserve(required_words(bits as usize, capacity));
         v
     }
 
@@ -65,9 +240,15 @@ impl BitPackedVec {
         self.len == 0
     }
 
-    /// Size of the packed payload in bytes.
+    /// Size of the packed payload in bytes (including the padding word).
     pub fn memory_bytes(&self) -> usize {
         self.words.len() * 8
+    }
+
+    /// Mask of the low `bits` bits.
+    #[inline]
+    fn lane_mask(&self) -> u64 {
+        low_mask(self.bits as u32)
     }
 
     /// Appends a value.
@@ -80,22 +261,27 @@ impl BitPackedVec {
             "value {value} does not fit in {} bits",
             self.bits
         );
-        let bit_pos = self.len * self.bits as usize;
+        let bits = self.bits as usize;
+        let need = required_words(bits, self.len + 1);
+        if self.words.len() < need {
+            self.words.resize(need, 0);
+        }
+        let bit_pos = self.len * bits;
         let word = bit_pos / 64;
         let offset = bit_pos % 64;
-        if word >= self.words.len() {
-            self.words.push(0);
-        }
         self.words[word] |= (value as u64) << offset;
-        let spill = offset + self.bits as usize;
-        if spill > 64 {
+        if offset + bits > 64 {
             // The value straddles a word boundary.
-            if word + 1 >= self.words.len() {
-                self.words.push(0);
-            }
             self.words[word + 1] |= (value as u64) >> (64 - offset);
         }
         self.len += 1;
+    }
+
+    /// Branch-free two-word decode; the caller guarantees `pos < self.len`
+    /// (the padding-word invariant makes `word + 1` always readable).
+    #[inline]
+    pub(crate) fn decode_at(&self, pos: usize) -> u32 {
+        (window_at(&self.words, pos * self.bits as usize) & self.lane_mask()) as u32
     }
 
     /// Reads the element at `pos`.
@@ -105,29 +291,164 @@ impl BitPackedVec {
     #[inline]
     pub fn get(&self, pos: usize) -> u32 {
         assert!(pos < self.len, "position {pos} out of bounds (len {})", self.len);
-        let bits = self.bits as usize;
-        let bit_pos = pos * bits;
-        let word = bit_pos / 64;
-        let offset = bit_pos % 64;
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-        let mut v = self.words[word] >> offset;
-        if offset + bits > 64 {
-            v |= self.words[word + 1] << (64 - offset);
-        }
-        (v & mask) as u32
+        self.decode_at(pos)
     }
 
-    /// Iterates over all stored values.
-    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.len).map(move |i| self.get(i))
+    /// Iterates over all stored values with a word-cursor decoder: each packed
+    /// word is loaded once and codes are peeled off by shifting, instead of
+    /// recomputing a word/offset address per element.
+    pub fn iter(&self) -> BitPackedIter<'_> {
+        self.iter_range(0..self.len)
+    }
+
+    /// Iterates over the values of a sub-range (clamped to the vector length)
+    /// with the same word-cursor decoder as [`BitPackedVec::iter`].
+    pub fn iter_range(&self, positions: std::ops::Range<usize>) -> BitPackedIter<'_> {
+        let end = positions.end.min(self.len);
+        let start = positions.start.min(end);
+        let bits = u32::from(self.bits);
+        let mut it = BitPackedIter {
+            words: &self.words,
+            buf: 0,
+            avail: 0,
+            next_word: 0,
+            bits,
+            mask: self.lane_mask(),
+            remaining: end - start,
+        };
+        if it.remaining > 0 {
+            let bit_pos = start * bits as usize;
+            let word = bit_pos / 64;
+            let offset = (bit_pos % 64) as u32;
+            it.buf = self.words[word] >> offset;
+            it.avail = 64 - offset;
+            it.next_word = word + 1;
+        }
+        it
+    }
+
+    /// Clamps a scan request to the vector's rows and representable codes.
+    ///
+    /// Returns `None` when nothing can match — an empty (or inverted) row
+    /// range, an inverted predicate, or `min` beyond the largest code the
+    /// bitcase can store; both kernels short-circuit on it identically.
+    fn clamp_scan(
+        &self,
+        positions: std::ops::Range<usize>,
+        min: u32,
+        max: u32,
+    ) -> Option<(usize, usize, u32)> {
+        let end = positions.end.min(self.len);
+        let start = positions.start.min(end);
+        if start == end || min > max {
+            return None;
+        }
+        let lane_max = low_mask(u32::from(self.bits)) as u32;
+        if min > lane_max {
+            return None;
+        }
+        Some((start, end, max.min(lane_max)))
+    }
+
+    /// The word-parallel (SWAR) range kernel. For every run of up to
+    /// `64 / bits` consecutive rows of `positions` it calls
+    /// `sink(base, n, mask)`: bit `i` of `mask` (for `i < n`) is set iff row
+    /// `base + i` holds a code in `[min, max]`. Bases are emitted in
+    /// ascending order, runs tile the clamped range exactly, and bits `>= n`
+    /// are zero — except that an unsatisfiable predicate (`min > max`, or
+    /// `min` beyond the bitcase's largest code) short-circuits and emits no
+    /// runs at all; consumers must not infer row coverage from the run
+    /// stream in that case.
+    ///
+    /// Each unaligned 64-bit window starts on a code boundary, so every lane
+    /// it fully contains is compared simultaneously via per-lane sentinel-bit
+    /// subtraction with loop-invariant constants; codes crossing the window
+    /// edge are simply where the next window begins. See the module docs for
+    /// the algebra.
+    #[inline]
+    pub fn scan_range_masks<F: FnMut(usize, u32, u64)>(
+        &self,
+        positions: std::ops::Range<usize>,
+        min: u32,
+        max: u32,
+        mut sink: F,
+    ) {
+        let Some((start, end, max)) = self.clamp_scan(positions, min, max) else {
+            return;
+        };
+        let plan = WindowPlan::new(u32::from(self.bits), min, max);
+        match (plan.min_high, plan.max_high) {
+            (false, false) => self.scan_windows::<false, false, F>(&plan, start, end, &mut sink),
+            (false, true) => self.scan_windows::<false, true, F>(&plan, start, end, &mut sink),
+            (true, false) => self.scan_windows::<true, false, F>(&plan, start, end, &mut sink),
+            (true, true) => self.scan_windows::<true, true, F>(&plan, start, end, &mut sink),
+        }
+    }
+
+    /// The monomorphized window loop of [`BitPackedVec::scan_range_masks`].
+    #[inline(always)]
+    fn scan_windows<const MINH: bool, const MAXH: bool, F: FnMut(usize, u32, u64)>(
+        &self,
+        plan: &WindowPlan,
+        start: usize,
+        end: usize,
+        sink: &mut F,
+    ) {
+        let k = plan.k as usize;
+        let bits = u32::from(self.bits);
+        let top_shift = bits - 1;
+        let bits_us = bits as usize;
+        let words = &self.words[..];
+
+        // Full windows: `k` codes per unaligned 64-bit load, every window
+        // starting exactly on a code boundary (the padding word keeps the
+        // two-word load branch-free).
+        let mut row = start;
+        let mut bit = start * bits_us;
+        while row + k <= end {
+            let x = window_at(words, bit);
+            let mask = plan.compact(plan.matches::<MINH, MAXH>(x), top_shift);
+            sink(row, plan.k, mask);
+            row += k;
+            bit += plan.advance;
+        }
+
+        // Tail window: fewer than `k` rows remain; lanes past the tail are
+        // masked off (they hold the next rows of the vector, or zeros).
+        if row < end {
+            let x = window_at(words, bit);
+            let n = (end - row) as u32;
+            let mask = plan.compact(plan.matches::<MINH, MAXH>(x), top_shift) & low_mask(n);
+            sink(row, n, mask);
+        }
     }
 
     /// Calls `on_match(position)` for every element in `positions`
     /// (a sub-range of the vector) whose value lies in `[min, max]`.
     ///
-    /// This is the scan kernel: it walks the packed words sequentially and
-    /// evaluates the predicate on the vids without consulting the dictionary.
+    /// Backed by the word-parallel mask kernel; matches are recovered from the
+    /// nonzero masks by `trailing_zeros` iteration.
     pub fn scan_range<F: FnMut(usize)>(
+        &self,
+        positions: std::ops::Range<usize>,
+        min: u32,
+        max: u32,
+        mut on_match: F,
+    ) {
+        self.scan_range_masks(positions, min, max, |base, _, mut mask| {
+            while mask != 0 {
+                on_match(base + mask.trailing_zeros() as usize);
+                mask &= mask - 1;
+            }
+        });
+    }
+
+    /// The pre-SWAR scalar kernel, kept verbatim as the reference oracle for
+    /// the property tests and as the baseline of the perf smoke test: one
+    /// bounds assert, one div/mod address computation, a data-dependent
+    /// straddle branch and a comparison per element — exactly the per-element
+    /// cost profile the word-parallel kernel removes.
+    pub fn scan_range_scalar<F: FnMut(usize)>(
         &self,
         positions: std::ops::Range<usize>,
         min: u32,
@@ -139,8 +460,18 @@ impl BitPackedVec {
         if min > max {
             return;
         }
+        let bits = self.bits as usize;
+        let mask = self.lane_mask();
         for pos in start..end {
-            let v = self.get(pos);
+            assert!(pos < self.len, "position {pos} out of bounds (len {})", self.len);
+            let bit_pos = pos * bits;
+            let word = bit_pos / 64;
+            let offset = bit_pos % 64;
+            let mut v = self.words[word] >> offset;
+            if offset + bits > 64 {
+                v |= self.words[word + 1] << (64 - offset);
+            }
+            let v = (v & mask) as u32;
             if v >= min && v <= max {
                 on_match(pos);
             }
@@ -148,12 +479,113 @@ impl BitPackedVec {
     }
 
     /// Counts the elements of `positions` whose value lies in `[min, max]`.
+    ///
+    /// Dedicated lean consumer of the window kernel: the per-window match
+    /// count is the popcount of the *sentinel* mask directly — the counting
+    /// path skips the stride-compaction step entirely.
     pub fn count_range(&self, positions: std::ops::Range<usize>, min: u32, max: u32) -> usize {
-        let mut count = 0;
-        self.scan_range(positions, min, max, |_| count += 1);
+        let Some((start, end, max)) = self.clamp_scan(positions, min, max) else {
+            return 0;
+        };
+        let plan = WindowPlan::new(u32::from(self.bits), min, max);
+        match (plan.min_high, plan.max_high) {
+            (false, false) => self.count_windows::<false, false>(&plan, start, end, min, max),
+            (false, true) => self.count_windows::<false, true>(&plan, start, end, min, max),
+            (true, false) => self.count_windows::<true, false>(&plan, start, end, min, max),
+            (true, true) => self.count_windows::<true, true>(&plan, start, end, min, max),
+        }
+    }
+
+    /// The monomorphized window loop of [`BitPackedVec::count_range`],
+    /// unrolled two windows deep to amortize the loop control and give the
+    /// out-of-order core two independent popcount chains.
+    #[inline(always)]
+    fn count_windows<const MINH: bool, const MAXH: bool>(
+        &self,
+        plan: &WindowPlan,
+        start: usize,
+        end: usize,
+        min: u32,
+        max: u32,
+    ) -> usize {
+        let k = plan.k as usize;
+        let bits_us = self.bits as usize;
+        let words = &self.words[..];
+        let span = max - min;
+
+        let mut count = 0usize;
+        let mut row = start;
+        let mut bit = start * bits_us;
+        while row + 2 * k <= end {
+            let x0 = window_at(words, bit);
+            let x1 = window_at(words, bit + plan.advance);
+            count += (plan.matches::<MINH, MAXH>(x0).count_ones()
+                + plan.matches::<MINH, MAXH>(x1).count_ones()) as usize;
+            row += 2 * k;
+            bit += 2 * plan.advance;
+        }
+        if row + k <= end {
+            let x = window_at(words, bit);
+            count += plan.matches::<MINH, MAXH>(x).count_ones() as usize;
+            row += k;
+        }
+        // Tail rows, one branch-free decode each (fewer than `k` of them).
+        while row < end {
+            count += usize::from(self.decode_at(row).wrapping_sub(min) <= span);
+            row += 1;
+        }
         count
     }
 }
+
+/// Word-cursor decoder over a [`BitPackedVec`] (sub-)range: loads each packed
+/// word once and shifts codes out of a register instead of recomputing a
+/// word/offset address per element.
+#[derive(Debug, Clone)]
+pub struct BitPackedIter<'a> {
+    words: &'a [u64],
+    /// Unconsumed bits of the current word, shifted down to bit 0.
+    buf: u64,
+    /// Number of valid bits in `buf`.
+    avail: u32,
+    next_word: usize,
+    bits: u32,
+    mask: u64,
+    remaining: usize,
+}
+
+impl Iterator for BitPackedIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let v = if self.avail >= self.bits {
+            let v = self.buf & self.mask;
+            self.buf >>= self.bits;
+            self.avail -= self.bits;
+            v
+        } else {
+            let w = self.words[self.next_word];
+            self.next_word += 1;
+            let v = (self.buf | (w << self.avail)) & self.mask;
+            let consumed = self.bits - self.avail;
+            self.buf = w >> consumed;
+            self.avail = 64 - consumed;
+            v
+        };
+        Some(v as u32)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for BitPackedIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -264,5 +696,110 @@ mod tests {
         let packed = BitPackedVec::from_slice(9, &values);
         let collected: Vec<u32> = packed.iter().collect();
         assert_eq!(collected, values);
+    }
+
+    /// Deterministic pseudo-random values that exercise every bit of the lane.
+    fn mixed_values(bits: u8, n: usize) -> Vec<u32> {
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        (0..n as u32).map(|i| i.wrapping_mul(2654435761).rotate_left(7) & mask).collect()
+    }
+
+    fn scalar_matches(
+        packed: &BitPackedVec,
+        range: std::ops::Range<usize>,
+        min: u32,
+        max: u32,
+    ) -> Vec<usize> {
+        let mut out = Vec::new();
+        packed.scan_range_scalar(range, min, max, |p| out.push(p));
+        out
+    }
+
+    #[test]
+    fn swar_kernel_matches_scalar_oracle_for_every_bitcase() {
+        for bits in 1..=32u8 {
+            let lane_max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            let values = mixed_values(bits, 1500);
+            let packed = BitPackedVec::from_slice(bits, &values);
+            let quarter = lane_max / 4;
+            let cases = [
+                (0u32, lane_max),                 // everything
+                (0, 0),                           // only zero
+                (lane_max, lane_max),             // only the top code
+                (quarter, lane_max - quarter),    // middle band
+                (quarter.max(1), quarter.max(1)), // point predicate
+                (lane_max / 2, lane_max / 2 + 1), // sentinel boundary
+                (1, 0),                           // inverted: empty
+                (lane_max, 0),                    // inverted: empty
+            ];
+            for (min, max) in cases {
+                for range in [0..values.len(), 3..values.len() - 7, 63..65, 0..1, 700..700, 64..128]
+                {
+                    let expected = scalar_matches(&packed, range.clone(), min, max);
+                    let mut got = Vec::new();
+                    packed.scan_range(range.clone(), min, max, |p| got.push(p));
+                    assert_eq!(got, expected, "bitcase {bits}, range {range:?}, [{min}, {max}]");
+                    assert_eq!(
+                        packed.count_range(range.clone(), min, max),
+                        expected.len(),
+                        "count: bitcase {bits}, range {range:?}, [{min}, {max}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mask_stream_tiles_the_range_exactly() {
+        for bits in [5u8, 8, 12, 17, 26, 32] {
+            let values = mixed_values(bits, 997);
+            let packed = BitPackedVec::from_slice(bits, &values);
+            let (start, end) = (13usize, 911usize);
+            let mut next = start;
+            packed.scan_range_masks(start..end, 0, u32::MAX, |base, n, mask| {
+                assert_eq!(base, next, "bitcase {bits}: runs must tile contiguously");
+                assert!((1..=64).contains(&n));
+                assert_eq!(mask & !low_mask(n), 0, "bits beyond n must be zero");
+                next = base + n as usize;
+            });
+            assert_eq!(next, end, "bitcase {bits}: runs must cover the whole range");
+        }
+    }
+
+    #[test]
+    fn predicate_bounds_beyond_the_bitcase_are_clamped() {
+        let values: Vec<u32> = (0..200).map(|i| i % 32).collect();
+        let packed = BitPackedVec::from_slice(5, &values);
+        // max above the representable range clamps; min above it matches nothing.
+        assert_eq!(packed.count_range(0..200, 0, u32::MAX), 200);
+        assert_eq!(packed.count_range(0..200, 40, u32::MAX), 0);
+        assert_eq!(
+            packed.count_range(0..200, 31, 1000),
+            values.iter().filter(|v| **v == 31).count()
+        );
+    }
+
+    #[test]
+    fn iter_range_agrees_with_get_on_unaligned_ranges() {
+        for bits in [3u8, 11, 17, 31] {
+            let values = mixed_values(bits, 301);
+            let packed = BitPackedVec::from_slice(bits, &values);
+            for range in [0..301usize, 17..290, 63..65, 5..5, 300..301, 100..5000] {
+                let got: Vec<u32> = packed.iter_range(range.clone()).collect();
+                let end = range.end.min(values.len());
+                let start = range.start.min(end);
+                assert_eq!(got, &values[start..end], "bitcase {bits}, range {range:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_vector_scans_and_iterates_safely() {
+        let packed = BitPackedVec::new(13);
+        assert_eq!(packed.count_range(0..100, 0, 100), 0);
+        assert_eq!(packed.iter().count(), 0);
+        let mut called = false;
+        packed.scan_range_masks(0..10, 0, 10, |_, _, _| called = true);
+        assert!(!called);
     }
 }

@@ -69,6 +69,28 @@ impl BitVector {
         })
     }
 
+    /// ORs the low `n` bits of `mask` into the vector starting at `pos` —
+    /// the word-level append API the scan kernels feed match masks through
+    /// (one or two word ORs instead of up to 64 `set` calls).
+    ///
+    /// # Panics
+    /// Panics if `n > 64` or `pos + n` exceeds the vector length.
+    #[inline]
+    pub fn or_bits(&mut self, pos: usize, mask: u64, n: u32) {
+        assert!(n <= 64, "cannot OR more than 64 bits at once, got {n}");
+        assert!(pos + n as usize <= self.len, "bit run {pos}+{n} out of bounds (len {})", self.len);
+        if n == 0 {
+            return;
+        }
+        let mask = mask & (u64::MAX >> (64 - n));
+        let word = pos / 64;
+        let offset = pos % 64;
+        self.words[word] |= mask << offset;
+        if offset + n as usize > 64 {
+            self.words[word + 1] |= mask >> (64 - offset);
+        }
+    }
+
     /// Memory footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.words.len() * 8
@@ -128,6 +150,39 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn set_out_of_bounds_panics() {
         BitVector::new(10).set(10);
+    }
+
+    #[test]
+    fn or_bits_agrees_with_per_bit_set() {
+        // Word-aligned, word-straddling and partial runs, against a per-bit
+        // reference.
+        let runs: [(usize, u64, u32); 5] =
+            [(0, 0b1011, 4), (60, 0xff, 8), (64, u64::MAX, 64), (130, 0b1, 1), (199, 0, 1)];
+        let mut fast = BitVector::new(200);
+        let mut slow = BitVector::new(200);
+        for (pos, mask, n) in runs {
+            fast.or_bits(pos, mask, n);
+            for i in 0..n as usize {
+                if mask >> i & 1 == 1 {
+                    slow.set(pos + i);
+                }
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn or_bits_ignores_bits_beyond_n() {
+        let mut bv = BitVector::new(128);
+        bv.or_bits(10, u64::MAX, 3);
+        assert_eq!(bv.count_ones(), 3);
+        assert!(bv.get(10) && bv.get(11) && bv.get(12) && !bv.get(13));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn or_bits_past_the_end_panics() {
+        BitVector::new(100).or_bits(90, u64::MAX, 11);
     }
 
     #[test]

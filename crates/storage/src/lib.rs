@@ -16,8 +16,12 @@
 //! Scans evaluate a range predicate directly on the vids of the IV (the
 //! predicate boundaries are first translated into a vid range through the
 //! dictionary), producing either a position list or a bit-vector of
-//! qualifying rows. A separate materialization step converts qualifying vids
-//! back into real values through the dictionary.
+//! qualifying rows. The evaluation itself is word-parallel: the SWAR kernels
+//! of [`bitpack`] compare every code lane of a packed `u64` at once and emit
+//! per-row match masks, which the [`scan`] consumers reduce by popcount, OR
+//! into [`BitVector`] words, or expand into position lists. A separate
+//! materialization step converts qualifying vids back into real values
+//! through the dictionary.
 //!
 //! The module layout mirrors those concepts: [`dictionary`], [`bitpack`],
 //! [`index`], [`column`], [`predicate`], [`scan`], [`materialize`],
@@ -39,14 +43,14 @@ pub mod scan;
 pub mod table;
 pub mod value;
 
-pub use bitpack::BitPackedVec;
+pub use bitpack::{BitPackedIter, BitPackedVec};
 pub use bitvector::BitVector;
 pub use column::{ColumnBuilder, DictColumn};
 pub use dictionary::Dictionary;
 pub use index::InvertedIndex;
 pub use materialize::{materialize_positions, materialize_range};
 pub use partition::{ivp_ranges, PhysicalPartition, PhysicalPartitioning};
-pub use predicate::{Predicate, VidRange};
-pub use scan::{scan_bitvector, scan_positions, MatchList};
+pub use predicate::{Predicate, VidMatcher, VidRange};
+pub use scan::{scan_bitvector, scan_positions, scan_positions_with_estimate, MatchList};
 pub use table::{ColumnId, Table, TableBuilder};
 pub use value::DictValue;

@@ -6,22 +6,38 @@
 //! scan, this phase performs *random* (data-dependent) accesses into the
 //! dictionary, which is why the paper classifies high-selectivity executions
 //! as CPU-intensive rather than memory-intensive.
+//!
+//! The index-vector reads use the branch-free two-word decoder: positions are
+//! bounds-checked once per batch, then every gather is a pair of overlapping
+//! word loads with no per-element assert or straddle branch.
 
+use crate::bitpack::BitPackedVec;
 use crate::column::DictColumn;
 use crate::scan::MatchList;
 use crate::value::DictValue;
+
+/// Validates a batch of positions once so the per-element decode can skip its
+/// bounds assert.
+fn check_positions(iv: &BitPackedVec, positions: &[u32]) {
+    if let Some(&max) = positions.iter().max() {
+        assert!((max as usize) < iv.len(), "position {max} out of bounds (len {})", iv.len());
+    }
+}
 
 /// Materializes the values of the given row positions.
 pub fn materialize_positions<T: DictValue>(column: &DictColumn<T>, positions: &[u32]) -> Vec<T> {
     let iv = column.index_vector();
     let dict = column.dictionary();
-    positions.iter().map(|&p| dict.value(iv.get(p as usize)).clone()).collect()
+    check_positions(iv, positions);
+    positions.iter().map(|&p| dict.value(iv.decode_at(p as usize)).clone()).collect()
 }
 
 /// Materializes a sub-range `[first, last)` of a match list into `out`.
 ///
 /// This mirrors how the engine parallelizes materialization: the output vector
-/// is split into fixed regions and one task materializes each region.
+/// is split into fixed regions and one task materializes each region. The
+/// bit-vector form is walked directly (set-bit iteration), without first
+/// expanding it into a position list.
 pub fn materialize_range<T: DictValue>(
     column: &DictColumn<T>,
     matches: &MatchList,
@@ -29,14 +45,32 @@ pub fn materialize_range<T: DictValue>(
     last: usize,
     out: &mut Vec<T>,
 ) {
-    let positions = matches.to_positions();
-    let last = last.min(positions.len());
+    let last = last.min(matches.count());
     let first = first.min(last);
     let iv = column.index_vector();
     let dict = column.dictionary();
     out.reserve(last - first);
-    for &p in &positions[first..last] {
-        out.push(dict.value(iv.get(p as usize)).clone());
+    match matches {
+        MatchList::Positions(positions) => {
+            let positions = &positions[first..last];
+            check_positions(iv, positions);
+            out.extend(positions.iter().map(|&p| dict.value(iv.decode_at(p as usize)).clone()));
+        }
+        MatchList::Bits { offset, bits } => {
+            assert!(
+                offset + bits.len() <= iv.len(),
+                "bit-vector rows {}..{} out of bounds (len {})",
+                offset,
+                offset + bits.len(),
+                iv.len()
+            );
+            out.extend(
+                bits.iter_ones()
+                    .skip(first)
+                    .take(last - first)
+                    .map(|p| dict.value(iv.decode_at(p + offset)).clone()),
+            );
+        }
     }
 }
 
@@ -91,6 +125,21 @@ mod tests {
     }
 
     #[test]
+    fn bit_and_position_forms_materialize_identically() {
+        let col = column();
+        let pred = Predicate::Between { lo: 37, hi: 120 }.encode(col.dictionary());
+        let as_positions = MatchList::Positions(scan_positions(&col, 100..4100, &pred));
+        let as_bits = scan_bitvector(&col, 100..4100, &pred);
+        assert_eq!(materialize_all(&col, &as_positions), materialize_all::<i64>(&col, &as_bits));
+        // Sub-ranges too, including ones not aligned to bit-vector words.
+        let mut from_positions = Vec::new();
+        let mut from_bits = Vec::new();
+        materialize_range(&col, &as_positions, 3, 77, &mut from_positions);
+        materialize_range(&col, &as_bits, 3, 77, &mut from_bits);
+        assert_eq!(from_positions, from_bits);
+    }
+
+    #[test]
     fn out_of_range_bounds_are_clamped() {
         let col = column();
         let pred = Predicate::Between { lo: 0, hi: 10 }.encode(col.dictionary());
@@ -98,6 +147,13 @@ mod tests {
         let mut out = Vec::new();
         materialize_range(&col, &matches, 5, usize::MAX, &mut out);
         assert_eq!(out.len(), matches.count().saturating_sub(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_positions_are_rejected_up_front() {
+        let col = column();
+        materialize_positions(&col, &[0, 4999, 5000]);
     }
 
     #[test]

@@ -57,7 +57,79 @@ pub enum EncodedPredicate {
     Empty,
 }
 
+/// Largest vid domain (exclusive upper bound on the highest qualifying vid)
+/// for which [`EncodedPredicate::matcher`] precomputes a membership bitmap
+/// for `VidList` predicates. Above it, a 2^20-bit bitmap (128 KiB) would no
+/// longer be cache-resident and the matcher falls back to binary search.
+pub const VID_BITMAP_MAX_DOMAIN: u32 = 1 << 20;
+
+/// A per-scan membership structure for an [`EncodedPredicate`], precomputed
+/// once so the per-row test is branch-light: `VidList` predicates over a
+/// small dictionary domain become one bit probe instead of an O(log k)
+/// binary search per row.
+#[derive(Debug, Clone)]
+pub enum VidMatcher<'a> {
+    /// Contiguous vid range: two comparisons.
+    Range(VidRange),
+    /// Dictionary-domain bitmap: bit `vid` is set iff the vid qualifies.
+    Bitmap(Vec<u64>),
+    /// Sorted vid list above the bitmap threshold: binary search.
+    Sorted(&'a [u32]),
+    /// Nothing qualifies.
+    Empty,
+}
+
+impl VidMatcher<'_> {
+    /// Whether a vid qualifies.
+    #[inline]
+    pub fn matches(&self, vid: u32) -> bool {
+        match self {
+            VidMatcher::Range(r) => r.contains(vid),
+            VidMatcher::Bitmap(words) => {
+                // Vids at or above the bitmap domain cannot qualify.
+                words.get(vid as usize / 64).is_some_and(|w| w >> (vid % 64) & 1 == 1)
+            }
+            VidMatcher::Sorted(vids) => vids.binary_search(&vid).is_ok(),
+            VidMatcher::Empty => false,
+        }
+    }
+}
+
 impl EncodedPredicate {
+    /// Precomputes the per-scan membership structure: `VidList` predicates
+    /// whose highest vid is below [`VID_BITMAP_MAX_DOMAIN`] get a
+    /// dictionary-domain bitmap (O(1) probes), larger ones keep binary
+    /// search.
+    pub fn matcher(&self) -> VidMatcher<'_> {
+        self.matcher_for_rows(usize::MAX)
+    }
+
+    /// Like [`EncodedPredicate::matcher`], but only builds the bitmap when
+    /// its initialization cost (zeroing ~`max_vid / 64` words) is amortized
+    /// over the number of rows about to be probed — short per-task chunk
+    /// scans fall back to binary search rather than re-zeroing a large
+    /// bitmap on every call.
+    pub fn matcher_for_rows(&self, rows: usize) -> VidMatcher<'_> {
+        match self {
+            EncodedPredicate::Range(r) => VidMatcher::Range(*r),
+            EncodedPredicate::Empty => VidMatcher::Empty,
+            EncodedPredicate::VidList(vids) => {
+                let max_vid = vids.last().copied();
+                match max_vid {
+                    None => VidMatcher::Empty,
+                    Some(max) if max < VID_BITMAP_MAX_DOMAIN && (max as usize / 64) <= rows => {
+                        let mut words = vec![0u64; (max as usize + 1).div_ceil(64)];
+                        for &vid in vids {
+                            words[vid as usize / 64] |= 1u64 << (vid % 64);
+                        }
+                        VidMatcher::Bitmap(words)
+                    }
+                    Some(_) => VidMatcher::Sorted(vids),
+                }
+            }
+        }
+    }
+
     /// Number of distinct qualifying vids.
     pub fn vid_count(&self) -> u64 {
         match self {
@@ -182,6 +254,56 @@ mod tests {
 
         assert_eq!(EncodedPredicate::Empty.bounding_range(), None);
         assert!(!EncodedPredicate::Empty.matches(0));
+    }
+
+    #[test]
+    fn vid_list_matcher_uses_a_bitmap_below_the_domain_threshold() {
+        let small = EncodedPredicate::VidList(vec![3, 7, 500]);
+        let matcher = small.matcher();
+        assert!(matches!(matcher, VidMatcher::Bitmap(_)));
+        for vid in 0..600u32 {
+            assert_eq!(matcher.matches(vid), [3, 7, 500].contains(&vid), "vid {vid}");
+        }
+        // A vid past the bitmap's domain is simply absent.
+        assert!(!matcher.matches(VID_BITMAP_MAX_DOMAIN + 5));
+
+        let large = EncodedPredicate::VidList(vec![1, VID_BITMAP_MAX_DOMAIN + 9]);
+        let matcher = large.matcher();
+        assert!(matches!(matcher, VidMatcher::Sorted(_)));
+        assert!(matcher.matches(1) && matcher.matches(VID_BITMAP_MAX_DOMAIN + 9));
+        assert!(!matcher.matches(2));
+    }
+
+    #[test]
+    fn bitmap_is_skipped_when_the_scan_is_too_short_to_amortize_it() {
+        // max vid 100_000 -> ~1563 bitmap words; a 10-row probe should not
+        // pay for zeroing them, a 1M-row scan should.
+        let pred = EncodedPredicate::VidList(vec![3, 100_000]);
+        assert!(matches!(pred.matcher_for_rows(10), VidMatcher::Sorted(_)));
+        assert!(matches!(pred.matcher_for_rows(1_000_000), VidMatcher::Bitmap(_)));
+        // Both answer identically.
+        for vid in [0u32, 3, 99_999, 100_000, 100_001] {
+            assert_eq!(
+                pred.matcher_for_rows(10).matches(vid),
+                pred.matcher_for_rows(1_000_000).matches(vid),
+                "vid {vid}"
+            );
+        }
+    }
+
+    #[test]
+    fn matcher_agrees_with_matches_for_every_variant() {
+        let preds = [
+            EncodedPredicate::Range(VidRange { first: 10, last: 20 }),
+            EncodedPredicate::VidList(vec![0, 63, 64, 100]),
+            EncodedPredicate::Empty,
+        ];
+        for pred in &preds {
+            let matcher = pred.matcher();
+            for vid in 0..130u32 {
+                assert_eq!(matcher.matches(vid), pred.matches(vid), "{pred:?} vid {vid}");
+            }
+        }
     }
 
     #[test]

@@ -58,24 +58,37 @@ impl MatchList {
 }
 
 /// Scans rows `positions` of the column's index vector and returns the
-/// qualifying positions as a list.
-pub fn scan_positions<T: DictValue>(
+/// qualifying positions as a list, pre-sizing the output from the caller's
+/// selectivity estimate (clamped to `[0, 1]`) so the hot loop never
+/// reallocates when the estimate is honest.
+///
+/// Range predicates run on the word-parallel mask kernel
+/// ([`crate::BitPackedVec::scan_range_masks`]), recovering positions by
+/// `trailing_zeros` iteration over nonzero masks; vid-list predicates decode
+/// sequentially through the word cursor and probe a precomputed
+/// [`crate::predicate::VidMatcher`].
+pub fn scan_positions_with_estimate<T: DictValue>(
     column: &DictColumn<T>,
     positions: std::ops::Range<usize>,
     predicate: &EncodedPredicate,
+    estimated_selectivity: f64,
 ) -> Vec<u32> {
     let iv = column.index_vector();
-    let mut out = Vec::new();
+    let end = positions.end.min(iv.len());
+    let start = positions.start.min(end);
+    let rows = end - start;
+    let estimate = (rows as f64 * estimated_selectivity.clamp(0.0, 1.0)).ceil() as usize;
+    let mut out = Vec::with_capacity(estimate.min(rows));
     match predicate {
         EncodedPredicate::Empty => {}
         EncodedPredicate::Range(r) => {
-            iv.scan_range(positions, r.first, r.last, |p| out.push(p as u32));
+            iv.scan_range(start..end, r.first, r.last, |p| out.push(p as u32));
         }
         EncodedPredicate::VidList(_) => {
-            let end = positions.end.min(iv.len());
-            for p in positions.start.min(end)..end {
-                if predicate.matches(iv.get(p)) {
-                    out.push(p as u32);
+            let matcher = predicate.matcher_for_rows(rows);
+            for (i, vid) in iv.iter_range(start..end).enumerate() {
+                if matcher.matches(vid) {
+                    out.push((start + i) as u32);
                 }
             }
         }
@@ -84,7 +97,28 @@ pub fn scan_positions<T: DictValue>(
 }
 
 /// Scans rows `positions` of the column's index vector and returns the
+/// qualifying positions as a list.
+///
+/// The output estimate is derived from the predicate's vid count under the
+/// uniform-distribution assumption the paper's dataset satisfies; callers
+/// with a better estimate should use [`scan_positions_with_estimate`].
+pub fn scan_positions<T: DictValue>(
+    column: &DictColumn<T>,
+    positions: std::ops::Range<usize>,
+    predicate: &EncodedPredicate,
+) -> Vec<u32> {
+    let distinct = column.dictionary().len();
+    let estimate = if distinct == 0 { 0.0 } else { predicate.vid_count() as f64 / distinct as f64 };
+    scan_positions_with_estimate(column, positions, predicate, estimate)
+}
+
+/// Scans rows `positions` of the column's index vector and returns the
 /// qualifying positions as a bit-vector anchored at `positions.start`.
+///
+/// Range predicates OR the kernel's match masks straight into the
+/// bit-vector's words ([`BitVector::or_bits`]); vid-list predicates decode
+/// through the word cursor, batching matches into a 64-bit buffer that is
+/// flushed word-wise — neither path sets bits one at a time.
 pub fn scan_bitvector<T: DictValue>(
     column: &DictColumn<T>,
     positions: std::ops::Range<usize>,
@@ -97,13 +131,24 @@ pub fn scan_bitvector<T: DictValue>(
     match predicate {
         EncodedPredicate::Empty => {}
         EncodedPredicate::Range(r) => {
-            iv.scan_range(start..end, r.first, r.last, |p| bits.set(p - start));
+            iv.scan_range_masks(start..end, r.first, r.last, |base, n, mask| {
+                bits.or_bits(base - start, mask, n);
+            });
         }
         EncodedPredicate::VidList(_) => {
-            for p in start..end {
-                if predicate.matches(iv.get(p)) {
-                    bits.set(p - start);
+            let matcher = predicate.matcher_for_rows(end - start);
+            let mut pending: u64 = 0;
+            let mut flushed = 0usize;
+            for (i, vid) in iv.iter_range(start..end).enumerate() {
+                if i - flushed == 64 {
+                    bits.or_bits(flushed, pending, 64);
+                    pending = 0;
+                    flushed = i;
                 }
+                pending |= u64::from(matcher.matches(vid)) << (i - flushed);
+            }
+            if start < end {
+                bits.or_bits(flushed, pending, (end - start - flushed) as u32);
             }
         }
     }
@@ -111,7 +156,8 @@ pub fn scan_bitvector<T: DictValue>(
 }
 
 /// Scans rows `positions`, choosing the result representation based on the
-/// estimated selectivity as the paper's prototype does.
+/// estimated selectivity as the paper's prototype does. The estimate also
+/// pre-sizes the position list on the low-selectivity path.
 pub fn scan<T: DictValue>(
     column: &DictColumn<T>,
     positions: std::ops::Range<usize>,
@@ -121,7 +167,12 @@ pub fn scan<T: DictValue>(
     if estimated_selectivity >= BITVECTOR_SELECTIVITY_THRESHOLD {
         scan_bitvector(column, positions, predicate)
     } else {
-        MatchList::Positions(scan_positions(column, positions, predicate))
+        MatchList::Positions(scan_positions_with_estimate(
+            column,
+            positions,
+            predicate,
+            estimated_selectivity,
+        ))
     }
 }
 
@@ -235,6 +286,28 @@ mod tests {
             .map(|i| i as u32)
             .collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn vid_list_bitvector_scan_agrees_with_position_scan() {
+        let col = column();
+        let pred = Predicate::InList(vec![5i64, 250, 700, 999]).encode(col.dictionary());
+        // Unaligned sub-range so the pending-word flush path is exercised.
+        let positions = scan_positions(&col, 37..9777, &pred);
+        let bits = scan_bitvector(&col, 37..9777, &pred);
+        assert_eq!(bits.to_positions(), positions);
+        assert!(!positions.is_empty());
+    }
+
+    #[test]
+    fn estimate_presizes_without_changing_results() {
+        let col = column();
+        let pred = encoded(&col, 100, 149);
+        let baseline = scan_positions(&col, 0..col.row_count(), &pred);
+        for estimate in [0.0, 0.05, 1.0, 7.5, -3.0] {
+            let got = scan_positions_with_estimate(&col, 0..col.row_count(), &pred, estimate);
+            assert_eq!(got, baseline, "estimate {estimate}");
+        }
     }
 
     #[test]

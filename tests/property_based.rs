@@ -6,7 +6,10 @@ use numascan::numasim::memman::{AllocPolicy, MemoryManager, VirtRange, PAGE_SIZE
 use numascan::numasim::{SocketId, Topology};
 use numascan::psm::Psm;
 use numascan::scheduler::{QueueSet, StealScope, TaskMeta, TaskPriority, ThreadGroupId, WorkClass};
-use numascan::storage::{BitPackedVec, BitVector, Dictionary, InvertedIndex, Predicate};
+use numascan::storage::{
+    scan_bitvector, scan_positions, BitPackedVec, BitVector, DictColumn, Dictionary, InvertedIndex,
+    Predicate,
+};
 
 /// Reference model of one queued task, keyed by the id stored as payload.
 #[derive(Debug, Clone, Copy)]
@@ -95,6 +98,119 @@ proptest! {
             .map(|(i, _)| i)
             .collect();
         prop_assert_eq!(scanned, expected);
+    }
+
+    /// The word-parallel (SWAR) scan kernels agree with the retained scalar
+    /// reference oracle for every bitcase, including unaligned sub-ranges,
+    /// predicate bounds outside the representable domain, values straddling
+    /// word boundaries, and inverted (empty) ranges.
+    #[test]
+    fn swar_kernels_match_the_scalar_oracle(
+        bits in 1u8..=32,
+        values in proptest::collection::vec(any::<u32>(), 1..600),
+        start in 0usize..600,
+        row_span in 0usize..600,
+        min_raw in any::<u64>(),
+        max_raw in any::<u64>(),
+    ) {
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let values: Vec<u32> = values.into_iter().map(|v| v & mask).collect();
+        let packed = BitPackedVec::from_slice(bits, &values);
+        // Bias the bounds into the lane domain (with a little overhang so the
+        // out-of-domain clamping path is exercised), allowing min > max.
+        let domain = u64::from(mask) + 3;
+        let min = (min_raw % domain) as u32;
+        let max = (max_raw % domain) as u32;
+        let start = start.min(values.len());
+        let end = (start + row_span).min(values.len());
+
+        let mut expected = Vec::new();
+        packed.scan_range_scalar(start..end, min, max, |p| expected.push(p));
+
+        let mut from_swar = Vec::new();
+        packed.scan_range(start..end, min, max, |p| from_swar.push(p));
+        prop_assert_eq!(&from_swar, &expected, "scan_range: bits {}, [{}, {}]", bits, min, max);
+        prop_assert_eq!(
+            packed.count_range(start..end, min, max),
+            expected.len(),
+            "count_range: bits {}, [{}, {}]", bits, min, max
+        );
+
+        // The mask stream must tile the clamped range exactly, ascending,
+        // with no bits beyond each run's length.
+        let mut runs: Vec<(usize, u32, u64)> = Vec::new();
+        packed.scan_range_masks(start..end, min, max, |base, n, m| runs.push((base, n, m)));
+        let mut next = start;
+        let mut from_masks = Vec::new();
+        for (base, n, mut m) in runs {
+            prop_assert_eq!(base, next, "runs must tile contiguously");
+            prop_assert!((1..=64).contains(&n));
+            if n < 64 {
+                prop_assert_eq!(m >> n, 0, "bits beyond n must be zero");
+            }
+            next = base + n as usize;
+            while m != 0 {
+                from_masks.push(base + m.trailing_zeros() as usize);
+                m &= m - 1;
+            }
+        }
+        // The kernel short-circuits (no runs at all) when nothing can match.
+        if start < end && min <= max && min <= mask {
+            prop_assert_eq!(next, end, "runs must cover the whole range");
+        }
+        prop_assert_eq!(from_masks, expected);
+    }
+
+    /// The word-cursor decoder yields exactly the packed values over any
+    /// sub-range.
+    #[test]
+    fn word_cursor_iteration_matches_random_access(
+        bits in 1u8..=32,
+        values in proptest::collection::vec(any::<u32>(), 0..500),
+        start in 0usize..550,
+        row_span in 0usize..550,
+    ) {
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let values: Vec<u32> = values.into_iter().map(|v| v & mask).collect();
+        let packed = BitPackedVec::from_slice(bits, &values);
+        let end = (start + row_span).min(values.len());
+        let start = start.min(end);
+        let decoded: Vec<u32> = packed.iter_range(start..end).collect();
+        prop_assert_eq!(decoded, &values[start..end]);
+    }
+
+    /// Position-list and bit-vector scans agree with a naive row filter for
+    /// both range and in-list predicates (the latter through the
+    /// dictionary-domain bitmap matcher).
+    #[test]
+    fn scan_representations_agree_with_naive_filter(
+        values in proptest::collection::vec(0i64..300, 1..400),
+        lo in -10i64..310,
+        value_span in 0i64..300,
+        in_list in proptest::collection::vec(-5i64..305, 0..20),
+        start in 0usize..400,
+        row_span in 0usize..400,
+    ) {
+        let col = DictColumn::from_values("c", &values, false);
+        let end = (start + row_span).min(values.len());
+        let start = start.min(end);
+        let hi = lo + value_span;
+        let range_pred = Predicate::Between { lo, hi }.encode(col.dictionary());
+        let list_pred = Predicate::InList(in_list.clone()).encode(col.dictionary());
+        for (pred, naive) in [
+            (&range_pred, Box::new(|v: i64| v >= lo && v <= hi) as Box<dyn Fn(i64) -> bool>),
+            (&list_pred, Box::new(|v: i64| in_list.contains(&v))),
+        ] {
+            let expected: Vec<u32> = (start..end)
+                .filter(|&i| naive(values[i]))
+                .map(|i| i as u32)
+                .collect();
+            let positions = scan_positions(&col, start..end, pred);
+            prop_assert_eq!(&positions, &expected, "{:?}", pred);
+            let bits = scan_bitvector(&col, start..end, pred);
+            prop_assert_eq!(bits.to_positions(), expected, "{:?}", pred);
+            prop_assert_eq!(bits.count(), positions.len());
+        }
     }
 
     /// Encoding a range predicate through the dictionary and evaluating it on
