@@ -89,6 +89,7 @@ fn bench_submit_latency_under_backlog(c: &mut Criterion) {
             strategy: SchedulingStrategy::Bound,
             workers_per_group: Some(1),
             watchdog_interval: Duration::from_secs(60),
+            steal_throttle: None,
         },
     ));
     let stop = Arc::new(AtomicBool::new(false));

@@ -36,7 +36,7 @@ fn main() {
             "--out" => out_path = args.next(),
             "--help" | "-h" => {
                 eprintln!("usage: repro [--paper] [--out FILE] [EXPERIMENT ...]");
-                eprintln!("experiments: table1 table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 partcost all");
+                eprintln!("experiments: table1 table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 partcost adaptivity all");
                 return;
             }
             other => ids.push(other.to_string()),

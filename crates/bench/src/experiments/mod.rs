@@ -4,6 +4,7 @@
 //! [`all_experiments`] maps experiment ids (as used by the `repro` binary) to
 //! those functions.
 
+pub mod adaptivity;
 pub mod fig01;
 pub mod fig08;
 pub mod fig09;
@@ -117,6 +118,12 @@ pub fn all_experiments() -> Vec<Experiment> {
             description: "IVP vs PP repartitioning cost and memory overhead (Section 6.2.3)",
             run: partcost::run,
         },
+        Experiment {
+            id: "adaptivity",
+            description: "Online adaptivity on native threads: closed placement loop and \
+                          bandwidth-aware steal throttle under a workload shift (Section 7)",
+            run: adaptivity::run,
+        },
     ]
 }
 
@@ -137,8 +144,23 @@ mod tests {
     fn registry_contains_every_figure_and_table() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
         for expected in [
-            "table1", "table2", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "partcost",
+            "table1",
+            "table2",
+            "fig1",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "partcost",
+            "adaptivity",
         ] {
             assert!(ids.contains(&expected), "missing experiment {expected}");
         }

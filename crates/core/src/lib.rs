@@ -27,7 +27,13 @@
 //!   balances socket utilization by moving or repartitioning hot data.
 //! * [`native`] — native execution of real scans (from `numascan-storage`) on
 //!   real threads (from `numascan-scheduler`), for functional use of the
-//!   library outside the simulator.
+//!   library outside the simulator: placement-aligned task splitting, live
+//!   move/repartition actions, and the scan telemetry (per-socket and
+//!   per-column bytes) that closes the adaptive loop without the simulator.
+//! * [`session`] — the multi-client admission layer: concurrent statements
+//!   register themselves so the measured active-statement count drives the
+//!   concurrency hint, and epoch rebalance steps are coordinated in one
+//!   place.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,15 +45,17 @@ pub mod native;
 pub mod placement;
 pub mod planner;
 pub mod query;
+pub mod session;
 pub mod sim;
 pub mod spec;
 
 pub use adaptive::{AdaptiveDataPlacer, PlacerAction, PlacerConfig};
 pub use catalog::Catalog;
 pub use cost::{CostModel, MemTarget, TaskWork};
-pub use native::NativeEngine;
+pub use native::{NativeEngine, NativeEngineConfig, NativeEpoch, NativePlacement};
 pub use placement::{PlacedColumn, PlacedTable, PlacementStrategy, RepartitionCost};
 pub use planner::{PlannedTask, QueryPlan, ScanPlanner};
 pub use query::{ColumnRef, QueryGenerator, QueryKind, QuerySpec};
+pub use session::{ScanRequest, SessionManager};
 pub use sim::{SimConfig, SimEngine, SimReport};
 pub use spec::{ColumnSpec, TableSpec};

@@ -3,48 +3,331 @@
 //! The simulation engine answers "what would this workload do on a 32-socket
 //! server"; [`NativeEngine`] answers "run this query for real". It combines
 //! the storage layer (`numascan-storage`) with the NUMA-aware thread pool
-//! (`numascan-scheduler`): columns are assigned to (virtual) sockets
-//! round-robin, scans are split into tasks according to the concurrency hint,
-//! every task carries the affinity of its column, and the configured
-//! scheduling strategy decides whether those affinities are soft or hard.
+//! (`numascan-scheduler`): every column carries a *placement* — a list of
+//! row-range parts, each assigned to a (virtual) socket — scans are split
+//! into tasks according to the concurrency hint *aligned to that placement*
+//! (each task's range falls wholly inside one part, Section 5.2), every task
+//! carries the affinity of its part's socket, and the configured scheduling
+//! strategy plus the bandwidth-aware steal throttle decide whether those
+//! affinities are soft or hard.
+//!
+//! The engine closes the adaptive loop of Section 7 on real threads:
+//!
+//! * every scan task reports the index-vector bytes it streams, attributed to
+//!   the socket the data lives on; the counters aggregate per socket (the
+//!   utilization signal) and per column (the heat signal);
+//! * [`NativeEngine::take_epoch`] snapshots and resets those counters into
+//!   the exact inputs [`AdaptiveDataPlacer::decide`] consumes;
+//! * [`NativeEngine::apply_action`] executes the decision *on the live
+//!   engine* — moving a column to another socket, growing or shrinking its
+//!   IVP partitioning, or physically repartitioning it — between statements,
+//!   without stopping the worker pool.
+//!
+//! Placements are guarded by a reader-writer lock: concurrent statements
+//! snapshot the placement under a read lock (parts are cheap to clone;
+//! physically rebuilt parts are shared through `Arc`), while rebalance
+//! actions take the write lock. Statements already in flight keep scanning
+//! the snapshot they took — exactly the "queries keep running while data
+//! moves" behaviour the paper's adaptive design requires.
 
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use numascan_numasim::{SocketId, Topology};
 use numascan_scheduler::{
-    ConcurrencyHint, PoolConfig, SchedulerStats, SchedulingStrategy, TaskMeta, TaskPriority,
-    ThreadPool, WorkClass,
+    ConcurrencyHint, PoolConfig, SchedulerStats, SchedulingStrategy, StealThrottleConfig, TaskMeta,
+    TaskPriority, ThreadPool, WorkClass,
 };
-use numascan_storage::{scan_positions_with_estimate, ColumnId, Predicate, Table};
-use parking_lot::Mutex;
+use numascan_storage::{
+    scan_positions_with_estimate, ColumnId, DictColumn, EncodedPredicate, PhysicalPartitioning,
+    Predicate, Table,
+};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::adaptive::{AdaptiveDataPlacer, ColumnHeat, PlacerAction};
+use crate::query::ColumnRef;
 
 /// Per-task output: the task's chunk index and the values it materialized.
 type TaskChunks = Vec<(usize, Vec<i64>)>;
+
+/// How the engine initially spreads each column's rows over sockets,
+/// mirroring the three data placement strategies of Section 4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativePlacement {
+    /// Whole columns round-robin over the sockets (RR).
+    RoundRobin,
+    /// Every column's index vector split into `parts` row ranges spread over
+    /// the sockets (IVP).
+    IndexVectorPartitioned {
+        /// Number of parts per column.
+        parts: usize,
+    },
+    /// Every column physically rebuilt into `parts` self-contained columns
+    /// (own dictionary and re-encoded index vector), spread over the sockets
+    /// (PP).
+    PhysicallyPartitioned {
+        /// Number of parts per column.
+        parts: usize,
+    },
+}
+
+/// Configuration of a [`NativeEngine`].
+#[derive(Debug, Clone)]
+pub struct NativeEngineConfig {
+    /// Task scheduling strategy (OS / Target / Bound).
+    pub strategy: SchedulingStrategy,
+    /// Initial data placement of every column.
+    pub placement: NativePlacement,
+    /// Bandwidth-aware steal throttle for the worker pool (`None` = off,
+    /// keeping the static strategy semantics).
+    pub steal_throttle: Option<StealThrottleConfig>,
+    /// Worker threads per thread group (`None` = size from the topology).
+    pub workers_per_group: Option<usize>,
+}
+
+impl Default for NativeEngineConfig {
+    fn default() -> Self {
+        NativeEngineConfig {
+            strategy: SchedulingStrategy::Bound,
+            placement: NativePlacement::RoundRobin,
+            steal_throttle: None,
+            workers_per_group: None,
+        }
+    }
+}
+
+/// One part of a column's placement: a contiguous row range on one socket.
+#[derive(Debug, Clone)]
+struct ColumnPart {
+    /// Global row range of the original column covered by this part.
+    rows: Range<usize>,
+    /// The socket whose memory holds this part.
+    socket: SocketId,
+    /// For physically partitioned columns: the rebuilt, self-contained
+    /// column for this part. `None` means the part reads the base column.
+    data: Option<Arc<DictColumn<i64>>>,
+}
+
+/// The placement of one column: its parts in row order.
+#[derive(Debug, Clone)]
+struct ColumnPlacement {
+    parts: Vec<ColumnPart>,
+}
+
+impl ColumnPlacement {
+    /// The socket holding the majority of the column's rows.
+    fn primary_socket(&self, sockets: usize) -> SocketId {
+        let mut rows_per_socket = vec![0usize; sockets];
+        for part in &self.parts {
+            rows_per_socket[part.socket.index()] += part.rows.len();
+        }
+        let best = rows_per_socket
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, rows)| **rows)
+            .map_or(0, |(socket, _)| socket);
+        SocketId(best as u16)
+    }
+}
+
+/// Per-epoch telemetry counters (reset by [`NativeEngine::take_epoch`]).
+#[derive(Debug)]
+struct Telemetry {
+    /// IV bytes streamed from each socket's local memory.
+    socket_bytes: Vec<AtomicU64>,
+    /// IV bytes streamed per column.
+    column_bytes: Vec<AtomicU64>,
+    /// Statements executed per column.
+    column_queries: Vec<AtomicU64>,
+}
+
+impl Telemetry {
+    fn new(sockets: usize, columns: usize) -> Self {
+        Telemetry {
+            socket_bytes: (0..sockets).map(|_| AtomicU64::new(0)).collect(),
+            column_bytes: (0..columns).map(|_| AtomicU64::new(0)).collect(),
+            column_queries: (0..columns).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// One measurement epoch of the native engine: the utilization and heat
+/// signals the adaptive data placer consumes, derived from real scan
+/// telemetry instead of the simulator's hardware counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeEpoch {
+    /// IV bytes streamed from each socket's local memory during the epoch.
+    pub socket_bytes: Vec<u64>,
+    /// Relative per-socket utilization: each socket's share of the epoch's
+    /// memory traffic, scaled so the busiest socket reads 1.0 (all zero in an
+    /// idle epoch). Byte-exact, so placer decisions driven by it are
+    /// deterministic for a deterministic workload.
+    pub utilization: Vec<f64>,
+    /// Per-column heat statistics in [`AdaptiveDataPlacer::decide`]'s format.
+    pub heats: Vec<ColumnHeat>,
+}
+
+impl NativeEpoch {
+    /// Spread between the most and least utilized socket (0.0 when idle or
+    /// perfectly balanced) — the imbalance measure of Figure 20.
+    pub fn utilization_spread(&self) -> f64 {
+        let max = self.utilization.iter().copied().fold(0.0f64, f64::max);
+        let min = self.utilization.iter().copied().fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            max - min
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Counts one statement's outstanding tasks; the issuing thread blocks until
+/// every task has finished, without waiting on unrelated statements the pool
+/// may be running concurrently (unlike `ThreadPool::wait_idle`).
+struct StatementLatch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl StatementLatch {
+    fn new(tasks: usize) -> Self {
+        StatementLatch { remaining: Mutex::new(tasks), done: Condvar::new() }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.done.wait(&mut remaining);
+        }
+    }
+}
+
+/// Counts a task's latch down when the task finishes *or unwinds*: the pool
+/// catches task panics to stay usable, so losing the decrement to an unwind
+/// would leave the issuing client blocked in [`StatementLatch::wait`]
+/// forever.
+struct LatchGuard(Arc<StatementLatch>);
+
+impl Drop for LatchGuard {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}
 
 /// A column-store engine executing real scans on real worker threads.
 pub struct NativeEngine {
     table: Arc<Table>,
     pool: ThreadPool,
     hint: ConcurrencyHint,
-    column_sockets: Vec<SocketId>,
-    statement_epoch: std::sync::atomic::AtomicU64,
+    sockets: usize,
+    placements: RwLock<Vec<ColumnPlacement>>,
+    telemetry: Telemetry,
+    statement_epoch: AtomicU64,
 }
 
 impl NativeEngine {
     /// Creates an engine for `table` on a machine shaped like `topology`,
-    /// scheduling with `strategy`.
+    /// scheduling with `strategy`, with round-robin placement and no steal
+    /// throttle (the pre-adaptive defaults).
     pub fn new(table: Table, topology: &Topology, strategy: SchedulingStrategy) -> Self {
+        Self::with_config(table, topology, NativeEngineConfig { strategy, ..Default::default() })
+    }
+
+    /// Creates an engine with full control over placement, scheduling and the
+    /// steal throttle.
+    pub fn with_config(table: Table, topology: &Topology, config: NativeEngineConfig) -> Self {
         let sockets = topology.socket_count();
-        let column_sockets =
-            (0..table.column_count()).map(|c| SocketId((c % sockets) as u16)).collect();
-        let pool = ThreadPool::new(topology, PoolConfig { strategy, ..PoolConfig::default() });
+        let placements = (0..table.column_count())
+            .map(|c| Self::initial_placement(&table, c, sockets, config.placement))
+            .collect();
+        let pool = ThreadPool::new(
+            topology,
+            PoolConfig {
+                strategy: config.strategy,
+                workers_per_group: config.workers_per_group,
+                steal_throttle: config.steal_throttle,
+                ..PoolConfig::default()
+            },
+        );
         NativeEngine {
+            telemetry: Telemetry::new(sockets, table.column_count()),
             table: Arc::new(table),
             pool,
             hint: ConcurrencyHint::new(topology.total_contexts()),
-            column_sockets,
-            statement_epoch: std::sync::atomic::AtomicU64::new(0),
+            sockets,
+            placements: RwLock::new(placements),
+            statement_epoch: AtomicU64::new(0),
         }
+    }
+
+    fn initial_placement(
+        table: &Table,
+        column: usize,
+        sockets: usize,
+        placement: NativePlacement,
+    ) -> ColumnPlacement {
+        let rows = table.row_count();
+        match placement {
+            NativePlacement::RoundRobin => ColumnPlacement {
+                parts: vec![ColumnPart {
+                    rows: 0..rows,
+                    socket: SocketId((column % sockets) as u16),
+                    data: None,
+                }],
+            },
+            NativePlacement::IndexVectorPartitioned { parts } => {
+                Self::ivp_placement(rows, parts, column, sockets)
+            }
+            NativePlacement::PhysicallyPartitioned { parts } => {
+                Self::pp_placement(table.column(ColumnId(column)), parts, column, sockets)
+            }
+        }
+    }
+
+    /// IVP parts over the base column, spread round-robin over the sockets
+    /// (offset by the column index so columns do not all start on socket 0).
+    fn ivp_placement(rows: usize, parts: usize, column: usize, sockets: usize) -> ColumnPlacement {
+        let parts = numascan_storage::ivp_ranges(rows, parts.max(1))
+            .into_iter()
+            .enumerate()
+            .map(|(i, range)| ColumnPart {
+                rows: range,
+                socket: SocketId(((column + i) % sockets) as u16),
+                data: None,
+            })
+            .collect();
+        ColumnPlacement { parts }
+    }
+
+    /// Physically rebuilt parts, spread like IVP parts.
+    fn pp_placement(
+        column_data: &DictColumn<i64>,
+        parts: usize,
+        column: usize,
+        sockets: usize,
+    ) -> ColumnPlacement {
+        let pp = PhysicalPartitioning::create(column_data, parts.max(1));
+        let parts = pp
+            .into_parts()
+            .into_iter()
+            .enumerate()
+            .map(|(i, part)| ColumnPart {
+                rows: part.rows,
+                socket: SocketId(((column + i) % sockets) as u16),
+                data: Some(Arc::new(part.column)),
+            })
+            .collect();
+        ColumnPlacement { parts }
     }
 
     /// The table the engine serves.
@@ -52,14 +335,20 @@ impl NativeEngine {
         &self.table
     }
 
-    /// The (virtual) socket a column is assigned to.
+    /// The (virtual) socket holding the majority of a column's rows.
     pub fn column_socket(&self, column: ColumnId) -> SocketId {
-        self.column_sockets[column.index()]
+        self.placements.read()[column.index()].primary_socket(self.sockets)
+    }
+
+    /// Number of placement parts a column currently has.
+    pub fn column_partitions(&self, column: ColumnId) -> usize {
+        self.placements.read()[column.index()].parts.len()
     }
 
     /// Executes `SELECT col FROM t WHERE col BETWEEN lo AND hi` and returns
-    /// the materialized values. `active_statements` feeds the concurrency
-    /// hint (pass the number of concurrent queries in flight).
+    /// the materialized values in row order. `active_statements` feeds the
+    /// concurrency hint (pass the number of concurrent queries in flight; the
+    /// session layer does this automatically).
     pub fn scan_between(
         &self,
         column_name: &str,
@@ -67,46 +356,18 @@ impl NativeEngine {
         hi: i64,
         active_statements: usize,
     ) -> Option<Vec<i64>> {
-        let (column_id, column) = self.table.column_by_name(column_name)?;
-        let predicate = Predicate::Between { lo, hi };
-        let encoded = predicate.encode(column.dictionary());
-        // Computed once per statement and shipped to every task, so each
-        // scan's position list is allocated at its final size up front.
-        let selectivity = predicate.estimated_selectivity(column.dictionary());
-        let socket = self.column_socket(column_id);
-        let epoch = self.statement_epoch.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.scan_predicate(column_name, &Predicate::Between { lo, hi }, active_statements)
+    }
 
-        let tasks = self.hint.suggested_tasks(active_statements).min(column.row_count().max(1));
-        let rows_per_task = column.row_count().div_ceil(tasks.max(1));
-        let results: Arc<Mutex<TaskChunks>> = Arc::new(Mutex::new(Vec::new()));
-
-        for (i, start) in (0..column.row_count()).step_by(rows_per_task.max(1)).enumerate() {
-            let end = (start + rows_per_task).min(column.row_count());
-            let table = Arc::clone(&self.table);
-            let results = Arc::clone(&results);
-            let encoded = encoded.clone();
-            let meta = TaskMeta {
-                affinity: Some(socket),
-                hard_affinity: false,
-                priority: TaskPriority::new(epoch, i as u64),
-                work_class: WorkClass::MemoryIntensive,
-                estimated_bytes: ((end - start) as f64) * column.bitcase() as f64 / 8.0,
-            };
-            self.pool.submit(meta, move || {
-                let column = table.column(column_id);
-                let positions =
-                    scan_positions_with_estimate(column, start..end, &encoded, selectivity);
-                let values = numascan_storage::materialize_positions(column, &positions);
-                results.lock().push((i, values));
-            });
-        }
-        self.pool.wait_idle();
-
-        let mut chunks = Arc::try_unwrap(results)
-            .map(|m| m.into_inner())
-            .unwrap_or_else(|arc| arc.lock().clone());
-        chunks.sort_by_key(|(i, _)| *i);
-        Some(chunks.into_iter().flat_map(|(_, v)| v).collect())
+    /// Executes `SELECT col FROM t WHERE col IN (values)` and returns the
+    /// materialized values in row order.
+    pub fn scan_in_list(
+        &self,
+        column_name: &str,
+        values: &[i64],
+        active_statements: usize,
+    ) -> Option<Vec<i64>> {
+        self.scan_predicate(column_name, &Predicate::InList(values.to_vec()), active_statements)
     }
 
     /// Counts the rows matching `col BETWEEN lo AND hi`.
@@ -120,10 +381,236 @@ impl NativeEngine {
         self.scan_between(column_name, lo, hi, active_statements).map(|v| v.len())
     }
 
+    /// Executes an arbitrary predicate scan over one column: splits the scan
+    /// into concurrency-hint-many tasks aligned to the column's placement,
+    /// submits them with their parts' socket affinities, and blocks until
+    /// this statement (and only this statement) completes.
+    pub fn scan_predicate(
+        &self,
+        column_name: &str,
+        predicate: &Predicate<i64>,
+        active_statements: usize,
+    ) -> Option<Vec<i64>> {
+        let (column_id, base) = self.table.column_by_name(column_name)?;
+        let placement = self.placements.read()[column_id.index()].clone();
+        let epoch = self.statement_epoch.fetch_add(1, Ordering::SeqCst);
+
+        // Round the suggested task count up to a multiple of the parts so
+        // every task's range falls wholly inside one part (Section 5.2).
+        let parts = placement.parts.len();
+        let total_tasks = self.hint.suggested_tasks_for_partitions(active_statements, parts);
+        let tasks_per_part = (total_tasks / parts.max(1)).max(1);
+
+        // Describe every task up front so the completion latch knows the
+        // exact count before the first task can finish.
+        struct TaskSpec {
+            chunk: usize,
+            local_rows: Range<usize>,
+            socket: SocketId,
+            data: Option<Arc<DictColumn<i64>>>,
+            encoded: EncodedPredicate,
+            selectivity: f64,
+        }
+        let mut specs: Vec<TaskSpec> = Vec::new();
+        // The statement registers on its column before any byte is recorded,
+        // so an epoch snapshot taken mid-statement can never show a socket
+        // made hot by a column it reports as inactive.
+        self.telemetry.column_queries[column_id.index()].fetch_add(1, Ordering::Relaxed);
+        for part in &placement.parts {
+            if part.rows.is_empty() {
+                continue;
+            }
+            // Telemetry is recorded at submit time and at *part* granularity:
+            // the byte count depends only on the placement snapshot, never on
+            // how many tasks the (concurrency-dependent) hint splits the part
+            // into, so replays with identical seeds produce byte-identical
+            // per-socket and per-column signals regardless of thread
+            // interleavings. Attribution follows the data's socket — whose
+            // memory controllers serve the traffic — not the executing
+            // thread.
+            let part_column: &DictColumn<i64> = part.data.as_deref().unwrap_or(base);
+            let part_bytes = part_column.iv_scan_bytes(part.rows.len());
+            self.telemetry.socket_bytes[part.socket.index()]
+                .fetch_add(part_bytes, Ordering::Relaxed);
+            self.telemetry.column_bytes[column_id.index()].fetch_add(part_bytes, Ordering::Relaxed);
+            self.pool.record_scanned_bytes(part.socket, part_bytes);
+
+            // Encoded once per part, not per task: PP parts carry their own
+            // dictionaries, but within one part every task shares the same
+            // encoding and selectivity estimate.
+            let encoded = predicate.encode(part_column.dictionary());
+            let selectivity = predicate.estimated_selectivity(part_column.dictionary());
+
+            // PP parts scan their own rebuilt column with part-local
+            // positions; base-column parts scan the shared IV with global
+            // positions. Values come back in global row order either way
+            // because parts (and chunks within them) are numbered in order.
+            let local_base = if part.data.is_some() { 0 } else { part.rows.start };
+            for range in numascan_storage::ivp_ranges(part.rows.len(), tasks_per_part) {
+                if range.is_empty() {
+                    continue;
+                }
+                specs.push(TaskSpec {
+                    chunk: specs.len(),
+                    local_rows: local_base + range.start..local_base + range.end,
+                    socket: part.socket,
+                    data: part.data.clone(),
+                    encoded: encoded.clone(),
+                    selectivity,
+                });
+            }
+        }
+
+        let latch = Arc::new(StatementLatch::new(specs.len()));
+        let results: Arc<Mutex<TaskChunks>> = Arc::new(Mutex::new(Vec::with_capacity(specs.len())));
+        for (seq, spec) in specs.into_iter().enumerate() {
+            let part_column: &DictColumn<i64> = spec.data.as_deref().unwrap_or(base);
+            let bytes = part_column.iv_scan_bytes(spec.local_rows.len());
+
+            let meta = TaskMeta {
+                affinity: Some(spec.socket),
+                hard_affinity: false,
+                priority: TaskPriority::new(epoch, seq as u64),
+                work_class: WorkClass::MemoryIntensive,
+                estimated_bytes: bytes as f64,
+            };
+            let table = Arc::clone(&self.table);
+            let results = Arc::clone(&results);
+            let latch = Arc::clone(&latch);
+            self.pool.submit(meta, move || {
+                let _count_down = LatchGuard(latch);
+                let column: &DictColumn<i64> =
+                    spec.data.as_deref().unwrap_or_else(|| table.column(column_id));
+                let positions = scan_positions_with_estimate(
+                    column,
+                    spec.local_rows.clone(),
+                    &spec.encoded,
+                    spec.selectivity,
+                );
+                let values = numascan_storage::materialize_positions(column, &positions);
+                results.lock().push((spec.chunk, values));
+            });
+        }
+        latch.wait();
+
+        let mut chunks = Arc::try_unwrap(results)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        chunks.sort_by_key(|(i, _)| *i);
+        Some(chunks.into_iter().flat_map(|(_, v)| v).collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptive loop: telemetry out, placement actions in.
+    // ------------------------------------------------------------------
+
+    /// Snapshots and resets the epoch telemetry: per-socket bytes, the
+    /// relative utilization estimate, and per-column heats — the native
+    /// equivalents of the simulator-derived signals
+    /// [`AdaptiveDataPlacer::decide`] was previously fed.
+    pub fn take_epoch(&self) -> NativeEpoch {
+        let socket_bytes: Vec<u64> =
+            self.telemetry.socket_bytes.iter().map(|b| b.swap(0, Ordering::Relaxed)).collect();
+        let column_bytes: Vec<u64> =
+            self.telemetry.column_bytes.iter().map(|b| b.swap(0, Ordering::Relaxed)).collect();
+        let column_queries: Vec<u64> =
+            self.telemetry.column_queries.iter().map(|q| q.swap(0, Ordering::Relaxed)).collect();
+
+        let max_bytes = socket_bytes.iter().copied().max().unwrap_or(0);
+        let utilization: Vec<f64> = socket_bytes
+            .iter()
+            .map(|b| if max_bytes == 0 { 0.0 } else { *b as f64 / max_bytes as f64 })
+            .collect();
+
+        let total_bytes: u64 = column_bytes.iter().sum();
+        let placements = self.placements.read();
+        let heats = placements
+            .iter()
+            .enumerate()
+            .map(|(c, placement)| ColumnHeat {
+                column: ColumnRef { table: 0, column: c },
+                primary_socket: placement.primary_socket(self.sockets),
+                heat: if total_bytes == 0 {
+                    0.0
+                } else {
+                    column_bytes[c] as f64 / total_bytes as f64
+                },
+                // Native scans stream the index vector; materialization is
+                // position-driven gathers over the same rows.
+                iv_intensive: true,
+                partitions: placement.parts.len(),
+                active: column_queries[c] > 0,
+            })
+            .collect();
+        NativeEpoch { socket_bytes, utilization, heats }
+    }
+
+    /// One step of the closed loop: feed `epoch`'s signals to the placer,
+    /// apply the decision to the live engine, and return it.
+    pub fn rebalance(&self, placer: &AdaptiveDataPlacer, epoch: &NativeEpoch) -> PlacerAction {
+        let action = placer.decide(&epoch.utilization, &epoch.heats);
+        self.apply_action(&action);
+        action
+    }
+
+    /// Applies a placer decision to the live engine. Statements already in
+    /// flight finish on the placement snapshot they took; new statements see
+    /// the updated placement.
+    pub fn apply_action(&self, action: &PlacerAction) {
+        match action {
+            PlacerAction::None => {}
+            PlacerAction::MoveColumn { column, to } => {
+                self.move_column_to(ColumnId(column.column), *to);
+            }
+            PlacerAction::RepartitionIvp { column, parts }
+            | PlacerAction::DecreasePartitions { column, parts } => {
+                self.repartition_ivp(ColumnId(column.column), *parts);
+            }
+            PlacerAction::RepartitionPp { column, parts } => {
+                self.repartition_pp(ColumnId(column.column), *parts);
+            }
+        }
+    }
+
+    /// Moves every part of a column to `to` (consolidation onto one socket).
+    pub fn move_column_to(&self, column: ColumnId, to: SocketId) {
+        let mut placements = self.placements.write();
+        for part in &mut placements[column.index()].parts {
+            part.socket = to;
+        }
+    }
+
+    /// Re-splits a column's index vector into `parts` row ranges spread over
+    /// the sockets (IVP — cheap, keeps the base column's components intact).
+    /// Also implements partition decreases.
+    pub fn repartition_ivp(&self, column: ColumnId, parts: usize) {
+        let placement =
+            Self::ivp_placement(self.table.row_count(), parts, column.index(), self.sockets);
+        self.placements.write()[column.index()] = placement;
+    }
+
+    /// Physically rebuilds a column into `parts` self-contained columns
+    /// spread over the sockets (PP — expensive, but every part then scans a
+    /// dictionary and index vector of its own).
+    pub fn repartition_pp(&self, column: ColumnId, parts: usize) {
+        // Rebuild outside the write lock: statements keep executing on the
+        // old placement while the parts are constructed.
+        let placement =
+            Self::pp_placement(self.table.column(column), parts, column.index(), self.sockets);
+        self.placements.write()[column.index()] = placement;
+    }
+
+    /// Closes the worker pool's bandwidth epoch (steal-throttle telemetry)
+    /// and returns the utilization estimate when a throttle is configured.
+    pub fn advance_bandwidth_epoch(&self, elapsed: Duration) -> Option<Vec<f64>> {
+        self.pool.advance_bandwidth_epoch(elapsed)
+    }
+
     /// Scheduler statistics accumulated so far, including the wakeup-routing
-    /// counters: `targeted_wakeups`/`chained_wakeups` show the per-group
-    /// condvar routing at work, and `watchdog_wakeups` stays at zero as long
-    /// as no wakeup had to be rescued by the watchdog backstop.
+    /// counters (`targeted_wakeups`/`chained_wakeups`, with
+    /// `watchdog_wakeups` at zero as long as no wakeup had to be rescued) and
+    /// the steal-throttle counters (`steal_throttle_bound`/
+    /// `steal_throttle_released`, with `affinity_violations` always zero).
     pub fn scheduler_stats(&self) -> SchedulerStats {
         self.pool.stats()
     }
@@ -152,16 +639,48 @@ mod tests {
         Topology::four_socket_ivybridge_ex()
     }
 
+    fn reference_between(rows: usize, lo: i64, hi: i64) -> Vec<i64> {
+        (0..rows as i64).map(|i| (i * 7919) % 1000).filter(|v| (lo..=hi).contains(v)).collect()
+    }
+
     #[test]
     fn native_scan_returns_exactly_the_matching_values() {
         let rows = 100_000;
         let engine = NativeEngine::new(table(rows), &small_topology(), SchedulingStrategy::Bound);
         let values = engine.scan_between("payload", 100, 199, 1).unwrap();
-        // Reference computation.
-        let expected =
-            (0..rows as i64).filter(|i| (100..=199).contains(&((i * 7919) % 1000))).count();
-        assert_eq!(values.len(), expected);
-        assert!(values.iter().all(|v| (100..=199).contains(v)));
+        assert_eq!(values, reference_between(rows, 100, 199));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn every_placement_returns_values_in_row_order() {
+        let rows = 40_000;
+        let expected = reference_between(rows, 200, 449);
+        for placement in [
+            NativePlacement::RoundRobin,
+            NativePlacement::IndexVectorPartitioned { parts: 4 },
+            NativePlacement::PhysicallyPartitioned { parts: 4 },
+        ] {
+            let engine = NativeEngine::with_config(
+                table(rows),
+                &small_topology(),
+                NativeEngineConfig { placement, ..Default::default() },
+            );
+            let values = engine.scan_between("payload", 200, 449, 3).unwrap();
+            assert_eq!(values, expected, "placement {placement:?}");
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn in_list_scans_match_a_reference_filter() {
+        let rows = 30_000;
+        let engine = NativeEngine::new(table(rows), &small_topology(), SchedulingStrategy::Target);
+        let picks = [7i64, 101, 555, 999];
+        let values = engine.scan_in_list("payload", &picks, 2).unwrap();
+        let expected: Vec<i64> =
+            (0..rows as i64).map(|i| (i * 7919) % 1000).filter(|v| picks.contains(v)).collect();
+        assert_eq!(values, expected);
         engine.shutdown();
     }
 
@@ -194,6 +713,7 @@ mod tests {
         // wakeups; the watchdog backstop must not have been needed.
         assert!(stats.targeted_wakeups > 0, "no targeted wakeups recorded: {stats:?}");
         assert_eq!(stats.watchdog_wakeups, 0, "watchdog had to rescue a task: {stats:?}");
+        assert_eq!(stats.affinity_violations, 0, "a hard task ran off-socket: {stats:?}");
         engine.shutdown();
     }
 
@@ -210,6 +730,75 @@ mod tests {
         let engine = NativeEngine::new(table(rows), &small_topology(), SchedulingStrategy::Os);
         let count = engine.count_between("id", 0, rows as i64, 4).unwrap();
         assert_eq!(count, rows);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn telemetry_attributes_bytes_to_the_data_socket() {
+        let engine = NativeEngine::new(table(64_000), &small_topology(), SchedulingStrategy::Bound);
+        // "payload" is column 1 -> socket 1 under round-robin placement.
+        engine.count_between("payload", 0, 999, 1).unwrap();
+        let epoch = engine.take_epoch();
+        assert!(epoch.socket_bytes[1] > 0, "{epoch:?}");
+        assert_eq!(epoch.socket_bytes[0], 0);
+        assert_eq!(epoch.utilization[1], 1.0);
+        assert!((epoch.utilization_spread() - 1.0).abs() < 1e-12);
+        let heats = &epoch.heats;
+        assert!((heats[1].heat - 1.0).abs() < 1e-12, "all traffic hit the payload column");
+        assert!(heats[1].active && !heats[0].active);
+        // The snapshot reset the counters.
+        let idle = engine.take_epoch();
+        assert_eq!(idle.socket_bytes, vec![0; 4]);
+        assert_eq!(idle.utilization_spread(), 0.0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn live_repartitioning_spreads_traffic_and_preserves_results() {
+        let rows = 48_000;
+        let engine = NativeEngine::new(table(rows), &small_topology(), SchedulingStrategy::Bound);
+        let before = engine.scan_between("payload", 100, 299, 1).unwrap();
+        let (payload, _) = engine.table().column_by_name("payload").unwrap();
+        assert_eq!(engine.column_partitions(payload), 1);
+        engine.take_epoch();
+
+        engine.repartition_ivp(payload, 4);
+        assert_eq!(engine.column_partitions(payload), 4);
+        let after = engine.scan_between("payload", 100, 299, 1).unwrap();
+        assert_eq!(after, before, "IVP repartitioning must not change results");
+        let epoch = engine.take_epoch();
+        assert!(
+            epoch.socket_bytes.iter().all(|b| *b > 0),
+            "IVP spread traffic over every socket: {epoch:?}"
+        );
+
+        engine.repartition_pp(payload, 2);
+        let after_pp = engine.scan_between("payload", 100, 299, 1).unwrap();
+        assert_eq!(after_pp, before, "PP repartitioning must not change results");
+
+        engine.move_column_to(payload, SocketId(3));
+        assert_eq!(engine.column_socket(payload), SocketId(3));
+        let moved = engine.scan_between("payload", 100, 299, 1).unwrap();
+        assert_eq!(moved, before, "moving a column must not change results");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rebalance_step_repartitions_a_measured_native_hotspot() {
+        let engine = NativeEngine::new(table(64_000), &small_topology(), SchedulingStrategy::Bound);
+        for _ in 0..4 {
+            engine.count_between("payload", 0, 499, 2).unwrap();
+        }
+        let epoch = engine.take_epoch();
+        let placer = AdaptiveDataPlacer::default();
+        let action = engine.rebalance(&placer, &epoch);
+        let (payload, _) = engine.table().column_by_name("payload").unwrap();
+        assert!(
+            matches!(action, PlacerAction::RepartitionIvp { column, .. }
+                if column.column == payload.index()),
+            "the dominating hot column should be IVP-partitioned, got {action:?}"
+        );
+        assert!(engine.column_partitions(payload) > 1);
         engine.shutdown();
     }
 }

@@ -1,0 +1,224 @@
+//! Multi-client admission: sessions, statements and the concurrency hint.
+//!
+//! The paper's engine serves many concurrent clients; the number of
+//! *currently active statements* is what drives the concurrency hint's task
+//! granularity (Section 5.2 / reference [28]): one active statement is split
+//! across the whole machine, many concurrent statements each become a handful
+//! of tasks (down to one) to avoid scheduling overhead.
+//!
+//! [`SessionManager`] is that admission layer for the native engine: client
+//! threads call [`SessionManager::execute`] concurrently; each call registers
+//! an active statement for its duration (panic-safe, via a drop guard), and
+//! the measured count — not a caller-supplied guess — feeds the hint of every
+//! scan it admits. It also keeps the adaptive loop's bookkeeping in one
+//! place: epoch snapshots, placer rebalance steps and the pool's bandwidth
+//! epochs are all driven through the session manager between statement
+//! batches.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use numascan_storage::Predicate;
+
+use crate::adaptive::{AdaptiveDataPlacer, PlacerAction};
+use crate::native::{NativeEngine, NativeEpoch};
+
+/// A client request the session layer can admit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanRequest {
+    /// `SELECT col FROM t WHERE col BETWEEN lo AND hi`.
+    Between {
+        /// Column name.
+        column: String,
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// `SELECT col FROM t WHERE col IN (values)`.
+    InList {
+        /// Column name.
+        column: String,
+        /// The IN-list values.
+        values: Vec<i64>,
+    },
+}
+
+impl ScanRequest {
+    /// The column the request scans.
+    pub fn column(&self) -> &str {
+        match self {
+            ScanRequest::Between { column, .. } | ScanRequest::InList { column, .. } => column,
+        }
+    }
+
+    /// The request's predicate.
+    pub fn predicate(&self) -> Predicate<i64> {
+        match self {
+            ScanRequest::Between { lo, hi, .. } => Predicate::Between { lo: *lo, hi: *hi },
+            ScanRequest::InList { values, .. } => Predicate::InList(values.clone()),
+        }
+    }
+}
+
+/// Decrements the active-statement count when a statement finishes (or
+/// unwinds), so a panicking client cannot permanently inflate the count.
+struct StatementGuard<'a> {
+    active: &'a AtomicUsize,
+}
+
+impl Drop for StatementGuard<'_> {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The multi-client admission layer over a [`NativeEngine`].
+///
+/// Shared by reference across client threads (`&SessionManager` is `Sync`);
+/// every concurrently executing statement raises the active count the
+/// concurrency hint sees.
+pub struct SessionManager {
+    engine: NativeEngine,
+    active: AtomicUsize,
+    admitted: AtomicU64,
+}
+
+impl SessionManager {
+    /// Wraps `engine` in an admission layer.
+    pub fn new(engine: NativeEngine) -> Self {
+        SessionManager { engine, active: AtomicUsize::new(0), admitted: AtomicU64::new(0) }
+    }
+
+    /// The engine behind the sessions.
+    pub fn engine(&self) -> &NativeEngine {
+        &self.engine
+    }
+
+    /// Statements currently executing.
+    pub fn active_statements(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Statements admitted since the session manager was created.
+    pub fn admitted_statements(&self) -> u64 {
+        self.admitted.load(Ordering::SeqCst)
+    }
+
+    /// Admits and executes one statement: registers it as active, lets the
+    /// engine split it into concurrency-hint-many placement-aligned tasks,
+    /// and blocks the calling client until its results are complete. Returns
+    /// `None` for unknown columns.
+    pub fn execute(&self, request: &ScanRequest) -> Option<Vec<i64>> {
+        let active = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+        self.admitted.fetch_add(1, Ordering::SeqCst);
+        let _guard = StatementGuard { active: &self.active };
+        self.engine.scan_predicate(request.column(), &request.predicate(), active)
+    }
+
+    /// Snapshots and resets the engine's epoch telemetry (utilization and
+    /// heat signals for the placer).
+    pub fn take_epoch(&self) -> NativeEpoch {
+        self.engine.take_epoch()
+    }
+
+    /// One closed-loop step: snapshot the epoch, let `placer` decide, apply
+    /// the action to the live engine, and close the pool's bandwidth epoch
+    /// over `elapsed` (feeding the steal throttle). Returns the epoch and the
+    /// action taken.
+    pub fn rebalance_epoch(
+        &self,
+        placer: &AdaptiveDataPlacer,
+        elapsed: Duration,
+    ) -> (NativeEpoch, PlacerAction) {
+        let epoch = self.engine.take_epoch();
+        let action = self.engine.rebalance(placer, &epoch);
+        self.engine.advance_bandwidth_epoch(elapsed);
+        (epoch, action)
+    }
+
+    /// Shuts the underlying engine down, joining its worker threads.
+    pub fn shutdown(self) {
+        self.engine.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numascan_numasim::Topology;
+    use numascan_scheduler::SchedulingStrategy;
+    use numascan_storage::{Table, TableBuilder};
+    use std::sync::atomic::AtomicBool;
+
+    fn table(rows: usize) -> Table {
+        let values: Vec<i64> = (0..rows as i64).map(|i| (i * 31) % 500).collect();
+        TableBuilder::new("t").add_values("v", &values, false).build()
+    }
+
+    fn session(rows: usize) -> SessionManager {
+        SessionManager::new(NativeEngine::new(
+            table(rows),
+            &Topology::four_socket_ivybridge_ex(),
+            SchedulingStrategy::Bound,
+        ))
+    }
+
+    #[test]
+    fn sequential_statements_match_a_reference_filter() {
+        let s = session(20_000);
+        let got = s.execute(&ScanRequest::Between { column: "v".into(), lo: 10, hi: 49 }).unwrap();
+        let expected: Vec<i64> =
+            (0..20_000i64).map(|i| (i * 31) % 500).filter(|v| (10..=49).contains(v)).collect();
+        assert_eq!(got, expected);
+        assert_eq!(s.active_statements(), 0, "the statement must deregister itself");
+        assert_eq!(s.admitted_statements(), 1);
+        s.shutdown();
+    }
+
+    #[test]
+    fn unknown_columns_do_not_leak_active_statements() {
+        let s = session(1_000);
+        assert!(s.execute(&ScanRequest::Between { column: "nope".into(), lo: 0, hi: 1 }).is_none());
+        assert_eq!(s.active_statements(), 0);
+        s.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_raise_the_active_count_the_hint_sees() {
+        let s = session(60_000);
+        let saw_concurrency = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for c in 0..4 {
+                let s = &s;
+                let saw = &saw_concurrency;
+                scope.spawn(move || {
+                    for i in 0..5i64 {
+                        let lo = (c as i64 * 20 + i) % 400;
+                        s.execute(&ScanRequest::Between { column: "v".into(), lo, hi: lo + 60 })
+                            .unwrap();
+                        if s.active_statements() > 1 {
+                            saw.store(true, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(s.active_statements(), 0);
+        assert_eq!(s.admitted_statements(), 20);
+        s.shutdown();
+    }
+
+    #[test]
+    fn in_list_requests_expose_column_and_predicate() {
+        let r = ScanRequest::InList { column: "v".into(), values: vec![1, 2, 3] };
+        assert_eq!(r.column(), "v");
+        assert_eq!(r.predicate(), Predicate::InList(vec![1, 2, 3]));
+        let s = session(10_000);
+        let got = s.execute(&r).unwrap();
+        let expected: Vec<i64> =
+            (0..10_000i64).map(|i| (i * 31) % 500).filter(|v| [1, 2, 3].contains(v)).collect();
+        assert_eq!(got, expected);
+        s.shutdown();
+    }
+}

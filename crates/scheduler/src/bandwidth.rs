@@ -1,0 +1,203 @@
+//! Bandwidth-aware steal throttling.
+//!
+//! The paper's central finding (Section 6) is that for memory-intensive
+//! scans, inter-socket task stealing is *not* free: stealing a scan task to a
+//! foreign socket turns its sequential local reads into interconnect traffic,
+//! so stealing pays off only when the home socket's memory controllers are
+//! *saturated* and the task would otherwise wait behind other scans. The
+//! adaptive design of Section 7 therefore tracks per-socket utilization
+//! online and toggles stealability per task instead of fixing the policy
+//! globally (the static `Target` vs `Bound` trade-off of Section 6.2).
+//!
+//! [`BandwidthTracker`] implements the telemetry half of that loop: scan
+//! tasks report the bytes they stream from each socket's local memory, and
+//! once per epoch the tracker converts the accumulated bytes into a
+//! utilization estimate against the socket's calibrated local bandwidth (the
+//! `numasim` topology presets carry the calibrated numbers of Table 1). The
+//! thread pool consults the estimate on every submit: a stealable
+//! (soft-affinity) task whose home socket is *below* the saturation
+//! threshold is flipped to socket-bound — stealing it could only hurt —
+//! while a task whose home socket is saturated stays stealable so other
+//! sockets can absorb the overload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use numascan_numasim::SocketId;
+
+/// Tunables of the bandwidth-aware steal throttle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StealThrottleConfig {
+    /// Calibrated local memory bandwidth of one socket in GiB/s (use the
+    /// topology's `socket.local_bandwidth_gibs`).
+    pub socket_bandwidth_gibs: f64,
+    /// Utilization (0.0 ..= 1.0) above which a socket counts as saturated and
+    /// its tasks are left stealable.
+    pub saturation_threshold: f64,
+}
+
+impl StealThrottleConfig {
+    /// A throttle calibrated to `socket_bandwidth_gibs` with the default
+    /// saturation threshold of 0.75.
+    pub fn calibrated(socket_bandwidth_gibs: f64) -> Self {
+        StealThrottleConfig { socket_bandwidth_gibs, saturation_threshold: 0.75 }
+    }
+}
+
+/// Per-socket scan-bandwidth telemetry, aggregated per epoch.
+///
+/// Byte recording and utilization reads are lock-free (atomics), so scan
+/// tasks can report from any worker thread without serialising on the pool
+/// lock.
+#[derive(Debug)]
+pub struct BandwidthTracker {
+    config: StealThrottleConfig,
+    /// Bytes streamed from each socket's local memory in the current epoch.
+    bytes: Vec<AtomicU64>,
+    /// Last epoch's utilization estimate per socket, stored as `f64` bits.
+    utilization: Vec<AtomicU64>,
+}
+
+impl BandwidthTracker {
+    /// Creates a tracker for a machine with `sockets` sockets.
+    pub fn new(sockets: usize, config: StealThrottleConfig) -> Self {
+        assert!(sockets > 0, "a machine needs at least one socket");
+        assert!(
+            config.socket_bandwidth_gibs > 0.0,
+            "socket bandwidth must be positive to define utilization"
+        );
+        BandwidthTracker {
+            config,
+            bytes: (0..sockets).map(|_| AtomicU64::new(0)).collect(),
+            utilization: (0..sockets).map(|_| AtomicU64::new(0.0f64.to_bits())).collect(),
+        }
+    }
+
+    /// The throttle's configuration.
+    pub fn config(&self) -> &StealThrottleConfig {
+        &self.config
+    }
+
+    /// Number of sockets tracked.
+    pub fn socket_count(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Records `bytes` streamed from `socket`'s local memory (called by scan
+    /// tasks; attribution follows the *data's* socket, because that is whose
+    /// memory controllers serve the traffic, regardless of where the task
+    /// executes).
+    pub fn record_bytes(&self, socket: SocketId, bytes: u64) {
+        if let Some(slot) = self.bytes.get(socket.index()) {
+            slot.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Bytes accumulated on each socket in the current (unfinished) epoch.
+    pub fn epoch_bytes(&self) -> Vec<u64> {
+        self.bytes.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Closes the current epoch: converts the accumulated bytes over
+    /// `elapsed` into a per-socket utilization estimate (clamped to
+    /// `0.0 ..= 1.0`), publishes it for [`BandwidthTracker::is_saturated`]
+    /// queries, resets the byte counters, and returns the estimate.
+    pub fn advance_epoch(&self, elapsed: Duration) -> Vec<f64> {
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let capacity = self.config.socket_bandwidth_gibs * (1u64 << 30) as f64 * secs;
+        self.bytes
+            .iter()
+            .zip(&self.utilization)
+            .map(|(bytes, slot)| {
+                let streamed = bytes.swap(0, Ordering::Relaxed) as f64;
+                let utilization = (streamed / capacity).min(1.0);
+                slot.store(utilization.to_bits(), Ordering::Relaxed);
+                utilization
+            })
+            .collect()
+    }
+
+    /// Last epoch's utilization estimate of one socket (0.0 before the first
+    /// epoch closes: an idle socket is unsaturated, so stealing starts
+    /// disabled, matching the paper's Bound-by-default recommendation for
+    /// memory-intensive work).
+    pub fn utilization(&self, socket: SocketId) -> f64 {
+        self.utilization
+            .get(socket.index())
+            .map_or(0.0, |slot| f64::from_bits(slot.load(Ordering::Relaxed)))
+    }
+
+    /// Last epoch's utilization estimate of every socket.
+    pub fn utilizations(&self) -> Vec<f64> {
+        (0..self.socket_count()).map(|s| self.utilization(SocketId(s as u16))).collect()
+    }
+
+    /// Whether `socket` exceeded the saturation threshold in the last epoch
+    /// (its tasks then stay stealable so other sockets absorb the overload).
+    pub fn is_saturated(&self, socket: SocketId) -> bool {
+        self.utilization(socket) >= self.config.saturation_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(bandwidth_gibs: f64) -> BandwidthTracker {
+        BandwidthTracker::new(4, StealThrottleConfig::calibrated(bandwidth_gibs))
+    }
+
+    #[test]
+    fn utilization_starts_at_zero_and_nothing_is_saturated() {
+        let t = tracker(65.0);
+        assert_eq!(t.utilizations(), vec![0.0; 4]);
+        assert!(!t.is_saturated(SocketId(0)));
+    }
+
+    #[test]
+    fn epoch_converts_bytes_to_utilization_against_the_calibrated_bandwidth() {
+        let t = tracker(65.0);
+        // Half the socket's one-second capacity on socket 1.
+        t.record_bytes(SocketId(1), (32.5 * (1u64 << 30) as f64) as u64);
+        let util = t.advance_epoch(Duration::from_secs(1));
+        assert!((util[1] - 0.5).abs() < 1e-9, "{util:?}");
+        assert_eq!(util[0], 0.0);
+        assert!((t.utilization(SocketId(1)) - 0.5).abs() < 1e-9);
+        assert!(!t.is_saturated(SocketId(1)));
+    }
+
+    #[test]
+    fn utilization_is_clamped_and_saturation_uses_the_threshold() {
+        let t = tracker(0.001);
+        t.record_bytes(SocketId(2), 1 << 30);
+        let util = t.advance_epoch(Duration::from_millis(10));
+        assert_eq!(util[2], 1.0, "utilization is clamped to 1.0");
+        assert!(t.is_saturated(SocketId(2)));
+        assert!(!t.is_saturated(SocketId(0)));
+    }
+
+    #[test]
+    fn advancing_an_epoch_resets_the_byte_counters() {
+        let t = tracker(65.0);
+        t.record_bytes(SocketId(0), 1000);
+        assert_eq!(t.epoch_bytes(), vec![1000, 0, 0, 0]);
+        t.advance_epoch(Duration::from_secs(1));
+        assert_eq!(t.epoch_bytes(), vec![0; 4]);
+        let util = t.advance_epoch(Duration::from_secs(1));
+        assert_eq!(util, vec![0.0; 4], "an idle epoch drops utilization back to zero");
+    }
+
+    #[test]
+    fn out_of_range_sockets_are_ignored() {
+        let t = tracker(65.0);
+        t.record_bytes(SocketId(99), 1000);
+        assert_eq!(t.epoch_bytes(), vec![0; 4]);
+        assert_eq!(t.utilization(SocketId(99)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_is_rejected() {
+        BandwidthTracker::new(4, StealThrottleConfig::calibrated(0.0));
+    }
+}

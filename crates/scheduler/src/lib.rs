@@ -21,15 +21,20 @@
 //!   (`OS`, `Target`, `Bound`) and the stealing rules they imply.
 //! * [`concurrency`] — the concurrency hint that adapts task granularity to
 //!   the number of concurrently active statements.
+//! * [`bandwidth`] — the bandwidth-aware steal throttle: per-socket
+//!   utilization estimated from scan telemetry, used to flip stealable tasks
+//!   to socket-bound while their home socket is unsaturated (the online half
+//!   of the adaptive design of Section 7).
 //! * [`pool`] — a real-thread worker pool implementing the worker main loop,
 //!   per-group targeted wakeups and the watchdog backstop, used for native
 //!   (non-simulated) execution.
-//! * [`stats`] — counters (executed tasks, stolen tasks, wakeup routing)
-//!   reported by both backends.
+//! * [`stats`] — counters (executed tasks, stolen tasks, wakeup routing,
+//!   steal throttling) reported by both backends.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bandwidth;
 pub mod concurrency;
 pub mod policy;
 pub mod pool;
@@ -37,6 +42,7 @@ pub mod queue;
 pub mod stats;
 pub mod task;
 
+pub use bandwidth::{BandwidthTracker, StealThrottleConfig};
 pub use concurrency::ConcurrencyHint;
 pub use policy::{SchedulingStrategy, StealScope};
 pub use pool::{PoolConfig, ThreadPool};

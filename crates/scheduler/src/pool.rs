@@ -41,7 +41,7 @@
 //! library's correctness — and what is implemented faithfully — is the queue
 //! placement, priority and stealing discipline.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -49,6 +49,7 @@ use std::time::Duration;
 use numascan_numasim::{SocketId, Topology};
 use parking_lot::{Condvar, Mutex};
 
+use crate::bandwidth::{BandwidthTracker, StealThrottleConfig};
 use crate::policy::SchedulingStrategy;
 use crate::queue::{QueueSet, ThreadGroupId};
 use crate::stats::SchedulerStats;
@@ -68,6 +69,12 @@ pub struct PoolConfig {
     pub workers_per_group: Option<usize>,
     /// Interval at which the watchdog wakes up to check for starving groups.
     pub watchdog_interval: Duration,
+    /// When set, enables the bandwidth-aware steal throttle: stealable
+    /// (soft-affinity) tasks are flipped to socket-bound while their home
+    /// socket's measured utilization stays below the saturation threshold,
+    /// and stay stealable once it saturates. `None` keeps the static
+    /// always-stealable behaviour of the `Target` strategy.
+    pub steal_throttle: Option<StealThrottleConfig>,
 }
 
 impl Default for PoolConfig {
@@ -76,6 +83,7 @@ impl Default for PoolConfig {
             strategy: SchedulingStrategy::Bound,
             workers_per_group: None,
             watchdog_interval: Duration::from_millis(10),
+            steal_throttle: None,
         }
     }
 }
@@ -117,6 +125,13 @@ struct Shared {
     /// of this socket is asleep" from "some are awake and will re-scan".
     workers_per_group: usize,
     stats: Mutex<SchedulerStats>,
+    /// Bandwidth telemetry backing the steal throttle (`None` = throttle off).
+    throttle: Option<Arc<BandwidthTracker>>,
+    /// Throttle decision counters, kept as atomics so the submit fast path
+    /// never touches the stats mutex (workers lock it per pop); folded into
+    /// [`SchedulerStats`] by [`ThreadPool::stats`].
+    throttle_bound: AtomicU64,
+    throttle_released: AtomicU64,
 }
 
 impl Shared {
@@ -212,6 +227,11 @@ impl ThreadPool {
             shutdown: AtomicBool::new(false),
             workers_per_group,
             stats: Mutex::new(SchedulerStats::new(topology.socket_count())),
+            throttle: config
+                .steal_throttle
+                .map(|cfg| Arc::new(BandwidthTracker::new(topology.socket_count(), cfg))),
+            throttle_bound: AtomicU64::new(0),
+            throttle_released: AtomicU64::new(0),
         });
 
         let mut workers = Vec::with_capacity(group_count * workers_per_group);
@@ -251,12 +271,24 @@ impl ThreadPool {
     }
 
     /// Submits a task. Its metadata is first rewritten according to the pool's
-    /// scheduling strategy (e.g. the `OS` strategy strips affinities).
+    /// scheduling strategy (e.g. the `OS` strategy strips affinities), then
+    /// the bandwidth-aware steal throttle (when configured) hardens stealable
+    /// tasks whose home socket is unsaturated.
     pub fn submit<F>(&self, meta: TaskMeta, job: F)
     where
         F: FnOnce() + Send + 'static,
     {
-        let meta = self.strategy.apply_to_meta(meta);
+        let mut meta = self.strategy.apply_to_meta(meta);
+        if let Some(tracker) = &self.shared.throttle {
+            if let (Some(home), false) = (meta.affinity, meta.hard_affinity) {
+                if tracker.is_saturated(home) {
+                    self.shared.throttle_released.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    meta.hard_affinity = true;
+                    self.shared.throttle_bound.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let hard = meta.hard_affinity;
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
         let wake = {
@@ -288,7 +320,34 @@ impl ThreadPool {
 
     /// A snapshot of the scheduler statistics.
     pub fn stats(&self) -> SchedulerStats {
-        self.shared.stats.lock().clone()
+        let mut stats = self.shared.stats.lock().clone();
+        stats.steal_throttle_bound = self.shared.throttle_bound.load(Ordering::Relaxed);
+        stats.steal_throttle_released = self.shared.throttle_released.load(Ordering::Relaxed);
+        stats
+    }
+
+    /// The bandwidth tracker behind the steal throttle, when one is
+    /// configured. Scan tasks report streamed bytes through it; callers close
+    /// epochs with [`ThreadPool::advance_bandwidth_epoch`].
+    pub fn bandwidth_tracker(&self) -> Option<&Arc<BandwidthTracker>> {
+        self.shared.throttle.as_ref()
+    }
+
+    /// Records `bytes` streamed from `socket`'s local memory for the steal
+    /// throttle's utilization estimate. A no-op when no throttle is
+    /// configured.
+    pub fn record_scanned_bytes(&self, socket: SocketId, bytes: u64) {
+        if let Some(tracker) = &self.shared.throttle {
+            tracker.record_bytes(socket, bytes);
+        }
+    }
+
+    /// Closes the current bandwidth epoch: converts the bytes recorded since
+    /// the previous call over `elapsed` into the per-socket utilization the
+    /// throttle consults, and returns the estimate (`None` when no throttle
+    /// is configured).
+    pub fn advance_bandwidth_epoch(&self, elapsed: Duration) -> Option<Vec<f64>> {
+        self.shared.throttle.as_ref().map(|t| t.advance_epoch(elapsed))
     }
 
     /// Number of tasks queued or currently running.
@@ -387,13 +446,18 @@ fn worker_loop(shared: Arc<Shared>, group: ThreadGroupId) {
             }
         };
         match task {
-            Some(((_meta, job), socket, scope)) => {
+            Some(((meta, job), socket, scope)) => {
                 {
                     let mut stats = shared.stats.lock();
                     stats.record(socket, scope);
                     stats.false_wakeups += std::mem::take(&mut false_wakes);
                     if chain.is_some() {
                         stats.chained_wakeups += 1;
+                    }
+                    // Audit the stealing discipline at the point of execution:
+                    // a hard task must be running on its affinity socket.
+                    if meta.hard_affinity && meta.affinity.is_some_and(|home| home != socket) {
+                        stats.affinity_violations += 1;
                     }
                 }
                 if let Some(g) = chain {
@@ -616,6 +680,7 @@ mod tests {
                 strategy: SchedulingStrategy::Bound,
                 workers_per_group: Some(1),
                 watchdog_interval: Duration::from_secs(120),
+                steal_throttle: None,
             },
         );
         for i in 0..40u64 {
@@ -692,6 +757,7 @@ mod tests {
                 strategy: SchedulingStrategy::Bound,
                 workers_per_group: Some(1),
                 watchdog_interval: Duration::from_secs(3600),
+                steal_throttle: None,
             },
         );
         p.submit(meta_for(0, 0), || {});

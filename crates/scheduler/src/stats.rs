@@ -33,6 +33,17 @@ pub struct SchedulerStats {
     pub watchdog_wakeups: u64,
     /// Times a signalled worker woke up and found no task to take.
     pub false_wakeups: u64,
+    /// Stealable tasks the bandwidth-aware throttle flipped to socket-bound
+    /// because their home socket's memory bandwidth was unsaturated (stealing
+    /// them could only add interconnect traffic).
+    pub steal_throttle_bound: u64,
+    /// Stealable tasks the throttle left stealable because their home socket
+    /// was saturated (other sockets may absorb the overload).
+    pub steal_throttle_released: u64,
+    /// Audit counter: tasks that executed on a socket their hard affinity
+    /// forbids (`policy::may_execute` violated). The queue discipline makes
+    /// this impossible, so any non-zero value flags a scheduler bug.
+    pub affinity_violations: u64,
     /// Tasks executed per socket.
     pub executed_per_socket: Vec<u64>,
 }
@@ -66,6 +77,9 @@ impl SchedulerStats {
         self.chained_wakeups += other.chained_wakeups;
         self.watchdog_wakeups += other.watchdog_wakeups;
         self.false_wakeups += other.false_wakeups;
+        self.steal_throttle_bound += other.steal_throttle_bound;
+        self.steal_throttle_released += other.steal_throttle_released;
+        self.affinity_violations += other.affinity_violations;
         if self.executed_per_socket.len() < other.executed_per_socket.len() {
             self.executed_per_socket.resize(other.executed_per_socket.len(), 0);
         }
@@ -149,11 +163,18 @@ mod tests {
         a.chained_wakeups = 3;
         a.watchdog_wakeups = 1;
         a.false_wakeups = 2;
+        a.steal_throttle_bound = 5;
         let mut b = SchedulerStats::new(2);
         b.targeted_wakeups = 4;
         b.false_wakeups = 3;
+        b.steal_throttle_bound = 2;
+        b.steal_throttle_released = 7;
+        b.affinity_violations = 1;
         a.merge(&b);
         assert_eq!(a.targeted_wakeups, 10);
+        assert_eq!(a.steal_throttle_bound, 7);
+        assert_eq!(a.steal_throttle_released, 7);
+        assert_eq!(a.affinity_violations, 1);
         assert_eq!(a.chained_wakeups, 3);
         assert_eq!(a.watchdog_wakeups, 1);
         assert_eq!(a.false_wakeups, 5);

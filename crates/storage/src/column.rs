@@ -75,6 +75,14 @@ impl<T: DictValue> DictColumn<T> {
         self.iv.memory_bytes()
     }
 
+    /// Bytes of index-vector payload a scan over `rows` rows streams from
+    /// memory (`rows * bitcase / 8`, rounded up). This is the per-task
+    /// telemetry the adaptive layers aggregate into per-socket and per-column
+    /// bandwidth estimates.
+    pub fn iv_scan_bytes(&self, rows: usize) -> u64 {
+        (rows as u64 * u64::from(self.bitcase())).div_ceil(8)
+    }
+
     /// Memory footprint of the dictionary in bytes.
     pub fn dictionary_bytes(&self) -> usize {
         self.dict.memory_bytes()
@@ -179,6 +187,19 @@ mod tests {
         let col = DictColumn::from_values("c", &values(), true);
         assert_eq!(col.total_bytes(), col.iv_bytes() + col.dictionary_bytes() + col.index_bytes());
         assert!(col.iv_bytes() > 0 && col.dictionary_bytes() > 0 && col.index_bytes() > 0);
+    }
+
+    #[test]
+    fn scan_byte_telemetry_tracks_the_bitcase() {
+        let col = DictColumn::from_values("c", &values(), false);
+        assert_eq!(col.bitcase(), 8);
+        assert_eq!(col.iv_scan_bytes(1000), 1000);
+        assert_eq!(col.iv_scan_bytes(0), 0);
+        // Rounds up to whole bytes for ranges not on a byte boundary.
+        assert_eq!(col.iv_scan_bytes(3), 3);
+        let wide = DictColumn::from_values("w", &(0..100_000i64).collect::<Vec<_>>(), false);
+        assert_eq!(wide.bitcase(), 17);
+        assert_eq!(wide.iv_scan_bytes(8), 17);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use dictionary::Dictionary;
 pub use index::InvertedIndex;
 pub use materialize::{materialize_positions, materialize_range};
 pub use partition::{ivp_ranges, PhysicalPartition, PhysicalPartitioning};
-pub use predicate::{Predicate, VidMatcher, VidRange};
+pub use predicate::{EncodedPredicate, Predicate, VidMatcher, VidRange};
 pub use scan::{scan_bitvector, scan_positions, scan_positions_with_estimate, MatchList};
 pub use table::{ColumnId, Table, TableBuilder};
 pub use value::DictValue;

@@ -78,6 +78,13 @@ impl<T: DictValue> PhysicalPartitioning<T> {
         &self.parts
     }
 
+    /// Consumes the partitioning, yielding the rebuilt parts without copying
+    /// them (the rebuilt columns can be large; callers wrapping them for
+    /// sharing should not pay for a second deep clone).
+    pub fn into_parts(self) -> Vec<PhysicalPartition<T>> {
+        self.parts
+    }
+
     /// Number of parts.
     pub fn part_count(&self) -> usize {
         self.parts.len()

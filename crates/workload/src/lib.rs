@@ -18,6 +18,10 @@
 //! * [`bweml`] — a SAP BW-EML-style reporting workload: simple aggregations
 //!   over three InfoCubes (memory-intensive). The real benchmark kit is
 //!   proprietary; this models its published shape.
+//! * [`shift`] — BW-EML-style *workload shifts* replayed against the native
+//!   engine's session layer: seeded phases of hot-column traffic from
+//!   concurrent clients, with the adaptive placer's closed loop optionally
+//!   running between epochs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,12 +30,14 @@ pub mod bweml;
 pub mod dataset;
 pub mod scans;
 pub mod selection;
+pub mod shift;
 pub mod tpch;
 
 pub use bweml::BwEmlWorkload;
 pub use dataset::{paper_table_spec, small_real_table, PAPER_COLUMNS, PAPER_ROWS};
 pub use scans::ScanWorkload;
 pub use selection::ColumnSelection;
+pub use shift::{replay_shift, EpochStats, ShiftConfig, ShiftPhase, ShiftReport};
 pub use tpch::TpchQ1Workload;
 
 use numascan_core::{Catalog, PlacedTable, PlacementStrategy, TableSpec};

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use numascan::numasim::memman::{AllocPolicy, MemoryManager, VirtRange, PAGE_SIZE};
 use numascan::numasim::{SocketId, Topology};
 use numascan::psm::Psm;
-use numascan::scheduler::{QueueSet, StealScope, TaskMeta, TaskPriority, ThreadGroupId, WorkClass};
+use numascan::scheduler::{
+    ConcurrencyHint, QueueSet, StealScope, TaskMeta, TaskPriority, ThreadGroupId, WorkClass,
+};
 use numascan::storage::{
     scan_bitvector, scan_positions, BitPackedVec, BitVector, DictColumn, Dictionary, InvertedIndex,
     Predicate,
@@ -451,4 +453,79 @@ proptest! {
             prop_assert!(served <= topology.socket.local_bandwidth_gibs + 1e-6);
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The concurrency hint is monotone: adding active statements never
+    /// *increases* the number of tasks one operation is split into, and the
+    /// suggestion never drops to zero (every statement always gets at least
+    /// one task).
+    #[test]
+    fn concurrency_hint_is_non_increasing_and_never_zero(
+        contexts in 1usize..512,
+        active in 0usize..2048,
+        extra in 0usize..2048,
+    ) {
+        let hint = ConcurrencyHint::new(contexts);
+        let fewer = hint.suggested_tasks(active);
+        let more = hint.suggested_tasks(active + extra);
+        prop_assert!(fewer >= 1, "suggested_tasks({active}) = 0");
+        prop_assert!(more >= 1);
+        prop_assert!(
+            more <= fewer,
+            "hint not monotone: {active} stmts -> {fewer} tasks but {} stmts -> {more}",
+            active + extra
+        );
+        prop_assert!(fewer <= contexts, "one operation never exceeds the machine");
+    }
+
+    /// The partition-aligned form always returns a positive multiple of the
+    /// partition count (Section 5.2: tasks are rounded up to a multiple of
+    /// the partitions so every task's range falls wholly inside one part),
+    /// and it never rounds *down* below the plain suggestion.
+    #[test]
+    fn concurrency_hint_rounds_to_a_multiple_of_the_partitions(
+        contexts in 1usize..512,
+        active in 0usize..2048,
+        partitions in 1usize..64,
+    ) {
+        let hint = ConcurrencyHint::new(contexts);
+        let tasks = hint.suggested_tasks_for_partitions(active, partitions);
+        prop_assert!(tasks >= 1);
+        prop_assert_eq!(
+            tasks % partitions,
+            0,
+            "{} tasks is not a multiple of {} partitions",
+            tasks,
+            partitions
+        );
+        prop_assert!(tasks >= hint.suggested_tasks(active), "rounding must go up, not down");
+        prop_assert!(
+            tasks < hint.suggested_tasks(active) + partitions,
+            "rounded to a larger multiple than necessary"
+        );
+    }
+}
+
+/// Documents the rounding-up edge case: when the smallest multiple of the
+/// partition count that covers the plain suggestion exceeds the machine's
+/// context count, the hint *keeps* the larger value — partition alignment
+/// wins over the context budget, so a heavily partitioned column on a small
+/// machine still gets one task per partition (they simply queue).
+#[test]
+fn concurrency_hint_rounding_may_exceed_the_context_count() {
+    let hint = ConcurrencyHint::new(4);
+    // One client on a 4-context machine: the plain suggestion is the whole
+    // machine (4 tasks), but an 8-part column needs a multiple of 8.
+    assert_eq!(hint.suggested_tasks(1), 4);
+    assert_eq!(hint.suggested_tasks_for_partitions(1, 8), 8);
+    assert!(hint.suggested_tasks_for_partitions(1, 8) > hint.total_contexts);
+    // Under high concurrency the suggestion collapses to one task per
+    // statement, but alignment still forces one task per partition.
+    assert_eq!(hint.suggested_tasks(1000), 1);
+    assert_eq!(hint.suggested_tasks_for_partitions(1000, 8), 8);
+    // Degenerate partition counts are treated as unpartitioned.
+    assert_eq!(hint.suggested_tasks_for_partitions(1, 0), 4);
 }

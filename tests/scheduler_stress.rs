@@ -13,7 +13,8 @@ use std::time::{Duration, Instant};
 
 use numascan::numasim::{SocketId, Topology};
 use numascan::scheduler::{
-    PoolConfig, SchedulingStrategy, TaskMeta, TaskPriority, ThreadPool, WorkClass,
+    PoolConfig, SchedulingStrategy, StealThrottleConfig, TaskMeta, TaskPriority, ThreadPool,
+    WorkClass,
 };
 
 const SOCKETS: u16 = 4;
@@ -31,6 +32,7 @@ fn pool_without_watchdog(strategy: SchedulingStrategy, workers_per_group: usize)
             strategy,
             workers_per_group: Some(workers_per_group),
             watchdog_interval: Duration::from_secs(120),
+            steal_throttle: None,
         },
     )
 }
@@ -227,5 +229,125 @@ fn wakeup_accounting_is_coherent_under_load() {
     // wakeups issued — even when a signalled worker loses its task to a
     // peer that was already awake.
     assert!(stats.false_wakeups <= stats.total_wakeups(), "{stats:?}");
+    pool.shutdown();
+}
+
+/// A pool with the bandwidth-aware steal throttle enabled, `Target` strategy
+/// (so every task arrives stealable and the throttle alone decides), and the
+/// watchdog effectively disabled.
+fn throttled_pool(socket_bandwidth_gibs: f64) -> ThreadPool {
+    ThreadPool::new(
+        &topology(),
+        PoolConfig {
+            strategy: SchedulingStrategy::Target,
+            workers_per_group: Some(2),
+            watchdog_interval: Duration::from_secs(120),
+            steal_throttle: Some(StealThrottleConfig::calibrated(socket_bandwidth_gibs)),
+        },
+    )
+}
+
+/// Saturation side of the throttle: when one socket's measured bandwidth
+/// exceeds the saturation threshold, its tasks stay stealable and the other
+/// sockets' idle workers drain the overload (the steal counter rises).
+#[test]
+fn saturated_socket_re_enables_stealing() {
+    // A tiny calibrated bandwidth makes socket 0 trivially saturated.
+    let pool = throttled_pool(0.000_001);
+    pool.record_scanned_bytes(SocketId(0), 1 << 30);
+    let util = pool.advance_bandwidth_epoch(Duration::from_millis(10)).unwrap();
+    assert_eq!(util[0], 1.0, "socket 0 must be saturated: {util:?}");
+
+    let counter = Arc::new(AtomicU64::new(0));
+    for i in 0..400u64 {
+        let counter = Arc::clone(&counter);
+        // Every task wants socket 0; under saturation they stay stealable.
+        pool.submit(soft_meta(0, i), move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(200));
+        });
+    }
+    pool.wait_idle();
+    assert_eq!(counter.load(Ordering::Relaxed), 400);
+    let stats = pool.stats();
+    assert_eq!(stats.executed, 400);
+    assert_eq!(stats.steal_throttle_released, 400, "all tasks were released: {stats:?}");
+    assert_eq!(stats.steal_throttle_bound, 0);
+    assert!(
+        stats.stolen_cross_socket > 0,
+        "saturation must re-enable inter-socket stealing: {stats:?}"
+    );
+    assert_eq!(stats.watchdog_wakeups, 0);
+    pool.shutdown();
+}
+
+/// Throttle side: while the home socket is unsaturated, soft tasks are
+/// pinned (flipped to hard affinity) and must never execute off-socket —
+/// audited by the `may_execute` violation counter, which has to stay zero
+/// while the per-socket execution counts show the pinning held.
+#[test]
+fn unsaturated_home_socket_pins_stealable_tasks() {
+    const TOTAL: u64 = 600;
+    // A huge calibrated bandwidth keeps utilization at ~0: never saturated.
+    let pool = throttled_pool(1e12);
+    let counter = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for p in 0..3u64 {
+            let pool = &pool;
+            let counter = Arc::clone(&counter);
+            scope.spawn(move || {
+                for i in 0..TOTAL / 3 {
+                    let n = p * (TOTAL / 3) + i;
+                    let counter = Arc::clone(&counter);
+                    // All traffic targets socket 0 so foreign workers would
+                    // steal eagerly if the tasks stayed stealable.
+                    pool.submit(soft_meta(0, n), move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_micros(100));
+                    });
+                }
+            });
+        }
+    });
+    pool.wait_idle();
+    assert_eq!(counter.load(Ordering::Relaxed), TOTAL);
+    let stats = pool.stats();
+    assert_eq!(stats.executed, TOTAL);
+    assert_eq!(stats.steal_throttle_bound, TOTAL, "every task must be pinned: {stats:?}");
+    assert_eq!(stats.steal_throttle_released, 0);
+    assert_eq!(stats.stolen_cross_socket, 0, "a pinned task was stolen across sockets: {stats:?}");
+    assert_eq!(stats.executed_per_socket, vec![TOTAL, 0, 0, 0], "{stats:?}");
+    assert_eq!(stats.affinity_violations, 0, "may_execute audit failed: {stats:?}");
+    assert_eq!(stats.watchdog_wakeups, 0);
+    pool.shutdown();
+}
+
+/// The throttle reacts to epoch transitions in both directions: the same
+/// pool pins while idle, releases once saturation is measured, and pins
+/// again after an idle epoch.
+#[test]
+fn throttle_follows_the_epoch_utilization_across_transitions() {
+    let pool = throttled_pool(0.001);
+    // Epoch 1: no traffic recorded -> unsaturated -> pinned.
+    pool.submit(soft_meta(1, 0), || {});
+    pool.wait_idle();
+    let s1 = pool.stats();
+    assert_eq!((s1.steal_throttle_bound, s1.steal_throttle_released), (1, 0), "{s1:?}");
+
+    // Epoch 2: saturate socket 1, then submit -> released.
+    pool.record_scanned_bytes(SocketId(1), 1 << 30);
+    pool.advance_bandwidth_epoch(Duration::from_millis(1)).unwrap();
+    pool.submit(soft_meta(1, 1), || {});
+    pool.wait_idle();
+    let s2 = pool.stats();
+    assert_eq!((s2.steal_throttle_bound, s2.steal_throttle_released), (1, 1), "{s2:?}");
+
+    // Epoch 3: an idle epoch drops utilization back to zero -> pinned again.
+    pool.advance_bandwidth_epoch(Duration::from_millis(1)).unwrap();
+    pool.submit(soft_meta(1, 2), || {});
+    pool.wait_idle();
+    let s3 = pool.stats();
+    assert_eq!((s3.steal_throttle_bound, s3.steal_throttle_released), (2, 1), "{s3:?}");
+    assert_eq!(s3.affinity_violations, 0);
     pool.shutdown();
 }
