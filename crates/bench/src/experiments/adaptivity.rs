@@ -33,7 +33,7 @@ fn session(scale: &ExperimentScale) -> SessionManager {
             steal_throttle: Some(StealThrottleConfig::calibrated(
                 topology.socket.local_bandwidth_gibs,
             )),
-            workers_per_group: None,
+            ..Default::default()
         },
     ))
 }

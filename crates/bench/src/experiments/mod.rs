@@ -18,7 +18,9 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod kernels;
 pub mod partcost;
+pub mod scan_sharing;
 pub mod table01;
 pub mod table02;
 
@@ -124,6 +126,18 @@ pub fn all_experiments() -> Vec<Experiment> {
                           bandwidth-aware steal throttle under a workload shift (Section 7)",
             run: adaptivity::run,
         },
+        Experiment {
+            id: "kernels",
+            description: "Real-machine micro-benchmarks: SWAR scan GB/s per bitcase (single vs \
+                          batched kernel) and hard-affinity submit latency",
+            run: kernels::run,
+        },
+        Experiment {
+            id: "scan_sharing",
+            description: "Cooperative shared scans: aggregate throughput and sweep amortization \
+                          of one hot column, private sweeps vs the shared executor",
+            run: scan_sharing::run,
+        },
     ]
 }
 
@@ -161,6 +175,8 @@ mod tests {
             "fig19",
             "partcost",
             "adaptivity",
+            "kernels",
+            "scan_sharing",
         ] {
             assert!(ids.contains(&expected), "missing experiment {expected}");
         }

@@ -21,7 +21,9 @@ pub mod experiments;
 pub mod harness;
 pub mod runner;
 pub mod scale;
+pub mod snapshot;
 
 pub use harness::ResultTable;
 pub use runner::{run_scan, ScanRunConfig};
 pub use scale::ExperimentScale;
+pub use snapshot::{snapshot_json, write_snapshot, SNAPSHOT_SCHEMA};

@@ -1,0 +1,156 @@
+//! Machine-readable performance snapshots (`BENCH_*.json`).
+//!
+//! Every [`ResultTable`] can be serialized to a small, stable JSON document
+//! so CI can archive performance numbers per commit and diff them across
+//! runs. The format is hand-rolled (the workspace deliberately carries no
+//! serialization dependency) and versioned through the `schema` field:
+//!
+//! ```json
+//! {
+//!   "schema": "numascan-bench-snapshot/v1",
+//!   "id": "kernels",
+//!   "title": "...",
+//!   "headers": ["Bitcase", "Single GB/s", "..."],
+//!   "rows": [["8", 3.21, "..."], ...]
+//! }
+//! ```
+//!
+//! Cells whose text already forms a valid JSON number are emitted as
+//! numbers, everything else as strings — so downstream tooling can plot
+//! throughput columns without re-parsing, while the document stays a
+//! faithful image of the rendered table.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::harness::ResultTable;
+
+/// The schema identifier stamped into every snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "numascan-bench-snapshot/v1";
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Whether `s` is already a valid JSON number token (so it can be emitted
+/// unquoted without changing its textual value).
+fn is_json_number(s: &str) -> bool {
+    let mut rest = s.strip_prefix('-').unwrap_or(s);
+    // Integer part: `0` alone, or a nonzero digit followed by digits.
+    let int_len = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+    if int_len == 0 || (int_len > 1 && rest.starts_with('0')) {
+        return false;
+    }
+    rest = &rest[int_len..];
+    if let Some(frac) = rest.strip_prefix('.') {
+        let frac_len = frac.chars().take_while(|c| c.is_ascii_digit()).count();
+        if frac_len == 0 {
+            return false;
+        }
+        rest = &frac[frac_len..];
+    }
+    if let Some(exp) = rest.strip_prefix(['e', 'E']) {
+        let exp = exp.strip_prefix(['+', '-']).unwrap_or(exp);
+        let exp_len = exp.chars().take_while(|c| c.is_ascii_digit()).count();
+        if exp_len == 0 {
+            return false;
+        }
+        rest = &exp[exp_len..];
+    }
+    rest.is_empty()
+}
+
+fn json_cell(cell: &str) -> String {
+    if is_json_number(cell) {
+        cell.to_string()
+    } else {
+        json_string(cell)
+    }
+}
+
+/// Serializes one result table to the snapshot JSON document.
+pub fn snapshot_json(table: &ResultTable) -> String {
+    let headers: Vec<String> = table.headers.iter().map(|h| json_string(h)).collect();
+    let rows: Vec<String> = table
+        .rows
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(|c| json_cell(c)).collect();
+            format!("    [{}]", cells.join(", "))
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": {},\n  \"id\": {},\n  \"title\": {},\n  \"headers\": [{}],\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        json_string(SNAPSHOT_SCHEMA),
+        json_string(&table.id),
+        json_string(&table.title),
+        headers.join(", "),
+        rows.join(",\n")
+    )
+}
+
+/// Writes `table` to `<dir>/BENCH_<id>.json`, creating `dir` if needed.
+/// Returns the path written.
+pub fn write_snapshot(dir: &Path, table: &ResultTable) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{}.json", table.id.replace(['/', ' '], "_")));
+    std::fs::write(&path, snapshot_json(table))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_detection_matches_the_json_grammar() {
+        for yes in ["0", "1", "42", "-3", "3.5", "-0.001", "1e9", "2.5E-3", "12346"] {
+            assert!(is_json_number(yes), "{yes} should be a JSON number");
+        }
+        for no in ["", "-", "01", "1.", ".5", "1e", "0x10", "NaN", "inf", "1 2", "+1"] {
+            assert!(!is_json_number(no), "{no} should not be a JSON number");
+        }
+    }
+
+    #[test]
+    fn snapshot_serializes_numbers_raw_and_strings_escaped() {
+        let mut t = ResultTable::new("demo", "A \"quoted\" title", &["Run", "GB/s"]);
+        t.push_row(["shared\nscan", "3.75"]);
+        t.push_row(["private", "0.9"]);
+        let json = snapshot_json(&t);
+        assert!(json.contains("\"schema\": \"numascan-bench-snapshot/v1\""));
+        assert!(json.contains("\"A \\\"quoted\\\" title\""));
+        assert!(json.contains("[\"shared\\nscan\", 3.75]"));
+        assert!(json.contains("[\"private\", 0.9]"));
+    }
+
+    #[test]
+    fn snapshots_land_in_bench_prefixed_files() {
+        let dir = std::env::temp_dir().join(format!("numascan-snap-{}", std::process::id()));
+        let mut t = ResultTable::new("kernels", "t", &["a"]);
+        t.push_row(["1"]);
+        let path = write_snapshot(&dir, &t).expect("snapshot written");
+        assert!(path.ends_with("BENCH_kernels.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"id\": \"kernels\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -34,6 +34,11 @@
 //!   register themselves so the measured active-statement count drives the
 //!   concurrency hint, and epoch rebalance steps are coordinated in one
 //!   place.
+//! * [`shared`] — cooperative shared scans: under high concurrency
+//!   statements attach to one in-flight circular sweep per column part
+//!   (mid-column joins wrap around), and every chunk is evaluated once for
+//!   the whole waiting set through the batched SWAR kernel, so aggregate
+//!   throughput scales with bandwidth instead of client count.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -46,6 +51,7 @@ pub mod placement;
 pub mod planner;
 pub mod query;
 pub mod session;
+pub mod shared;
 pub mod sim;
 pub mod spec;
 
@@ -57,5 +63,6 @@ pub use placement::{PlacedColumn, PlacedTable, PlacementStrategy, RepartitionCos
 pub use planner::{PlannedTask, QueryPlan, ScanPlanner};
 pub use query::{ColumnRef, QueryGenerator, QueryKind, QuerySpec};
 pub use session::{ScanRequest, SessionManager};
+pub use shared::{SharedScanConfig, SharedScanMode, SharedScanStats};
 pub use sim::{SimConfig, SimEngine, SimReport};
 pub use spec::{ColumnSpec, TableSpec};

@@ -48,6 +48,10 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::adaptive::{AdaptiveDataPlacer, ColumnHeat, PlacerAction};
 use crate::query::ColumnRef;
+use crate::shared::{
+    PartAttachSpec, SharedCollector, SharedScanConfig, SharedScanMode, SharedScanRegistry,
+    SharedScanStats, SweepKey,
+};
 
 /// Per-task output: the task's chunk index and the values it materialized.
 type TaskChunks = Vec<(usize, Vec<i64>)>;
@@ -85,6 +89,11 @@ pub struct NativeEngineConfig {
     pub steal_throttle: Option<StealThrottleConfig>,
     /// Worker threads per thread group (`None` = size from the topology).
     pub workers_per_group: Option<usize>,
+    /// Cooperative shared scans: when statements attach to an in-flight
+    /// sweep instead of sweeping privately ([`SharedScanMode::Auto`] by
+    /// default — sharing engages exactly when the concurrency hint stops
+    /// granting intra-statement parallelism).
+    pub shared_scans: SharedScanConfig,
 }
 
 impl Default for NativeEngineConfig {
@@ -94,6 +103,7 @@ impl Default for NativeEngineConfig {
             placement: NativePlacement::RoundRobin,
             steal_throttle: None,
             workers_per_group: None,
+            shared_scans: SharedScanConfig::default(),
         }
     }
 }
@@ -231,8 +241,13 @@ pub struct NativeEngine {
     hint: ConcurrencyHint,
     sockets: usize,
     placements: RwLock<Vec<ColumnPlacement>>,
+    /// Bumped (under the placement write lock) on every placement change, so
+    /// shared sweeps key on a placement snapshot and never mix two layouts.
+    placement_generation: AtomicU64,
     telemetry: Telemetry,
     statement_epoch: AtomicU64,
+    shared: Arc<SharedScanRegistry>,
+    shared_mode: SharedScanMode,
 }
 
 impl NativeEngine {
@@ -266,7 +281,10 @@ impl NativeEngine {
             hint: ConcurrencyHint::new(topology.total_contexts()),
             sockets,
             placements: RwLock::new(placements),
+            placement_generation: AtomicU64::new(0),
             statement_epoch: AtomicU64::new(0),
+            shared: Arc::new(SharedScanRegistry::new(config.shared_scans.chunk_rows)),
+            shared_mode: config.shared_scans.mode,
         }
     }
 
@@ -381,10 +399,17 @@ impl NativeEngine {
         self.scan_between(column_name, lo, hi, active_statements).map(|v| v.len())
     }
 
-    /// Executes an arbitrary predicate scan over one column: splits the scan
-    /// into concurrency-hint-many tasks aligned to the column's placement,
-    /// submits them with their parts' socket affinities, and blocks until
+    /// Executes an arbitrary predicate scan over one column and blocks until
     /// this statement (and only this statement) completes.
+    ///
+    /// Routing: under low concurrency the statement is split into
+    /// concurrency-hint-many placement-aligned private tasks
+    /// ([`NativeEngine::scan_private`]); once the hint stops granting
+    /// intra-statement parallelism (or [`SharedScanMode::Always`] is
+    /// configured) the statement instead *attaches* to the cooperative
+    /// shared sweep of each of its parts ([`NativeEngine::scan_shared`]),
+    /// so one SWAR sweep serves the whole waiting set. Results are
+    /// byte-identical either way.
     pub fn scan_predicate(
         &self,
         column_name: &str,
@@ -392,9 +417,63 @@ impl NativeEngine {
         active_statements: usize,
     ) -> Option<Vec<i64>> {
         let (column_id, base) = self.table.column_by_name(column_name)?;
-        let placement = self.placements.read()[column_id.index()].clone();
+        let (placement, generation) = {
+            let placements = self.placements.read();
+            // Read under the same lock that writers hold while bumping, so
+            // the generation always matches the snapshot.
+            (
+                placements[column_id.index()].clone(),
+                self.placement_generation.load(Ordering::SeqCst),
+            )
+        };
         let epoch = self.statement_epoch.fetch_add(1, Ordering::SeqCst);
+        // The statement registers on its column before any byte is recorded,
+        // so an epoch snapshot taken mid-statement can never show a socket
+        // made hot by a column it reports as inactive.
+        self.telemetry.column_queries[column_id.index()].fetch_add(1, Ordering::Relaxed);
+        if self.should_share(active_statements, placement.parts.len()) {
+            Some(self.scan_shared(column_id, base, &placement, generation, predicate, epoch))
+        } else {
+            Some(self.scan_private(
+                column_id,
+                base,
+                &placement,
+                predicate,
+                active_statements,
+                epoch,
+            ))
+        }
+    }
 
+    /// Whether a statement at this concurrency level shares sweeps.
+    ///
+    /// Auto mode engages exactly where the concurrency hint (Section 5.2)
+    /// stops granting a statement more than one task per part anyway (one
+    /// per socket at minimum) — below that point private scans still win
+    /// intra-statement parallelism from splitting; above it they only
+    /// multiply memory traffic.
+    fn should_share(&self, active_statements: usize, parts: usize) -> bool {
+        match self.shared_mode {
+            SharedScanMode::Off => false,
+            SharedScanMode::Always => true,
+            SharedScanMode::Auto => {
+                self.hint.suggested_tasks(active_statements) <= parts.max(self.sockets)
+            }
+        }
+    }
+
+    /// The private (per-statement) execution path: splits the scan into
+    /// concurrency-hint-many tasks aligned to the column's placement and
+    /// submits them with their parts' socket affinities.
+    fn scan_private(
+        &self,
+        column_id: ColumnId,
+        base: &DictColumn<i64>,
+        placement: &ColumnPlacement,
+        predicate: &Predicate<i64>,
+        active_statements: usize,
+        epoch: u64,
+    ) -> Vec<i64> {
         // Round the suggested task count up to a multiple of the parts so
         // every task's range falls wholly inside one part (Section 5.2).
         let parts = placement.parts.len();
@@ -408,14 +487,11 @@ impl NativeEngine {
             local_rows: Range<usize>,
             socket: SocketId,
             data: Option<Arc<DictColumn<i64>>>,
-            encoded: EncodedPredicate,
+            /// Shared (not cloned) by every task of the part.
+            encoded: Arc<EncodedPredicate>,
             selectivity: f64,
         }
         let mut specs: Vec<TaskSpec> = Vec::new();
-        // The statement registers on its column before any byte is recorded,
-        // so an epoch snapshot taken mid-statement can never show a socket
-        // made hot by a column it reports as inactive.
-        self.telemetry.column_queries[column_id.index()].fetch_add(1, Ordering::Relaxed);
         for part in &placement.parts {
             if part.rows.is_empty() {
                 continue;
@@ -435,10 +511,11 @@ impl NativeEngine {
             self.telemetry.column_bytes[column_id.index()].fetch_add(part_bytes, Ordering::Relaxed);
             self.pool.record_scanned_bytes(part.socket, part_bytes);
 
-            // Encoded once per part, not per task: PP parts carry their own
-            // dictionaries, but within one part every task shares the same
-            // encoding and selectivity estimate.
-            let encoded = predicate.encode(part_column.dictionary());
+            // Encoded once per part and shared via `Arc`: PP parts carry
+            // their own dictionaries, but within one part every task sees
+            // the same encoding and selectivity estimate — an IN-list's vid
+            // payload is never deep-cloned per task.
+            let encoded = Arc::new(predicate.encode(part_column.dictionary()));
             let selectivity = predicate.estimated_selectivity(part_column.dictionary());
 
             // PP parts scan their own rebuilt column with part-local
@@ -455,7 +532,7 @@ impl NativeEngine {
                     local_rows: local_base + range.start..local_base + range.end,
                     socket: part.socket,
                     data: part.data.clone(),
-                    encoded: encoded.clone(),
+                    encoded: Arc::clone(&encoded),
                     selectivity,
                 });
             }
@@ -497,7 +574,79 @@ impl NativeEngine {
             .map(|m| m.into_inner())
             .unwrap_or_else(|arc| arc.lock().clone());
         chunks.sort_by_key(|(i, _)| *i);
-        Some(chunks.into_iter().flat_map(|(_, v)| v).collect())
+        chunks.into_iter().flat_map(|(_, v)| v).collect()
+    }
+
+    /// The cooperative execution path: the statement attaches one query per
+    /// placement part to the part's shared sweep (starting the sweep, and
+    /// submitting the one pool task that runs it, only when no sweep is in
+    /// flight), then blocks until every part has served it in full.
+    ///
+    /// Demand-side telemetry is recorded exactly as on the private path —
+    /// one full pass per statement per part, attributed to the data's socket
+    /// — so the placer's utilization/heat signals, and therefore every
+    /// adaptive decision, stay workload-deterministic no matter how many
+    /// statements a sweep physically amortized. The *actual* streamed bytes
+    /// are tracked in [`SharedScanStats::bytes_swept`], and the steal
+    /// throttle's bandwidth estimate is fed one pass per started sweep (the
+    /// attached statements add no traffic).
+    fn scan_shared(
+        &self,
+        column_id: ColumnId,
+        base: &DictColumn<i64>,
+        placement: &ColumnPlacement,
+        generation: u64,
+        predicate: &Predicate<i64>,
+        epoch: u64,
+    ) -> Vec<i64> {
+        let nonempty = placement.parts.iter().filter(|part| !part.rows.is_empty()).count();
+        let collector = Arc::new(SharedCollector::new(nonempty));
+        for (part_index, part) in placement.parts.iter().enumerate() {
+            if part.rows.is_empty() {
+                continue;
+            }
+            let part_column: &DictColumn<i64> = part.data.as_deref().unwrap_or(base);
+            let part_bytes = part_column.iv_scan_bytes(part.rows.len());
+            self.telemetry.socket_bytes[part.socket.index()]
+                .fetch_add(part_bytes, Ordering::Relaxed);
+            self.telemetry.column_bytes[column_id.index()].fetch_add(part_bytes, Ordering::Relaxed);
+
+            // One encoding per part, shared across every task and every
+            // attached query of the statement.
+            let encoded = Arc::new(predicate.encode(part_column.dictionary()));
+            let spec = PartAttachSpec {
+                key: SweepKey { column: column_id.index(), generation, part: part_index },
+                socket: part.socket,
+                global_base: part.rows.start,
+                local_base: if part.data.is_some() { 0 } else { part.rows.start },
+                len: part.rows.len(),
+                pass_bytes: part_bytes,
+                table: Arc::clone(&self.table),
+                column_id,
+                data: part.data.clone(),
+            };
+            if let Some(ticket) = self.shared.attach(spec, encoded, Arc::clone(&collector)) {
+                self.pool.record_scanned_bytes(part.socket, part_bytes);
+                let registry = Arc::clone(&self.shared);
+                let meta = TaskMeta {
+                    affinity: Some(part.socket),
+                    hard_affinity: false,
+                    priority: TaskPriority::new(epoch, part_index as u64),
+                    work_class: WorkClass::MemoryIntensive,
+                    estimated_bytes: part_bytes as f64,
+                };
+                self.pool.submit(meta, move || registry.dispatch(ticket));
+            }
+        }
+        collector.wait()
+    }
+
+    /// Counters of the cooperative shared-scan executor: sweeps started,
+    /// queries attached (and how many joined mid-column), and the bytes a
+    /// sweep actually streamed — compare with the demand-side epoch
+    /// telemetry to read off the amortization factor.
+    pub fn shared_scan_stats(&self) -> SharedScanStats {
+        self.shared.stats()
     }
 
     // ------------------------------------------------------------------
@@ -575,6 +724,10 @@ impl NativeEngine {
     /// Moves every part of a column to `to` (consolidation onto one socket).
     pub fn move_column_to(&self, column: ColumnId, to: SocketId) {
         let mut placements = self.placements.write();
+        // Bumped under the write lock (as below): in-flight shared sweeps
+        // keyed on the old generation finish on their snapshot, while new
+        // statements start sweeps keyed on the new one — the two never mix.
+        self.placement_generation.fetch_add(1, Ordering::SeqCst);
         for part in &mut placements[column.index()].parts {
             part.socket = to;
         }
@@ -586,7 +739,9 @@ impl NativeEngine {
     pub fn repartition_ivp(&self, column: ColumnId, parts: usize) {
         let placement =
             Self::ivp_placement(self.table.row_count(), parts, column.index(), self.sockets);
-        self.placements.write()[column.index()] = placement;
+        let mut placements = self.placements.write();
+        self.placement_generation.fetch_add(1, Ordering::SeqCst);
+        placements[column.index()] = placement;
     }
 
     /// Physically rebuilds a column into `parts` self-contained columns
@@ -597,7 +752,9 @@ impl NativeEngine {
         // old placement while the parts are constructed.
         let placement =
             Self::pp_placement(self.table.column(column), parts, column.index(), self.sockets);
-        self.placements.write()[column.index()] = placement;
+        let mut placements = self.placements.write();
+        self.placement_generation.fetch_add(1, Ordering::SeqCst);
+        placements[column.index()] = placement;
     }
 
     /// Closes the worker pool's bandwidth epoch (steal-throttle telemetry)

@@ -105,15 +105,29 @@ impl SessionManager {
         self.admitted.load(Ordering::SeqCst)
     }
 
-    /// Admits and executes one statement: registers it as active, lets the
-    /// engine split it into concurrency-hint-many placement-aligned tasks,
-    /// and blocks the calling client until its results are complete. Returns
-    /// `None` for unknown columns.
+    /// Admits and executes one statement: registers it as active and blocks
+    /// the calling client until its results are complete. Returns `None` for
+    /// unknown columns.
+    ///
+    /// The measured active count decides the execution shape: under low
+    /// concurrency the engine splits the statement into concurrency-hint-many
+    /// placement-aligned private tasks; under high concurrency (where the
+    /// hint grants no intra-statement parallelism anyway) the statement
+    /// instead attaches to the cooperative shared sweep of its column's
+    /// parts, so one SWAR pass serves every waiting statement. Results are
+    /// byte-identical either way. The predicate is encoded once per part and
+    /// shared via `Arc` across all tasks and attached queries — IN-list
+    /// payloads are never deep-cloned per task.
     pub fn execute(&self, request: &ScanRequest) -> Option<Vec<i64>> {
         let active = self.active.fetch_add(1, Ordering::SeqCst) + 1;
         self.admitted.fetch_add(1, Ordering::SeqCst);
         let _guard = StatementGuard { active: &self.active };
         self.engine.scan_predicate(request.column(), &request.predicate(), active)
+    }
+
+    /// Counters of the engine's cooperative shared-scan executor.
+    pub fn shared_scan_stats(&self) -> crate::shared::SharedScanStats {
+        self.engine.shared_scan_stats()
     }
 
     /// Snapshots and resets the engine's epoch telemetry (utilization and

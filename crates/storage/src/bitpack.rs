@@ -176,6 +176,70 @@ impl WindowPlan {
     }
 }
 
+/// Replicated range constants of *one* predicate of a batched window scan.
+///
+/// The batched kernel ([`BitPackedVec::scan_range_masks_batch`]) shares one
+/// window layout (all predicates see the same bitcase) but carries one set of
+/// these per attached predicate. The lane-top-bit flags that the single-query
+/// kernel monomorphizes (`MINH`/`MAXH`) are dynamic here — stored as all-ones
+/// or all-zero words so the per-window evaluation stays branch-free — because
+/// monomorphizing every flag combination of an arbitrary batch is impossible.
+#[derive(Debug, Clone, Copy)]
+struct BatchLane {
+    /// `min`'s low `bits - 1` bits replicated into every lane.
+    min_low: u64,
+    /// `max`'s low `bits - 1` bits plus one, replicated into every lane.
+    max_low_p1: u64,
+    /// `u64::MAX` when `min`'s lane top bit is set, else 0.
+    minh: u64,
+    /// `u64::MAX` when `max`'s lane top bit is set, else 0.
+    maxh: u64,
+    /// `false` for an inverted or out-of-domain predicate: its mask slot is
+    /// always zero and its constants are meaningless.
+    satisfiable: bool,
+}
+
+impl BatchLane {
+    /// Lane constants for a clamped, satisfiable `[min, max]` predicate.
+    fn replicate(bits: u32, min: u32, max: u32) -> BatchLane {
+        let k = 64 / bits;
+        let lane_low = low_mask(bits - 1);
+        let mut min_low = 0u64;
+        let mut max_low_p1 = 0u64;
+        for lane in 0..k {
+            let at = lane * bits;
+            min_low |= (u64::from(min) & lane_low) << at;
+            max_low_p1 |= ((u64::from(max) & lane_low) + 1) << at;
+        }
+        BatchLane {
+            min_low,
+            max_low_p1,
+            minh: if (min >> (bits - 1)) & 1 == 1 { u64::MAX } else { 0 },
+            maxh: if (max >> (bits - 1)) & 1 == 1 { u64::MAX } else { 0 },
+            satisfiable: true,
+        }
+    }
+
+    /// A lane that never matches (its mask slot is written as zero directly).
+    fn unsatisfiable() -> BatchLane {
+        BatchLane { min_low: 0, max_low_p1: 0, minh: 0, maxh: 0, satisfiable: false }
+    }
+
+    /// Branch-free dynamic-flag variant of [`WindowPlan::matches`]: the
+    /// `minh`/`maxh` words select between the two combination forms with
+    /// masks instead of const generics. Identical algebra otherwise; returns
+    /// the sentinel-bit match word.
+    #[inline(always)]
+    fn matches(&self, x: u64, high: u64) -> u64 {
+        let sentineled = x | high;
+        let t = sentineled.wrapping_sub(self.min_low);
+        let u = sentineled.wrapping_sub(self.max_low_p1);
+        let ge_min = ((x & t) & self.minh) | ((x | t) & !self.minh);
+        let le_max = !(((x & u) & self.maxh) | ((x | u) & !self.maxh));
+        ge_min & le_max & high
+    }
+}
+
 /// A densely bit-packed vector of `u32` code words.
 ///
 /// Invariant: `words` always holds one zeroed word beyond the packed payload
@@ -420,6 +484,99 @@ impl BitPackedVec {
             let n = (end - row) as u32;
             let mask = plan.compact(plan.matches::<MINH, MAXH>(x), top_shift) & low_mask(n);
             sink(row, n, mask);
+        }
+    }
+
+    /// The cooperative (batched) range kernel: evaluates a whole *batch* of
+    /// `[min, max]` predicates against each unaligned 64-bit window, reading
+    /// every window from memory exactly once regardless of how many queries
+    /// are attached to the sweep.
+    ///
+    /// For a window of rows starting at `base` the sink receives
+    /// `(base, n, masks)` where `masks[q]` is the compacted match mask of
+    /// predicate `bounds[q]` — bit `i < n` set iff row `base + i` holds a
+    /// code in `bounds[q]`. Unlike [`BitPackedVec::scan_range_masks`], the
+    /// emitted windows do **not** tile the range: a union pre-filter (the
+    /// bounding range `[min of mins, max of maxs]` over the satisfiable
+    /// predicates) is evaluated first and windows in which no lane falls in
+    /// the union are skipped without touching the per-query constants — this
+    /// is what keeps the per-window cost near-flat in the batch size for the
+    /// clustered, selective predicates shared sweeps serve. An emitted window
+    /// may still have all-zero masks (the union over-approximates any single
+    /// predicate, and a tail window's union hit may sit past the tail).
+    /// Inverted or out-of-domain predicates simply contribute zero masks; if
+    /// no predicate is satisfiable nothing is emitted.
+    pub fn scan_range_masks_batch<F: FnMut(usize, u32, &[u64])>(
+        &self,
+        positions: std::ops::Range<usize>,
+        bounds: &[(u32, u32)],
+        mut sink: F,
+    ) {
+        let end = positions.end.min(self.len);
+        let start = positions.start.min(end);
+        if start == end || bounds.is_empty() {
+            return;
+        }
+        let bits = u32::from(self.bits);
+        let lane_max = low_mask(bits) as u32;
+        let mut union: Option<(u32, u32)> = None;
+        let lanes: Vec<BatchLane> = bounds
+            .iter()
+            .map(|&(min, max)| {
+                if min > max || min > lane_max {
+                    return BatchLane::unsatisfiable();
+                }
+                let max = max.min(lane_max);
+                union = Some(match union {
+                    None => (min, max),
+                    Some((lo, hi)) => (lo.min(min), hi.max(max)),
+                });
+                BatchLane::replicate(bits, min, max)
+            })
+            .collect();
+        let Some((union_min, union_max)) = union else {
+            return;
+        };
+        // The union plan provides the shared layout (lane geometry and
+        // compaction schedule) on top of the pre-filter constants.
+        let plan = WindowPlan::new(bits, union_min, union_max);
+        let union_lane = BatchLane::replicate(bits, union_min, union_max);
+        let top_shift = bits - 1;
+        let k = plan.k as usize;
+        let words = &self.words[..];
+        let mut masks = vec![0u64; lanes.len()];
+
+        let mut row = start;
+        let mut bit = start * bits as usize;
+        while row + k <= end {
+            let x = window_at(words, bit);
+            if union_lane.matches(x, plan.high) != 0 {
+                for (slot, lane) in lanes.iter().enumerate() {
+                    masks[slot] = if lane.satisfiable {
+                        plan.compact(lane.matches(x, plan.high), top_shift)
+                    } else {
+                        0
+                    };
+                }
+                sink(row, plan.k, &masks);
+            }
+            row += k;
+            bit += plan.advance;
+        }
+        if row < end {
+            let x = window_at(words, bit);
+            if union_lane.matches(x, plan.high) != 0 {
+                let n = (end - row) as u32;
+                let keep = low_mask(n);
+                for (slot, lane) in lanes.iter().enumerate() {
+                    masks[slot] = if lane.satisfiable {
+                        plan.compact(lane.matches(x, plan.high), top_shift) & keep
+                    } else {
+                        0
+                    };
+                }
+                sink(row, n, &masks);
+            }
         }
     }
 
@@ -790,6 +947,96 @@ mod tests {
                 let start = range.start.min(end);
                 assert_eq!(got, &values[start..end], "bitcase {bits}, range {range:?}");
             }
+        }
+    }
+
+    /// Demultiplexes the batched kernel's mask stream into per-query
+    /// position lists.
+    fn batch_positions(
+        packed: &BitPackedVec,
+        range: std::ops::Range<usize>,
+        bounds: &[(u32, u32)],
+    ) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); bounds.len()];
+        packed.scan_range_masks_batch(range, bounds, |base, n, masks| {
+            assert!((1..=64).contains(&n));
+            for (q, &m) in masks.iter().enumerate() {
+                assert_eq!(m & !low_mask(n), 0, "bits beyond n must be zero");
+                let mut mask = m;
+                while mask != 0 {
+                    out[q].push(base + mask.trailing_zeros() as usize);
+                    mask &= mask - 1;
+                }
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn batched_kernel_agrees_with_the_single_query_kernel_per_bitcase() {
+        for bits in [1u8, 3, 7, 8, 12, 17, 26, 31, 32] {
+            let lane_max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            let values = mixed_values(bits, 1201);
+            let packed = BitPackedVec::from_slice(bits, &values);
+            let quarter = lane_max / 4;
+            let bounds = [
+                (0u32, lane_max),                 // everything
+                (quarter, lane_max - quarter),    // middle band
+                (quarter.max(1), quarter.max(1)), // point predicate
+                (lane_max / 2, lane_max / 2 + 1), // sentinel boundary
+                (3, 2),                           // inverted: unsatisfiable
+                (lane_max, u32::MAX),             // clamped top code
+            ];
+            for range in [0..values.len(), 13..values.len() - 7, 63..65, 0..1, 500..500] {
+                let got = batch_positions(&packed, range.clone(), &bounds);
+                for (q, &(min, max)) in bounds.iter().enumerate() {
+                    let mut expected = Vec::new();
+                    packed.scan_range(range.clone(), min, max, |p| expected.push(p));
+                    assert_eq!(
+                        got[q], expected,
+                        "bitcase {bits}, range {range:?}, predicate {q} [{min}, {max}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_with_no_satisfiable_predicate_emits_nothing() {
+        let packed = BitPackedVec::from_slice(8, &mixed_values(8, 300));
+        let mut called = false;
+        packed.scan_range_masks_batch(0..300, &[(5, 2), (300, 1)], |_, _, _| called = true);
+        assert!(!called);
+        packed.scan_range_masks_batch(0..300, &[], |_, _, _| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn batched_kernel_skips_windows_outside_the_union_range() {
+        // Values cycle 0..100 in an 8-bit lane; predicates live in a narrow
+        // band so most windows miss the union and must not be emitted.
+        let values: Vec<u32> = (0..4000).map(|i| i % 100).collect();
+        let packed = BitPackedVec::from_slice(8, &values);
+        let bounds = [(10u32, 12u32), (11, 14)];
+        let mut emitted = 0usize;
+        let mut got = vec![Vec::new(); bounds.len()];
+        packed.scan_range_masks_batch(0..values.len(), &bounds, |base, _, masks| {
+            emitted += 1;
+            for (q, &m) in masks.iter().enumerate() {
+                let mut mask = m;
+                while mask != 0 {
+                    got[q].push(base + mask.trailing_zeros() as usize);
+                    mask &= mask - 1;
+                }
+            }
+        });
+        // 8 lanes per window over a 100-cycle: the union [10, 14] occupies
+        // one or two windows per cycle, far fewer than the 500 windows total.
+        assert!(emitted < 2 * (values.len() / 100), "union pre-filter not engaged: {emitted}");
+        for (q, &(min, max)) in bounds.iter().enumerate() {
+            let mut expected = Vec::new();
+            packed.scan_range(0..values.len(), min, max, |p| expected.push(p));
+            assert_eq!(got[q], expected, "predicate {q}");
         }
     }
 

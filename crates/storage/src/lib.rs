@@ -51,6 +51,8 @@ pub use index::InvertedIndex;
 pub use materialize::{materialize_positions, materialize_range};
 pub use partition::{ivp_ranges, PhysicalPartition, PhysicalPartitioning};
 pub use predicate::{EncodedPredicate, Predicate, VidMatcher, VidRange};
-pub use scan::{scan_bitvector, scan_positions, scan_positions_with_estimate, MatchList};
+pub use scan::{
+    scan_bitvector, scan_positions, scan_positions_batch, scan_positions_with_estimate, MatchList,
+};
 pub use table::{ColumnId, Table, TableBuilder};
 pub use value::DictValue;

@@ -112,6 +112,96 @@ pub fn scan_positions<T: DictValue>(
     scan_positions_with_estimate(column, positions, predicate, estimate)
 }
 
+/// Evaluates a whole batch of encoded predicates over rows `positions` of
+/// the column's index vector in **one sweep**, returning one ascending
+/// position list per predicate (`out[q]` answers `predicates[q]`).
+///
+/// This is the storage entry point of cooperative shared scans: however many
+/// queries are attached, the index vector's words are streamed from memory
+/// once. Range predicates ride the batched SWAR kernel
+/// ([`crate::BitPackedVec::scan_range_masks_batch`]), whose union pre-filter
+/// skips windows no attached range can match; vid-list predicates share a
+/// second pass bounded by the union of their vid ranges — candidate rows are
+/// found by the single-query SWAR kernel over that bounding range and only
+/// those rows are decoded and probed against each list's
+/// [`crate::predicate::VidMatcher`]. Results are byte-identical to running
+/// [`scan_positions`] per predicate.
+pub fn scan_positions_batch<T: DictValue>(
+    column: &DictColumn<T>,
+    positions: std::ops::Range<usize>,
+    predicates: &[&EncodedPredicate],
+) -> Vec<Vec<u32>> {
+    let iv = column.index_vector();
+    let end = positions.end.min(iv.len());
+    let start = positions.start.min(end);
+    let rows = end - start;
+    let distinct = column.dictionary().len();
+    let mut out: Vec<Vec<u32>> = predicates
+        .iter()
+        .map(|p| {
+            let selectivity =
+                if distinct == 0 { 0.0 } else { p.vid_count() as f64 / distinct as f64 };
+            let estimate = (rows as f64 * selectivity.clamp(0.0, 1.0)).ceil() as usize;
+            Vec::with_capacity(estimate.min(rows))
+        })
+        .collect();
+    if rows == 0 {
+        return out;
+    }
+
+    // Range-class predicates: one batched SWAR sweep, positions recovered
+    // from each query's mask slot by trailing_zeros iteration.
+    let mut range_slots: Vec<usize> = Vec::new();
+    let mut bounds: Vec<(u32, u32)> = Vec::new();
+    for (q, predicate) in predicates.iter().enumerate() {
+        if let EncodedPredicate::Range(r) = predicate {
+            range_slots.push(q);
+            bounds.push((r.first, r.last));
+        }
+    }
+    if !bounds.is_empty() {
+        iv.scan_range_masks_batch(start..end, &bounds, |base, _, masks| {
+            for (slot, &q) in range_slots.iter().enumerate() {
+                let mut mask = masks[slot];
+                while mask != 0 {
+                    out[q].push((base + mask.trailing_zeros() as usize) as u32);
+                    mask &= mask - 1;
+                }
+            }
+        });
+    }
+
+    // Vid-list predicates: one shared pass over the union of their bounding
+    // vid ranges finds candidate rows word-parallel; only candidates are
+    // decoded and probed against every list's matcher.
+    let mut list_slots: Vec<usize> = Vec::new();
+    let mut union: Option<(u32, u32)> = None;
+    for (q, predicate) in predicates.iter().enumerate() {
+        if let EncodedPredicate::VidList(_) = predicate {
+            list_slots.push(q);
+            let r = predicate.bounding_range().expect("vid lists are non-empty");
+            union = Some(match union {
+                None => (r.first, r.last),
+                Some((lo, hi)) => (lo.min(r.first), hi.max(r.last)),
+            });
+        }
+    }
+    if let Some((union_min, union_max)) = union {
+        let matchers: Vec<_> =
+            list_slots.iter().map(|&q| predicates[q].matcher_for_rows(rows)).collect();
+        iv.scan_range(start..end, union_min, union_max, |pos| {
+            let vid = iv.decode_at(pos);
+            for (slot, &q) in list_slots.iter().enumerate() {
+                if matchers[slot].matches(vid) {
+                    out[q].push(pos as u32);
+                }
+            }
+        });
+    }
+
+    out
+}
+
 /// Scans rows `positions` of the column's index vector and returns the
 /// qualifying positions as a bit-vector anchored at `positions.start`.
 ///
@@ -308,6 +398,43 @@ mod tests {
             let got = scan_positions_with_estimate(&col, 0..col.row_count(), &pred, estimate);
             assert_eq!(got, baseline, "estimate {estimate}");
         }
+    }
+
+    #[test]
+    fn batched_scan_agrees_with_per_query_scans_for_mixed_predicates() {
+        let col = column();
+        let preds = [
+            Predicate::Between { lo: 100, hi: 149 }.encode(col.dictionary()),
+            Predicate::Between { lo: 0, hi: 999 }.encode(col.dictionary()),
+            Predicate::InList(vec![5i64, 250, 700, 999]).encode(col.dictionary()),
+            Predicate::Between { lo: 5000, hi: 6000 }.encode(col.dictionary()), // Empty
+            Predicate::InList(vec![42i64]).encode(col.dictionary()),
+            Predicate::Between { lo: 140, hi: 160 }.encode(col.dictionary()),
+        ];
+        let refs: Vec<&EncodedPredicate> = preds.iter().collect();
+        for range in [0..col.row_count(), 37..9777, 0..1, 500..500, 9999..20_000] {
+            let got = scan_positions_batch(&col, range.clone(), &refs);
+            assert_eq!(got.len(), refs.len());
+            for (q, pred) in preds.iter().enumerate() {
+                let expected = scan_positions(&col, range.clone(), pred);
+                assert_eq!(got[q], expected, "range {range:?}, predicate {q} ({pred:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_scan_handles_duplicate_and_empty_batches() {
+        let col = column();
+        let pred = encoded(&col, 100, 149);
+        // The same predicate attached many times yields identical lists.
+        let refs: Vec<&EncodedPredicate> = vec![&pred; 17];
+        let got = scan_positions_batch(&col, 0..col.row_count(), &refs);
+        let expected = scan_positions(&col, 0..col.row_count(), &pred);
+        for (q, list) in got.iter().enumerate() {
+            assert_eq!(list, &expected, "attached copy {q}");
+        }
+        // An empty batch returns an empty result set.
+        assert!(scan_positions_batch(&col, 0..col.row_count(), &[]).is_empty());
     }
 
     #[test]

@@ -160,7 +160,7 @@ fn adaptive_session() -> SessionManager {
             steal_throttle: Some(StealThrottleConfig::calibrated(
                 topology().socket.local_bandwidth_gibs,
             )),
-            workers_per_group: None,
+            ..Default::default()
         },
     ))
 }

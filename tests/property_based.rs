@@ -529,3 +529,138 @@ fn concurrency_hint_rounding_may_exceed_the_context_count() {
     // Degenerate partition counts are treated as unpartitioned.
     assert_eq!(hint.suggested_tasks_for_partitions(1, 0), 4);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The batched SWAR kernel serves every predicate of a mixed batch
+    /// byte-identically to running `scan_positions` once per predicate, for
+    /// arbitrary value distributions, range/IN-list/inverted predicates and
+    /// batch sizes.
+    #[test]
+    fn batched_scans_match_per_query_scans(
+        values in proptest::collection::vec(0i64..2_000, 200..1500),
+        queries in proptest::collection::vec((0u8..3, 0i64..2_000, 0i64..400), 1..9),
+    ) {
+        use numascan::storage::{scan_positions_batch, EncodedPredicate, TableBuilder};
+        let table = TableBuilder::new("t").add_values("v", &values, false).build();
+        let (_, column) = table.column_by_name("v").expect("column exists");
+        let predicates: Vec<Predicate<i64>> = queries
+            .iter()
+            .map(|&(kind, a, w)| match kind {
+                0 => Predicate::Between { lo: a, hi: a + w },
+                1 => Predicate::InList(vec![a, a + 3, a + w, -1]),
+                // Usually inverted (empty) unless w == 0.
+                _ => Predicate::Between { lo: a + w, hi: a },
+            })
+            .collect();
+        let encoded: Vec<EncodedPredicate> =
+            predicates.iter().map(|p| p.encode(column.dictionary())).collect();
+        let refs: Vec<&EncodedPredicate> = encoded.iter().collect();
+        let batched = scan_positions_batch(column, 0..values.len(), &refs);
+        prop_assert_eq!(batched.len(), encoded.len());
+        for (q, enc) in encoded.iter().enumerate() {
+            let solo = scan_positions(column, 0..values.len(), enc);
+            prop_assert_eq!(
+                &batched[q],
+                &solo,
+                "batched result diverged for predicate {} of {:?}",
+                q,
+                &predicates
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tentpole invariant: the cooperative shared-scan executor serves
+    /// concurrent clients with randomized attach times byte-identically to
+    /// the sequential oracle, across random placements, chunk sizes,
+    /// bitcases and predicate mixes. Late arrivals attach mid-sweep and wrap
+    /// around; nothing of that timing may be visible in the results.
+    #[test]
+    fn shared_scans_with_random_attach_times_match_the_oracle(
+        rows in 2_000usize..8_000,
+        seed in any::<u64>(),
+        placement_pick in 0u8..3,
+        chunk_rows in 64usize..2_048,
+        clients in proptest::collection::vec(
+            (0u64..2_000, 0u8..2, 0u8..3, 0i64..120_000, 0i64..2_000),
+            2..7,
+        ),
+    ) {
+        use numascan::core::{
+            NativeEngine, NativeEngineConfig, NativePlacement, ScanRequest, SessionManager,
+            SharedScanConfig, SharedScanMode,
+        };
+        use numascan::workload::small_real_table;
+
+        let placement = match placement_pick {
+            0 => NativePlacement::RoundRobin,
+            1 => NativePlacement::IndexVectorPartitioned { parts: 3 },
+            _ => NativePlacement::PhysicallyPartitioned { parts: 4 },
+        };
+        let session = SessionManager::new(NativeEngine::with_config(
+            small_real_table(rows, 2, seed),
+            &Topology::four_socket_ivybridge_ex(),
+            NativeEngineConfig {
+                placement,
+                shared_scans: SharedScanConfig { mode: SharedScanMode::Always, chunk_rows },
+                ..Default::default()
+            },
+        ));
+
+        let outcomes: Vec<(ScanRequest, Vec<i64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = clients
+                .iter()
+                .map(|&(delay_us, col, kind, a, w)| {
+                    let session = &session;
+                    scope.spawn(move || {
+                        std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                        let column = format!("col{col:03}");
+                        // col000 is bitcase 8; fold the draw into its domain.
+                        let (a, w) = if col == 0 { (a % 200, w % 60) } else { (a, w) };
+                        let request = match kind {
+                            0 => ScanRequest::Between { column, lo: a, hi: a + w },
+                            1 => ScanRequest::InList {
+                                column,
+                                values: vec![a, a + 1, a + w, a + 2 * w],
+                            },
+                            _ => ScanRequest::Between { column, lo: a + w, hi: a },
+                        };
+                        let got = session.execute(&request).expect("known column");
+                        (request, got)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+        });
+
+        // Sequential oracle over the engine's own base table.
+        let table = session.engine().table();
+        for (request, got) in &outcomes {
+            let (_, column) = table.column_by_name(request.column()).expect("oracle column");
+            let keep: Box<dyn Fn(i64) -> bool> = match request {
+                ScanRequest::Between { lo, hi, .. } => {
+                    let (lo, hi) = (*lo, *hi);
+                    Box::new(move |v| (lo..=hi).contains(&v))
+                }
+                ScanRequest::InList { values, .. } => {
+                    let set: std::collections::HashSet<i64> = values.iter().copied().collect();
+                    Box::new(move |v| set.contains(&v))
+                }
+            };
+            let expected: Vec<i64> =
+                (0..column.row_count()).map(|p| *column.value_at(p)).filter(|v| keep(*v)).collect();
+            prop_assert_eq!(got, &expected, "shared result diverged for {:?}", request);
+        }
+
+        let shared = session.shared_scan_stats();
+        prop_assert!(shared.rows_swept > 0, "Always mode must route through the executor");
+        let stats = session.engine().scheduler_stats();
+        prop_assert_eq!(stats.affinity_violations, 0);
+        session.shutdown();
+    }
+}
