@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use numascan_numasim::{SocketId, Topology};
 use numascan_scheduler::{
-    PoolConfig, SchedulingStrategy, TaskMeta, TaskPriority, ThreadPool, WorkClass,
+    PoolConfig, SchedulingStrategy, TaskMeta, TaskPriority, ThreadPool, WatchdogConfig, WorkClass,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -88,7 +88,7 @@ fn bench_submit_latency_under_backlog(c: &mut Criterion) {
         PoolConfig {
             strategy: SchedulingStrategy::Bound,
             workers_per_group: Some(1),
-            watchdog_interval: Duration::from_secs(60),
+            watchdog: WatchdogConfig::every(Duration::from_secs(60)),
             steal_throttle: None,
         },
     ));

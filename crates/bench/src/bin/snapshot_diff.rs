@@ -1,0 +1,93 @@
+//! `snapshot-diff` — compares two sets of `BENCH_*.json` perf snapshots.
+//!
+//! Usage:
+//!
+//! ```text
+//! snapshot-diff [--threshold PCT] [--fail-on-regression] BASE NEW
+//! ```
+//!
+//! * `BASE` and `NEW` are directories of `BENCH_*.json` files (or single
+//!   files). Tables are matched by their `id` field, rows by their first
+//!   column, numeric columns by header name.
+//! * `--threshold PCT` sets the relative change flagged as a regression
+//!   (default 20, i.e. >20% in the bad direction).
+//! * `--fail-on-regression` exits nonzero when a regression is flagged; the
+//!   default is advisory (exit 0), which is how CI posts the report to the
+//!   job summary without gating the build on noisy virtual-machine numbers.
+//!
+//! Example:
+//!
+//! ```text
+//! cargo run --release -p numascan-bench --bin snapshot-diff -- bench-base bench-out
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use numascan_bench::diff::{diff_report_markdown, diff_snapshots, load_snapshot_set};
+
+fn main() -> ExitCode {
+    let mut threshold = 0.20f64;
+    let mut fail_on_regression = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 => threshold = pct / 100.0,
+                _ => {
+                    eprintln!("--threshold needs a positive percentage");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fail-on-regression" => fail_on_regression = true,
+            "--help" | "-h" => {
+                eprintln!("usage: snapshot-diff [--threshold PCT] [--fail-on-regression] BASE NEW");
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: snapshot-diff [--threshold PCT] [--fail-on-regression] BASE NEW");
+        return ExitCode::from(2);
+    };
+
+    let (base, new) = match (load_snapshot_set(base_path), load_snapshot_set(new_path)) {
+        (Ok(base), Ok(new)) => (base, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("snapshot-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut diffs = Vec::new();
+    let mut unmatched = Vec::new();
+    for b in &base {
+        match new.iter().find(|n| n.id == b.id) {
+            Some(n) => diffs.push(diff_snapshots(b, n, threshold)),
+            None => unmatched.push(b.id.clone()),
+        }
+    }
+    for n in &new {
+        if !base.iter().any(|b| b.id == n.id) {
+            unmatched.push(n.id.clone());
+        }
+    }
+
+    let mut report = diff_report_markdown(&diffs, threshold);
+    if !unmatched.is_empty() {
+        report.push_str(&format!(
+            "Tables present on only one side (not compared): {}.\n",
+            unmatched.join(", ")
+        ));
+    }
+    print!("{report}");
+
+    let regressions: usize = diffs.iter().map(|d| d.regressions().count()).sum();
+    if fail_on_regression && regressions > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

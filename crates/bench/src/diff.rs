@@ -1,0 +1,575 @@
+//! Diffing two performance snapshots (`BENCH_*.json`).
+//!
+//! The counterpart of [`crate::snapshot`]: parses the
+//! `numascan-bench-snapshot/v1` documents CI archives per commit, matches
+//! their rows by the first column (the series key), and reports the relative
+//! change of every numeric cell. Changes beyond a threshold in the *bad*
+//! direction are flagged as regressions, so a PR's job summary shows at a
+//! glance where the perf trajectory bent.
+//!
+//! Whether a bigger number is better is inferred from the column header:
+//! headers that smell like durations (`ms`, `latency`, `time`, …) are
+//! lower-is-better, everything else (throughputs, speedups, counts) is
+//! higher-is-better. The heuristic matches every header the experiments
+//! currently emit and keeps the tool schema-agnostic.
+//!
+//! Like the writer, the parser is hand-rolled: the workspace deliberately
+//! carries no serialization dependency.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::snapshot::SNAPSHOT_SCHEMA;
+
+/// A parsed JSON value (only what the snapshot schema needs).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A minimal recursive-descent JSON parser. Accepts exactly the JSON
+/// grammar the snapshot writer emits (plus arbitrary whitespace); rejects
+/// everything else with a byte offset.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii span");
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.error("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("malformed \\u escape"))?;
+                            // Surrogates never appear in snapshot output.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// One cell of a parsed snapshot row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A numeric cell (emitted unquoted by the writer).
+    Num(f64),
+    /// A textual cell.
+    Text(String),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Num(n) => format_number(*n),
+            Cell::Text(t) => t.clone(),
+        }
+    }
+}
+
+/// A parsed `BENCH_<id>.json` document.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The experiment/table id (`kernels`, `fig8`, …).
+    pub id: String,
+    /// Human-readable table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; the first cell is the series key.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+/// Parses one snapshot document, validating the schema stamp.
+pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
+    let mut parser = Parser::new(text);
+    let doc = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing content"));
+    }
+    let schema = doc.get("schema").and_then(Json::as_str).ok_or("missing schema field")?;
+    if schema != SNAPSHOT_SCHEMA {
+        return Err(format!("unsupported schema {schema:?} (expected {SNAPSHOT_SCHEMA:?})"));
+    }
+    let field_str = |key: &str| {
+        doc.get(key).and_then(Json::as_str).map(str::to_string).ok_or(format!("missing {key}"))
+    };
+    let headers = doc
+        .get("headers")
+        .and_then(Json::as_arr)
+        .ok_or("missing headers")?
+        .iter()
+        .map(|h| h.as_str().map(str::to_string).ok_or("non-string header"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing rows")?
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or("row is not an array")?
+                .iter()
+                .map(|cell| match cell {
+                    Json::Num(n) => Ok(Cell::Num(*n)),
+                    Json::Str(s) => Ok(Cell::Text(s.clone())),
+                    _ => Err("unsupported cell type"),
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, &str>>()?;
+    Ok(Snapshot { id: field_str("id")?, title: field_str("title")?, headers, rows })
+}
+
+/// Whether a smaller value of the column named `header` is the improvement
+/// (durations and latencies), as opposed to throughputs/speedups/counts.
+pub fn lower_is_better(header: &str) -> bool {
+    let h = header.to_ascii_lowercase();
+    if h.contains("latency") || h.contains("duration") {
+        return true;
+    }
+    ["ms", "us", "µs", "ns", "time", "seconds", "p99", "p95", "stall"]
+        .iter()
+        .any(|k| h.split(|c: char| !c.is_alphanumeric()).any(|w| w == *k))
+}
+
+/// How one numeric cell moved between the base and the new snapshot.
+#[derive(Debug, Clone)]
+pub struct CellDelta {
+    /// The series key (first cell of the row).
+    pub key: String,
+    /// The column header.
+    pub column: String,
+    /// Value in the base snapshot.
+    pub base: f64,
+    /// Value in the new snapshot.
+    pub new: f64,
+    /// Relative change, signed: `(new - base) / |base|`.
+    pub relative: f64,
+    /// Whether the move exceeds the threshold in the bad direction.
+    pub regression: bool,
+    /// Whether the move exceeds the threshold in the good direction.
+    pub improvement: bool,
+}
+
+/// The diff of one table id between two snapshot sets.
+#[derive(Debug, Clone)]
+pub struct TableDiff {
+    /// The table id both documents carry.
+    pub id: String,
+    /// Per-cell movements for rows/columns present on both sides.
+    pub deltas: Vec<CellDelta>,
+    /// Series keys present only in the base snapshot.
+    pub removed_rows: Vec<String>,
+    /// Series keys present only in the new snapshot.
+    pub added_rows: Vec<String>,
+}
+
+impl TableDiff {
+    /// Deltas flagged as regressions.
+    pub fn regressions(&self) -> impl Iterator<Item = &CellDelta> {
+        self.deltas.iter().filter(|d| d.regression)
+    }
+}
+
+fn format_number(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 1e12 {
+        format!("{n:.0}")
+    } else {
+        format!("{n:.3}")
+    }
+}
+
+fn row_key(row: &[Cell]) -> String {
+    row.first().map(Cell::render).unwrap_or_default()
+}
+
+/// Diffs two parsed snapshots of the same table. `threshold` is the relative
+/// change (e.g. `0.2` = 20%) beyond which a move in the bad direction is
+/// flagged. Rows are matched by their first cell; columns by header name —
+/// so reordering either side never produces phantom regressions.
+pub fn diff_snapshots(base: &Snapshot, new: &Snapshot, threshold: f64) -> TableDiff {
+    let mut deltas = Vec::new();
+    let mut removed_rows = Vec::new();
+    let mut added_rows = Vec::new();
+    for row in &new.rows {
+        let key = row_key(row);
+        if !base.rows.iter().any(|r| row_key(r) == key) {
+            added_rows.push(key);
+        }
+    }
+    for base_row in &base.rows {
+        let key = row_key(base_row);
+        let Some(new_row) = new.rows.iter().find(|r| row_key(r) == key) else {
+            removed_rows.push(key);
+            continue;
+        };
+        for (column, base_cell) in base.headers.iter().zip(base_row).skip(1) {
+            let Some(new_pos) = new.headers.iter().position(|h| h == column) else {
+                continue;
+            };
+            let (Cell::Num(b), Some(Cell::Num(n))) = (base_cell, new_row.get(new_pos)) else {
+                continue;
+            };
+            if *b == 0.0 {
+                continue; // a zero base makes the relative change meaningless
+            }
+            let relative = (n - b) / b.abs();
+            let bad = if lower_is_better(column) { relative } else { -relative };
+            deltas.push(CellDelta {
+                key: key.clone(),
+                column: column.clone(),
+                base: *b,
+                new: *n,
+                relative,
+                regression: bad > threshold,
+                improvement: -bad > threshold,
+            });
+        }
+    }
+    TableDiff { id: base.id.clone(), deltas, removed_rows, added_rows }
+}
+
+/// Renders a set of table diffs as one markdown report (the shape CI appends
+/// to the job summary). Regressions are listed first and flagged; unchanged
+/// cells are summarized, not enumerated.
+pub fn diff_report_markdown(diffs: &[TableDiff], threshold: f64) -> String {
+    let mut out = String::new();
+    let regressions: usize = diffs.iter().map(|d| d.regressions().count()).sum();
+    let _ = writeln!(out, "## Perf snapshot diff\n");
+    let _ = writeln!(
+        out,
+        "Threshold: {:.0}% relative change in the bad direction. {} regression(s) across {} table(s).\n",
+        threshold * 100.0,
+        regressions,
+        diffs.len()
+    );
+    for diff in diffs {
+        let flagged: Vec<&CellDelta> =
+            diff.deltas.iter().filter(|d| d.regression || d.improvement).collect();
+        let _ = writeln!(out, "### `{}`\n", diff.id);
+        if flagged.is_empty() {
+            let _ = writeln!(
+                out,
+                "No numeric cell moved more than {:.0}% ({} compared).\n",
+                threshold * 100.0,
+                diff.deltas.len()
+            );
+        } else {
+            let _ = writeln!(out, "| Series | Column | Base | New | Change | |");
+            let _ = writeln!(out, "|---|---|---:|---:|---:|---|");
+            let mut flagged = flagged;
+            flagged.sort_by(|a, b| {
+                (b.regression, b.relative.abs())
+                    .partial_cmp(&(a.regression, a.relative.abs()))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for d in flagged {
+                let marker = if d.regression { "⚠ regression" } else { "improvement" };
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {:+.1}% | {} |",
+                    d.key,
+                    d.column,
+                    format_number(d.base),
+                    format_number(d.new),
+                    d.relative * 100.0,
+                    marker
+                );
+            }
+            let _ = writeln!(out);
+        }
+        if !diff.added_rows.is_empty() {
+            let _ = writeln!(out, "Rows only in the new run: {}.\n", diff.added_rows.join(", "));
+        }
+        if !diff.removed_rows.is_empty() {
+            let _ = writeln!(out, "Rows only in the base run: {}.\n", diff.removed_rows.join(", "));
+        }
+    }
+    out
+}
+
+/// Loads every `BENCH_*.json` under `dir` (or the single file, if `dir` is
+/// one), keyed by table id.
+pub fn load_snapshot_set(dir: &Path) -> Result<Vec<Snapshot>, String> {
+    let mut paths = Vec::new();
+    if dir.is_file() {
+        paths.push(dir.to_path_buf());
+    } else {
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| e.to_string())?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+    }
+    let mut snapshots = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        snapshots.push(parse_snapshot(&text).map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+    Ok(snapshots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::ResultTable;
+    use crate::snapshot::snapshot_json;
+
+    fn snap(id: &str, headers: &[&str], rows: &[&[&str]]) -> Snapshot {
+        let mut t = ResultTable::new(id, "t", headers);
+        for row in rows {
+            t.push_row(row.iter().copied());
+        }
+        parse_snapshot(&snapshot_json(&t)).expect("writer output must parse")
+    }
+
+    #[test]
+    fn parser_roundtrips_the_writer_output() {
+        let s = snap(
+            "kernels",
+            &["Bitcase", "SWAR GB/s", "Note"],
+            &[&["8", "3.25", "a \"quoted\" note"], &["16", "2.5", "-"]],
+        );
+        assert_eq!(s.id, "kernels");
+        assert_eq!(s.headers, vec!["Bitcase", "SWAR GB/s", "Note"]);
+        assert_eq!(s.rows[0][1], Cell::Num(3.25));
+        assert_eq!(s.rows[0][2], Cell::Text("a \"quoted\" note".into()));
+    }
+
+    #[test]
+    fn foreign_schemas_are_rejected() {
+        assert!(parse_snapshot(r#"{"schema": "other/v9", "id": "x"}"#).is_err());
+        assert!(parse_snapshot("{").is_err());
+        assert!(parse_snapshot("{} trailing").is_err());
+    }
+
+    #[test]
+    fn regressions_respect_the_metric_direction() {
+        let base = snap("t", &["Run", "GB/s", "Latency ms"], &[&["a", "10", "5"]]);
+        // Throughput down 30%, latency up 30%: both are regressions.
+        let worse = snap("t", &["Run", "GB/s", "Latency ms"], &[&["a", "7", "6.5"]]);
+        let diff = diff_snapshots(&base, &worse, 0.2);
+        assert_eq!(diff.regressions().count(), 2, "{:?}", diff.deltas);
+        // The same moves in the other direction are improvements.
+        let better = snap("t", &["Run", "GB/s", "Latency ms"], &[&["a", "13", "3.5"]]);
+        let diff = diff_snapshots(&base, &better, 0.2);
+        assert_eq!(diff.regressions().count(), 0, "{:?}", diff.deltas);
+        assert!(diff.deltas.iter().all(|d| d.improvement));
+    }
+
+    #[test]
+    fn small_moves_are_not_flagged() {
+        let base = snap("t", &["Run", "GB/s"], &[&["a", "10"]]);
+        let new = snap("t", &["Run", "GB/s"], &[&["a", "9"]]);
+        let diff = diff_snapshots(&base, &new, 0.2);
+        assert_eq!(diff.regressions().count(), 0);
+        assert!(!diff.deltas[0].improvement);
+    }
+
+    #[test]
+    fn rows_match_by_key_not_position() {
+        let base = snap("t", &["Run", "GB/s"], &[&["a", "10"], &["b", "20"]]);
+        let new = snap("t", &["Run", "GB/s"], &[&["b", "20"], &["a", "10"], &["c", "1"]]);
+        let diff = diff_snapshots(&base, &new, 0.2);
+        assert_eq!(diff.regressions().count(), 0);
+        assert_eq!(diff.added_rows, vec!["c"]);
+        assert!(diff.removed_rows.is_empty());
+    }
+
+    #[test]
+    fn report_lists_regressions_and_summarizes_quiet_tables() {
+        let base = snap("t", &["Run", "GB/s"], &[&["a", "10"], &["b", "10"]]);
+        let new = snap("t", &["Run", "GB/s"], &[&["a", "5"], &["b", "10"]]);
+        let md = diff_report_markdown(&[diff_snapshots(&base, &new, 0.2)], 0.2);
+        assert!(md.contains("⚠ regression"), "{md}");
+        assert!(md.contains("| a | GB/s | 10 | 5 | -50.0% |"), "{md}");
+        let quiet = diff_report_markdown(&[diff_snapshots(&base, &base, 0.2)], 0.2);
+        assert!(quiet.contains("No numeric cell moved"), "{quiet}");
+    }
+}

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod diff;
 pub mod experiments;
 pub mod harness;
 pub mod runner;

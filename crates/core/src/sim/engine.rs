@@ -4,8 +4,11 @@ use std::collections::HashMap;
 
 use numascan_numasim::bandwidth::MemoryDemand;
 use numascan_numasim::{Machine, SocketId};
-use numascan_scheduler::queue::{QueueSet, ThreadGroupId};
-use numascan_scheduler::{SchedulerStats, SchedulingStrategy, TaskMeta, TaskPriority};
+use numascan_scheduler::queue::ThreadGroupId;
+use numascan_scheduler::{
+    CoreConfig, PopOutcome, SchedulerCore, SchedulingStrategy, SleepOutcome, TaskMeta,
+    TaskPriority, WorkerId, WorkerState,
+};
 
 use crate::catalog::Catalog;
 use crate::cost::CostModel;
@@ -107,10 +110,11 @@ struct QueryState {
     phase2: Vec<PendingTask>,
 }
 
-/// One virtual hardware context.
+/// One virtual hardware context. Its scheduling lifecycle (searching /
+/// sleeping / running, group membership, signals) lives in the shared
+/// [`SchedulerCore`]; this slot only carries the simulation payload.
 #[derive(Debug)]
 struct WorkerSlot {
-    group: ThreadGroupId,
     socket: SocketId,
     task: Option<RunningTask>,
 }
@@ -133,7 +137,6 @@ impl<'a> SimEngine<'a> {
     /// Runs the simulation, drawing queries from `generator`.
     pub fn run(&mut self, generator: &mut dyn QueryGenerator) -> SimReport {
         let topology = self.machine.topology().clone();
-        let sockets = topology.socket_count();
         let per_ctx_stream = topology.socket.per_context_stream_gibs;
         let ops_per_sec = topology.socket.context_ops_per_sec;
         let overhead_ops = topology.task_overhead_us * 1e-6 * ops_per_sec;
@@ -142,21 +145,37 @@ impl<'a> SimEngine<'a> {
         let latency_model = self.machine.latency().clone();
         self.machine.reset_measurement();
 
-        // Thread groups and virtual workers (one per hardware context).
-        let mut queues: QueueSet<PendingTask> = QueueSet::for_topology(&topology);
-        let groups_per_socket = queues.groups_per_socket();
+        // Thread groups and virtual workers (one per hardware context). All
+        // scheduling state lives in the same `SchedulerCore` the real-thread
+        // pool drives, stepped here deterministically in virtual time — so
+        // the wakeup counters in the report are produced by the same
+        // transitions instead of a hand-maintained copy.
+        let core_config = CoreConfig::for_topology(&topology);
+        let groups_per_socket = core_config.groups_per_socket;
         let contexts_per_group = (topology.contexts_per_socket() / groups_per_socket).max(1);
-        let mut workers: Vec<WorkerSlot> = topology
+        let worker_groups: Vec<ThreadGroupId> = topology
             .hw_contexts()
             .into_iter()
             .map(|ctx| {
                 let group = ctx.socket.index() * groups_per_socket
                     + (ctx.local_index as usize / contexts_per_group).min(groups_per_socket - 1);
-                WorkerSlot { group: ThreadGroupId(group), socket: ctx.socket, task: None }
+                ThreadGroupId(group)
             })
             .collect();
-
-        let mut stats = SchedulerStats::new(sockets);
+        let mut core: SchedulerCore<PendingTask> =
+            SchedulerCore::new(core_config.with_worker_groups(worker_groups));
+        let mut workers: Vec<WorkerSlot> = topology
+            .hw_contexts()
+            .into_iter()
+            .map(|ctx| WorkerSlot { socket: ctx.socket, task: None })
+            .collect();
+        // Park every idle virtual worker so the submit routing sees sleepers,
+        // exactly like the real pool's workers park before the first query.
+        for w in 0..workers.len() {
+            assert!(matches!(core.pop_request(WorkerId(w)), PopOutcome::Empty));
+            let parked = core.sleep(WorkerId(w));
+            debug_assert_eq!(parked, SleepOutcome::Parked);
+        }
         let mut queries: Vec<QueryState> = Vec::new();
         let mut latencies: Vec<f64> = Vec::new();
         let mut completed: u64 = 0;
@@ -186,7 +205,7 @@ impl<'a> SimEngine<'a> {
             planner: &ScanPlanner,
             config: &SimConfig,
             queries: &mut Vec<QueryState>,
-            queues: &mut QueueSet<PendingTask>,
+            core: &mut SchedulerCore<PendingTask>,
             column_traffic: &mut HashMap<ColumnRef, ColumnTraffic>,
         ) {
             let spec = generator.next_query(client);
@@ -222,7 +241,9 @@ impl<'a> SimEngine<'a> {
             queries.push(QueryState { client, issued_at: now, outstanding: phase1.len(), phase2 });
             for (seq, task) in phase1.into_iter().enumerate() {
                 let meta = build_meta(&task.planned, statement_epoch, seq as u64, config.strategy);
-                queues.push(&meta, None, task);
+                // The targeted signal (if routed) is booked inside the core;
+                // the assignment loop below delivers it in virtual time.
+                let _ = core.submit(meta, task);
             }
         }
 
@@ -236,7 +257,7 @@ impl<'a> SimEngine<'a> {
                 &self.planner,
                 &self.config,
                 &mut queries,
-                &mut queues,
+                &mut core,
                 &mut column_traffic,
             );
         }
@@ -249,31 +270,53 @@ impl<'a> SimEngine<'a> {
                 break;
             }
 
-            // 1. Hand queued tasks to idle workers. Workers of the same socket
-            //    see the same queues, so once one of them fails to find a task
-            //    the rest of that socket is skipped for this round. Handing a
-            //    task to an idle worker is the virtual-time analogue of a
-            //    targeted wakeup (the real-thread pool counts actual condvar
-            //    signals); false and watchdog wakeups stay zero here because
-            //    virtual time never signals a worker speculatively.
-            if !queues.is_empty() {
-                let mut socket_exhausted = vec![false; sockets];
-                for w in workers.iter_mut() {
-                    if w.task.is_some() || socket_exhausted[w.socket.index()] {
-                        continue;
-                    }
-                    match queues.pop_for_worker(w.group) {
-                        Some((pending, scope)) => {
-                            stats.record(w.socket, scope);
-                            stats.targeted_wakeups += 1;
-                            w.task =
-                                Some(start_task(pending, w.socket, &latency_model, overhead_ops));
+            // 1. Deliver booked signals and hand queued tasks to idle
+            //    workers, to a fixpoint. This is the virtual-time driver of
+            //    the scheduler core: a sleeping worker wakes only when its
+            //    group holds an outstanding signal (exactly like a condvar
+            //    `notify_one`), pops through the same transition the pool's
+            //    worker loop uses, and parks again when routing over-signalled
+            //    (which the core counts as a false wakeup). The watchdog is
+            //    never ticked: virtual time cannot lose a notification, and
+            //    the model checker proves the routing needs no backstop.
+            loop {
+                let mut progress = false;
+                for (w, slot) in workers.iter_mut().enumerate() {
+                    let worker = WorkerId(w);
+                    match core.worker_state(worker) {
+                        WorkerState::Sleeping => {
+                            if core.group_signals(core.worker_group(worker)) == 0 {
+                                continue;
+                            }
+                            core.wake(worker);
                         }
-                        None => socket_exhausted[w.socket.index()] = true,
+                        WorkerState::Searching | WorkerState::MustSleep => {}
+                        _ => continue,
                     }
-                    if queues.is_empty() {
-                        break;
+                    // The worker is awake: drive it to a task or back to its
+                    // park, exactly like one turn of the pool's worker loop.
+                    loop {
+                        match core.pop_request(worker) {
+                            PopOutcome::Run { payload, .. } => {
+                                slot.task = Some(start_task(
+                                    payload,
+                                    slot.socket,
+                                    &latency_model,
+                                    overhead_ops,
+                                ));
+                                progress = true;
+                                break;
+                            }
+                            PopOutcome::Empty => match core.sleep(worker) {
+                                SleepOutcome::Retry => continue,
+                                _ => break,
+                            },
+                            PopOutcome::Exit => break,
+                        }
                     }
+                }
+                if !progress {
+                    break;
                 }
             }
 
@@ -353,7 +396,7 @@ impl<'a> SimEngine<'a> {
 
             // 5. Advance every running task by dt and collect completions.
             let mut finished: Vec<usize> = Vec::new();
-            for w in workers.iter_mut() {
+            for (widx, w) in workers.iter_mut().enumerate() {
                 let Some(task) = w.task.as_mut() else { continue };
                 let cpu = w.socket;
                 let mut streamed_total = 0.0;
@@ -405,6 +448,7 @@ impl<'a> SimEngine<'a> {
                 if task.is_done() {
                     finished.push(task.query);
                     w.task = None;
+                    core.task_finished(WorkerId(widx), false);
                 }
             }
 
@@ -431,7 +475,7 @@ impl<'a> SimEngine<'a> {
                                 seq as u64,
                                 self.config.strategy,
                             );
-                            queues.push(&meta, None, task);
+                            let _ = core.submit(meta, task);
                         }
                         (false, q.client)
                     } else {
@@ -453,7 +497,7 @@ impl<'a> SimEngine<'a> {
                             &self.planner,
                             &self.config,
                             &mut queries,
-                            &mut queues,
+                            &mut core,
                             &mut column_traffic,
                         );
                     }
@@ -473,7 +517,7 @@ impl<'a> SimEngine<'a> {
             latency: LatencyStats::from_latencies_seconds(&latencies),
             latencies_seconds: latencies,
             counters: self.machine.counters().clone(),
-            scheduler: stats,
+            scheduler: core.stats().clone(),
             column_traffic,
         }
     }
@@ -632,14 +676,16 @@ mod tests {
         assert!(report.tasks_executed() >= report.completed_queries);
         assert!(report.total_memory_throughput_gibs() > 0.0);
         assert!(report.cpu_load_percent() > 0.0 && report.cpu_load_percent() <= 100.0);
-        // Every executed task was handed to an idle worker exactly once (the
-        // virtual-time analogue of a targeted wakeup); the virtual engine has
-        // no watchdog and never signals speculatively, so the other wakeup
-        // counters stay zero and the false-wakeup fraction stays a fraction.
-        assert_eq!(report.scheduler.targeted_wakeups, report.tasks_executed());
+        // Wakeup accounting is produced by the shared `SchedulerCore`, not a
+        // hand-maintained copy: each submit books at most one targeted
+        // signal, so targeted wakeups are positive but bounded by executions;
+        // the watchdog is never ticked in virtual time (the core's routing
+        // needs no backstop, as the model checker proves), so its counter is
+        // exactly zero.
+        assert!(report.scheduler.targeted_wakeups > 0);
+        assert!(report.scheduler.targeted_wakeups <= report.tasks_executed());
         assert_eq!(report.scheduler.watchdog_wakeups, 0);
-        assert_eq!(report.scheduler.false_wakeups, 0);
-        assert_eq!(report.false_wakeup_fraction(), 0.0);
+        assert!(report.false_wakeup_fraction() < 1.0);
     }
 
     #[test]

@@ -25,9 +25,18 @@
 //!   utilization estimated from scan telemetry, used to flip stealable tasks
 //!   to socket-bound while their home socket is unsaturated (the online half
 //!   of the adaptive design of Section 7).
+//! * [`core`] — the scheduler itself as a pure, single-threaded state
+//!   machine ([`core::SchedulerCore`]): explicit events in, effects out, all
+//!   state (queues, sleeper/signal counts, throttle mode, counters) owned by
+//!   the core. Every driver below consumes it.
 //! * [`pool`] — a real-thread worker pool implementing the worker main loop,
 //!   per-group targeted wakeups and the watchdog backstop, used for native
-//!   (non-simulated) execution.
+//!   (non-simulated) execution. It is an effect-executor over the core
+//!   behind the single pool lock.
+//! * [`mc`] — an exhaustive model checker over the core's event
+//!   interleavings: small schedules, DFS with state-hash deduplication,
+//!   asserting the no-lost-wakeup / zero-affinity-violation / quiescence
+//!   invariants on every reachable state.
 //! * [`stats`] — counters (executed tasks, stolen tasks, wakeup routing,
 //!   steal throttling) reported by both backends.
 
@@ -36,6 +45,8 @@
 
 pub mod bandwidth;
 pub mod concurrency;
+pub mod core;
+pub mod mc;
 pub mod policy;
 pub mod pool;
 pub mod queue;
@@ -45,7 +56,16 @@ pub mod task;
 pub use bandwidth::{BandwidthTracker, StealThrottleConfig};
 pub use concurrency::ConcurrencyHint;
 pub use policy::{SchedulingStrategy, StealScope};
-pub use pool::{PoolConfig, ThreadPool};
+pub use pool::{PoolConfig, ThreadPool, WatchdogConfig};
 pub use queue::{GroupQueues, QueueSet, ThreadGroupId};
 pub use stats::SchedulerStats;
 pub use task::{TaskMeta, TaskPriority, WorkClass};
+
+pub use crate::core::{
+    BackstopPolicy, CoreConfig, Effect, Event, FaultInjection, PopOutcome, SchedulerCore,
+    SleepOutcome, WakeKind, WorkerId, WorkerState,
+};
+pub use crate::mc::{
+    standard_matrix, McConfig, McEvent, McReport, McTask, ModelChecker, Schedule, Violation,
+    ViolationKind,
+};

@@ -1,0 +1,726 @@
+//! Exhaustive model checking of [`SchedulerCore`]'s event interleavings.
+//!
+//! The stress suite pins the scheduler's interleaving properties — the
+//! watchdog staying a backstop, zero affinity violations, shutdown
+//! quiescence — only as far as real-thread timing happens to exercise them.
+//! This module pins them *exhaustively* on small schedules, in the style of
+//! dslab-mp's message-passing model checker: a [`Schedule`] describes a tiny
+//! machine (a few workers over one or two sockets) and a fixed set of tasks;
+//! [`ModelChecker`] then runs a depth-first search over **every** ordering of
+//! the scheduler events those ingredients can produce — submissions, pops,
+//! explicit steals, parks, wakeups (including delayed and spurious ones),
+//! task completions, throttle epoch flips, shutdown — deduplicating states by
+//! a canonical fingerprint ([`SchedulerCore::encode_canonical`]) and checking
+//! invariants on every reachable state:
+//!
+//! * **No lost wakeup** — [`SchedulerCore::starving_socket`] returns `None`
+//!   everywhere: no reachable state has a socket with queued tasks while all
+//!   of its workers sleep unsignalled. Since the watchdog rescues exactly
+//!   that predicate, this simultaneously proves that *zero watchdog wakeups
+//!   are reachable* — ticking the watchdog in every state would never fire.
+//! * **No affinity violation** — the core's execution-point audit
+//!   (`stats.affinity_violations`) stays zero on every path, including
+//!   across steal-throttle flips.
+//! * **Every task runs** — a terminal state (no event enabled) with pending
+//!   tasks is a violation.
+//! * **Shutdown quiesces** — on schedules that include [`McEvent::Shutdown`],
+//!   every terminal state has every worker `Exited`.
+//!
+//! The search is sound because the core's event alphabet is *weaker* than
+//! the threaded driver's atomicity: the driver fails a pop and parks under
+//! one continuous lock hold, while the checker interleaves arbitrary events
+//! between `Pop` and `Sleep` (see the soundness note in [`crate::core`]) —
+//! so the explored space is a superset of what real threads can produce.
+//!
+//! A [`FaultInjection`] seeded into a schedule turns the checker into its own
+//! regression test: dropping a single targeted signal must produce a
+//! [`Violation`] with a replayable [`McEvent`] trace.
+//!
+//! Run the standard matrix locally with:
+//!
+//! ```text
+//! cargo test --release --test model_checking -- --nocapture
+//! ```
+
+use std::collections::HashSet;
+
+use numascan_numasim::SocketId;
+
+use crate::core::{CoreConfig, FaultInjection, SchedulerCore, WorkerId, WorkerState};
+use crate::queue::ThreadGroupId;
+use crate::task::{TaskMeta, TaskPriority, WorkClass};
+
+/// One task of a [`Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McTask {
+    /// Socket affinity (`None` = unaffine, placed round-robin).
+    pub affinity: Option<u16>,
+    /// Hard (socket-bound) or soft (stealable) affinity.
+    pub hard: bool,
+    /// Statement epoch: distinct epochs give tasks distinct priorities, which
+    /// keeps the pop order deterministic per state and the state space tight.
+    pub epoch: u64,
+}
+
+/// A small, fully described scheduling scenario for the model checker: the
+/// machine shape, the workers, the tasks, and which optional event classes
+/// (steals, spurious wakeups, throttle flips, shutdown) the search may
+/// interleave.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Name used in reports and test output.
+    pub name: String,
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Thread groups per socket.
+    pub groups_per_socket: usize,
+    /// Thread group index of every worker.
+    pub worker_groups: Vec<usize>,
+    /// The tasks, submitted in index order (the pool serializes submissions
+    /// under its lock, so a fixed order loses no generality; the search still
+    /// interleaves every submission with every other event).
+    pub tasks: Vec<McTask>,
+    /// Per-socket saturation flag vectors delivered, in order, as
+    /// `ThrottleEpoch` events at any point of the schedule. Non-empty
+    /// vectors enable the steal throttle in the core.
+    pub throttle_epochs: Vec<Vec<bool>>,
+    /// Append a `Shutdown` event (enabled once all tasks are submitted) and
+    /// require terminal quiescence: every worker `Exited`.
+    pub with_shutdown: bool,
+    /// Also enable targeted `StealAttempt{worker, victim}` events against
+    /// every non-empty victim group, exploring orders the priority-guided
+    /// pop search would not produce.
+    pub explicit_steals: bool,
+    /// Allow any sleeping worker to wake with no signal outstanding (the
+    /// `std::sync` condvar shim permits spurious wakeups; `parking_lot`
+    /// proper does not).
+    pub spurious_wakeups: bool,
+    /// Seeded bug for canary tests; `None` in real verification runs.
+    pub fault: Option<FaultInjection>,
+}
+
+impl Schedule {
+    /// A schedule for `sockets` × `groups_per_socket` groups with no workers,
+    /// no tasks and every optional event class disabled.
+    pub fn new(name: &str, sockets: usize, groups_per_socket: usize) -> Self {
+        Schedule {
+            name: name.to_string(),
+            sockets,
+            groups_per_socket,
+            worker_groups: Vec::new(),
+            tasks: Vec::new(),
+            throttle_epochs: Vec::new(),
+            with_shutdown: false,
+            explicit_steals: false,
+            spurious_wakeups: false,
+            fault: None,
+        }
+    }
+
+    /// Sets the worker → thread-group mapping.
+    pub fn workers(mut self, groups: &[usize]) -> Self {
+        self.worker_groups = groups.to_vec();
+        self
+    }
+
+    /// Adds a task (submitted after all previously added tasks). Each task
+    /// gets a distinct statement epoch in insertion order.
+    pub fn task(mut self, affinity: Option<u16>, hard: bool) -> Self {
+        let epoch = self.tasks.len() as u64;
+        self.tasks.push(McTask { affinity, hard, epoch });
+        self
+    }
+
+    /// Adds throttle epochs to interleave (enables the steal throttle).
+    pub fn throttle_epochs(mut self, epochs: &[&[bool]]) -> Self {
+        self.throttle_epochs = epochs.iter().map(|e| e.to_vec()).collect();
+        self
+    }
+
+    /// Includes shutdown (and the quiescence obligation).
+    pub fn with_shutdown(mut self) -> Self {
+        self.with_shutdown = true;
+        self
+    }
+
+    /// Enables explicit steal events.
+    pub fn with_explicit_steals(mut self) -> Self {
+        self.explicit_steals = true;
+        self
+    }
+
+    /// Enables spurious wakeups.
+    pub fn with_spurious_wakeups(mut self) -> Self {
+        self.spurious_wakeups = true;
+        self
+    }
+
+    /// Seeds a fault (for canary tests).
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    fn core_config(&self) -> CoreConfig {
+        let mut config = CoreConfig::new(self.sockets, self.groups_per_socket)
+            .with_worker_groups(self.worker_groups.iter().map(|g| ThreadGroupId(*g)).collect())
+            .with_throttle(!self.throttle_epochs.is_empty());
+        if let Some(fault) = self.fault {
+            config = config.with_fault(fault);
+        }
+        config
+    }
+
+    fn meta_of(&self, task: &McTask) -> TaskMeta {
+        TaskMeta {
+            affinity: task.affinity.map(SocketId),
+            hard_affinity: task.hard,
+            priority: TaskPriority::new(task.epoch, 0),
+            work_class: WorkClass::MemoryIntensive,
+            estimated_bytes: 0.0,
+        }
+    }
+}
+
+/// Search limits. The defaults are far above what the standard small
+/// schedules need; they exist so a mis-sized schedule degrades into a
+/// `truncated` report instead of an unbounded search.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Maximum distinct states to explore before giving up (`truncated`).
+    pub max_states: usize,
+    /// Maximum search depth (events along one path) before backtracking.
+    pub max_depth: usize,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig { max_states: 5_000_000, max_depth: 256 }
+    }
+}
+
+/// One event of the model checker's alphabet, in the replayable form traces
+/// are reported in. Each maps to one [`crate::core::Event`] / typed-method
+/// call on the core (plus the checker's own submit/epoch bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McEvent {
+    /// Submit task `task` of the schedule.
+    Submit {
+        /// Index into [`Schedule::tasks`].
+        task: usize,
+    },
+    /// Worker `worker` runs its priority-guided pop search.
+    Pop {
+        /// The popping worker.
+        worker: usize,
+    },
+    /// Worker `worker` tries to take a task from `victim` specifically.
+    Steal {
+        /// The stealing worker.
+        worker: usize,
+        /// Victim thread group.
+        victim: usize,
+    },
+    /// Worker `worker` (which found nothing) parks.
+    Sleep {
+        /// The parking worker.
+        worker: usize,
+    },
+    /// Worker `worker` wakes from its park (signal delivery, shutdown
+    /// broadcast, or — when enabled — a spurious wakeup).
+    Wake {
+        /// The waking worker.
+        worker: usize,
+    },
+    /// Worker `worker` finishes its running task.
+    Finish {
+        /// The finishing worker.
+        worker: usize,
+    },
+    /// Deliver throttle epoch `index` of the schedule.
+    ThrottleEpoch {
+        /// Index into [`Schedule::throttle_epochs`].
+        index: usize,
+    },
+    /// Initiate shutdown.
+    Shutdown,
+}
+
+/// Which invariant a [`Violation`] breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A reachable state has a socket with queued tasks while every one of
+    /// its workers sleeps unsignalled — a wakeup was lost, and a watchdog
+    /// tick in this state would fire (rescue) instead of being a no-op.
+    LostWakeup,
+    /// A hard-affinity task was executed on a foreign socket.
+    AffinityViolation,
+    /// A terminal state still has pending tasks: some task never ran.
+    IncompleteExecution,
+    /// A shutdown schedule reached a terminal state with a worker not
+    /// `Exited`.
+    ShutdownStranded,
+}
+
+/// An invariant violation, with the exact event sequence that reaches it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The broken invariant.
+    pub kind: ViolationKind,
+    /// Events from the initial state to the violating state, in order.
+    pub trace: Vec<McEvent>,
+    /// Human-readable description of the violating state.
+    pub detail: String,
+}
+
+/// Outcome of one [`ModelChecker::run`].
+#[derive(Debug, Clone)]
+pub struct McReport {
+    /// Schedule name.
+    pub schedule: String,
+    /// Distinct states visited (after deduplication).
+    pub explored: u64,
+    /// Transitions taken (including ones into already-seen states).
+    pub transitions: u64,
+    /// Transitions that landed on an already-seen state.
+    pub deduped: u64,
+    /// Terminal states (no event enabled) reached.
+    pub terminal_states: u64,
+    /// Deepest path explored, in events.
+    pub max_depth_seen: usize,
+    /// Whether a search limit cut the exploration short. A clean proof
+    /// requires `truncated == false`.
+    pub truncated: bool,
+    /// The first violation found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl McReport {
+    /// `true` when the full space was explored and no invariant broke.
+    pub fn verified(&self) -> bool {
+        !self.truncated && self.violation.is_none()
+    }
+
+    /// One-line summary for logs and CI job output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} states explored, {} transitions ({} deduped), {} terminal, depth {}{}{}",
+            self.schedule,
+            self.explored,
+            self.transitions,
+            self.deduped,
+            self.terminal_states,
+            self.max_depth_seen,
+            if self.truncated { ", TRUNCATED" } else { "" },
+            match &self.violation {
+                Some(v) => format!(", VIOLATION: {:?} after {} events", v.kind, v.trace.len()),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+/// The checker state: the scheduler core plus the driver-side bookkeeping the
+/// real drivers keep outside the core (what has been submitted, which
+/// throttle epoch is next, whether shutdown was initiated).
+#[derive(Clone)]
+struct McState {
+    core: SchedulerCore<u32>,
+    /// Tasks submitted so far (they submit in index order).
+    submitted: usize,
+    /// Throttle epochs delivered so far.
+    throttled: usize,
+    shutdown_sent: bool,
+}
+
+struct Frame {
+    state: McState,
+    events: Vec<McEvent>,
+    next: usize,
+}
+
+/// Exhaustive DFS over a [`Schedule`]'s event interleavings.
+pub struct ModelChecker {
+    schedule: Schedule,
+    config: McConfig,
+}
+
+impl ModelChecker {
+    /// A checker for `schedule` with default limits.
+    pub fn new(schedule: Schedule) -> Self {
+        ModelChecker { schedule, config: McConfig::default() }
+    }
+
+    /// Overrides the search limits.
+    pub fn with_config(mut self, config: McConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    fn initial(&self) -> McState {
+        McState {
+            core: SchedulerCore::new(self.schedule.core_config()),
+            submitted: 0,
+            throttled: 0,
+            shutdown_sent: false,
+        }
+    }
+
+    /// Every event enabled in `state`. The enabling conditions mirror what
+    /// the real drivers can do: submissions arrive in order; a `Wake` needs
+    /// an outstanding signal on the worker's group (a `notify_one` may reach
+    /// any sleeper of the group), the shutdown broadcast, or — when modeled —
+    /// a spurious wakeup; `Shutdown` becomes enabled once all tasks are in.
+    fn enabled(&self, state: &McState) -> Vec<McEvent> {
+        let mut events = Vec::new();
+        if state.submitted < self.schedule.tasks.len() {
+            events.push(McEvent::Submit { task: state.submitted });
+        }
+        if state.throttled < self.schedule.throttle_epochs.len() {
+            events.push(McEvent::ThrottleEpoch { index: state.throttled });
+        }
+        if self.schedule.with_shutdown
+            && !state.shutdown_sent
+            && state.submitted == self.schedule.tasks.len()
+        {
+            events.push(McEvent::Shutdown);
+        }
+        for w in 0..state.core.worker_count() {
+            let worker = WorkerId(w);
+            match state.core.worker_state(worker) {
+                WorkerState::Searching => {
+                    events.push(McEvent::Pop { worker: w });
+                    if self.schedule.explicit_steals {
+                        for g in 0..state.core.group_count() {
+                            // Stealing from an empty group is behaviorally a
+                            // failed pop (already covered); only enumerate
+                            // victims that actually hold work.
+                            if state.core.group_queued(ThreadGroupId(g)) > 0 {
+                                events.push(McEvent::Steal { worker: w, victim: g });
+                            }
+                        }
+                    }
+                }
+                WorkerState::MustSleep => events.push(McEvent::Sleep { worker: w }),
+                WorkerState::Sleeping => {
+                    let group = state.core.worker_group(worker);
+                    if state.core.group_signals(group) > 0
+                        || state.shutdown_sent
+                        || self.schedule.spurious_wakeups
+                    {
+                        events.push(McEvent::Wake { worker: w });
+                    }
+                }
+                WorkerState::Running => events.push(McEvent::Finish { worker: w }),
+                WorkerState::Exited => {}
+            }
+        }
+        events
+    }
+
+    fn step(&self, state: &mut McState, event: McEvent) {
+        match event {
+            McEvent::Submit { task } => {
+                let t = self.schedule.tasks[task];
+                state.core.submit(self.schedule.meta_of(&t), task as u32);
+                state.submitted += 1;
+            }
+            McEvent::Pop { worker } => {
+                state.core.pop_request(WorkerId(worker));
+            }
+            McEvent::Steal { worker, victim } => {
+                state.core.steal_attempt(WorkerId(worker), ThreadGroupId(victim));
+            }
+            McEvent::Sleep { worker } => {
+                state.core.sleep(WorkerId(worker));
+            }
+            McEvent::Wake { worker } => state.core.wake(WorkerId(worker)),
+            McEvent::Finish { worker } => {
+                state.core.task_finished(WorkerId(worker), false);
+            }
+            McEvent::ThrottleEpoch { index } => {
+                state.core.throttle_epoch(&self.schedule.throttle_epochs[index]);
+                state.throttled += 1;
+            }
+            McEvent::Shutdown => {
+                state.core.initiate_shutdown();
+                state.shutdown_sent = true;
+            }
+        }
+    }
+
+    /// Invariants checked on *every* reachable state.
+    fn check_state(&self, state: &McState) -> Option<(ViolationKind, String)> {
+        if let Some(socket) = state.core.starving_socket() {
+            return Some((
+                ViolationKind::LostWakeup,
+                format!(
+                    "socket {socket} starving: {} queued, all workers asleep, 0 signals \
+                     (a watchdog tick here would rescue)",
+                    state.core.queued_total()
+                ),
+            ));
+        }
+        let violations = state.core.stats().affinity_violations;
+        if violations > 0 {
+            return Some((
+                ViolationKind::AffinityViolation,
+                format!("{violations} hard-affinity task(s) executed on a foreign socket"),
+            ));
+        }
+        None
+    }
+
+    /// Invariants checked on terminal states (no event enabled).
+    fn check_terminal(&self, state: &McState) -> Option<(ViolationKind, String)> {
+        if state.core.pending() > 0 {
+            return Some((
+                ViolationKind::IncompleteExecution,
+                format!("terminal state with {} task(s) never executed", state.core.pending()),
+            ));
+        }
+        if self.schedule.with_shutdown {
+            for w in 0..state.core.worker_count() {
+                if state.core.worker_state(WorkerId(w)) != WorkerState::Exited {
+                    return Some((
+                        ViolationKind::ShutdownStranded,
+                        format!(
+                            "terminal state after shutdown with worker {w} still {:?}",
+                            state.core.worker_state(WorkerId(w))
+                        ),
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    fn fingerprint(state: &McState, scratch: &mut Vec<u64>) -> u128 {
+        scratch.clear();
+        state.core.encode_canonical(scratch);
+        scratch.push(state.submitted as u64);
+        scratch.push(state.throttled as u64);
+        scratch.push(state.shutdown_sent as u64);
+        let lo = fnv1a(scratch, 0xcbf2_9ce4_8422_2325);
+        let hi = fnv1a(scratch, 0x6c62_272e_07bb_0142);
+        ((hi as u128) << 64) | lo as u128
+    }
+
+    /// Runs the exhaustive search and reports what it found. The first
+    /// violation aborts the search and carries its full event trace.
+    pub fn run(&self) -> McReport {
+        let mut report = McReport {
+            schedule: self.schedule.name.clone(),
+            explored: 0,
+            transitions: 0,
+            deduped: 0,
+            terminal_states: 0,
+            max_depth_seen: 0,
+            truncated: false,
+            violation: None,
+        };
+        let mut seen: HashSet<u128> = HashSet::new();
+        let mut scratch: Vec<u64> = Vec::new();
+        let mut stack: Vec<Frame> = Vec::new();
+
+        let root = self.initial();
+        if let Some((kind, detail)) = self.check_state(&root) {
+            report.violation = Some(Violation { kind, trace: Vec::new(), detail });
+            return report;
+        }
+        seen.insert(Self::fingerprint(&root, &mut scratch));
+        report.explored = 1;
+        let events = self.enabled(&root);
+        debug_assert!(!events.is_empty(), "empty schedules are not worth checking");
+        stack.push(Frame { state: root, events, next: 0 });
+
+        while let Some(frame) = stack.last_mut() {
+            if frame.next >= frame.events.len() {
+                stack.pop();
+                continue;
+            }
+            let event = frame.events[frame.next];
+            frame.next += 1;
+            let mut state = frame.state.clone();
+            self.step(&mut state, event);
+            report.transitions += 1;
+            let depth = stack.len();
+            report.max_depth_seen = report.max_depth_seen.max(depth);
+
+            if let Some((kind, detail)) = self.check_state(&state) {
+                let trace = Self::trace_of(&stack);
+                report.violation = Some(Violation { kind, trace, detail });
+                return report;
+            }
+            if !seen.insert(Self::fingerprint(&state, &mut scratch)) {
+                report.deduped += 1;
+                continue;
+            }
+            report.explored += 1;
+            if report.explored as usize >= self.config.max_states {
+                report.truncated = true;
+                return report;
+            }
+            if depth >= self.config.max_depth {
+                report.truncated = true;
+                continue;
+            }
+            let events = self.enabled(&state);
+            if events.is_empty() {
+                report.terminal_states += 1;
+                if let Some((kind, detail)) = self.check_terminal(&state) {
+                    let trace = Self::trace_of(&stack);
+                    report.violation = Some(Violation { kind, trace, detail });
+                    return report;
+                }
+                continue;
+            }
+            stack.push(Frame { state, events, next: 0 });
+        }
+        report
+    }
+
+    /// The event path to the state just stepped to: each stacked frame's
+    /// most recently chosen event, in order. (Every frame on the stack has
+    /// `next >= 1` at the moment a child state is being examined.)
+    fn trace_of(stack: &[Frame]) -> Vec<McEvent> {
+        stack.iter().map(|f| f.events[f.next - 1]).collect()
+    }
+}
+
+fn fnv1a(words: &[u64], basis: u64) -> u64 {
+    let mut hash = basis;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// The standard small-schedule verification matrix: every schedule here is
+/// exhaustively explored by the `scheduler-mc` CI job and the
+/// `model_checking` test suite. Growing this list grows the proved surface.
+pub fn standard_matrix() -> Vec<Schedule> {
+    vec![
+        // The acceptance-criteria headline: 3 workers / 2 sockets / 4 tasks
+        // of mixed hard+soft affinity, with shutdown and spurious wakeups.
+        Schedule::new("3w-2s-4t-mixed", 2, 1)
+            .workers(&[0, 0, 1])
+            .task(Some(0), true)
+            .task(Some(0), false)
+            .task(Some(1), true)
+            .task(Some(1), false)
+            .with_shutdown()
+            .with_spurious_wakeups(),
+        // Unaffine tasks exercise the round-robin placement path.
+        Schedule::new("2w-2s-3t-unaffine", 2, 1)
+            .workers(&[0, 1])
+            .task(None, false)
+            .task(None, false)
+            .task(Some(0), true)
+            .with_shutdown()
+            .with_spurious_wakeups(),
+        // Two groups on one socket: same-socket routing and hard-task
+        // visibility across groups of one socket.
+        Schedule::new("3w-1s-2g-3t", 1, 2)
+            .workers(&[0, 0, 1])
+            .task(Some(0), true)
+            .task(Some(0), true)
+            .task(Some(0), false)
+            .with_shutdown()
+            .with_spurious_wakeups(),
+        // Steal-throttle flips mid-schedule: soft tasks flip to hard while
+        // the home socket is unsaturated, release after saturation, and the
+        // affinity audit must hold across both regimes.
+        Schedule::new("3w-2s-3t-throttle", 2, 1)
+            .workers(&[0, 0, 1])
+            .task(Some(0), false)
+            .task(Some(0), false)
+            .task(Some(1), false)
+            .throttle_epochs(&[&[true, false], &[false, false]])
+            .with_shutdown(),
+        // Explicit steals: adversarial victim choice on top of the pop
+        // search, on a schedule small enough to stay exhaustive.
+        Schedule::new("2w-2s-3t-steals", 2, 1)
+            .workers(&[0, 1])
+            .task(Some(0), false)
+            .task(Some(0), true)
+            .task(Some(1), false)
+            .with_shutdown()
+            .with_explicit_steals(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_schedule_verifies_and_quiesces() {
+        let schedule = Schedule::new("1w-1s-1t", 1, 1)
+            .workers(&[0])
+            .task(Some(0), true)
+            .with_shutdown()
+            .with_spurious_wakeups();
+        let report = ModelChecker::new(schedule).run();
+        assert!(report.verified(), "{}", report.summary());
+        assert!(report.explored > 1);
+        assert!(report.terminal_states > 0);
+    }
+
+    #[test]
+    fn dropped_targeted_signal_is_caught_as_lost_wakeup() {
+        // The canary: dropping the very first targeted signal must surface
+        // as a LostWakeup violation with a replayable trace.
+        let schedule = Schedule::new("canary", 1, 1)
+            .workers(&[0])
+            .task(Some(0), true)
+            .with_fault(FaultInjection::DropNthTargetedSignal(0));
+        let report = ModelChecker::new(schedule).run();
+        let violation = report.violation.expect("the seeded bug must be found");
+        assert_eq!(violation.kind, ViolationKind::LostWakeup);
+        // The minimal trace: the worker parks, then the submit's signal is
+        // dropped — the task is stranded.
+        assert!(violation.trace.contains(&McEvent::Submit { task: 0 }), "{violation:?}");
+    }
+
+    #[test]
+    fn state_limit_truncates_instead_of_hanging() {
+        let schedule = Schedule::new("truncate", 2, 1)
+            .workers(&[0, 0, 1])
+            .task(Some(0), false)
+            .task(Some(1), false)
+            .task(None, false)
+            .with_shutdown()
+            .with_spurious_wakeups();
+        let report = ModelChecker::new(schedule)
+            .with_config(McConfig { max_states: 50, max_depth: 256 })
+            .run();
+        assert!(report.truncated);
+        assert!(report.explored <= 50);
+    }
+
+    #[test]
+    fn depth_limit_marks_the_report_truncated() {
+        let schedule = Schedule::new("shallow", 1, 1)
+            .workers(&[0])
+            .task(Some(0), true)
+            .with_shutdown()
+            .with_spurious_wakeups();
+        let report = ModelChecker::new(schedule)
+            .with_config(McConfig { max_states: 1_000_000, max_depth: 2 })
+            .run();
+        assert!(report.truncated, "{}", report.summary());
+    }
+
+    #[test]
+    fn standard_matrix_schedules_stay_within_issue_bounds() {
+        for schedule in standard_matrix() {
+            assert!(schedule.worker_groups.len() <= 3, "{}", schedule.name);
+            assert!(schedule.sockets <= 2, "{}", schedule.name);
+            assert!(schedule.tasks.len() <= 4, "{}", schedule.name);
+        }
+    }
+}

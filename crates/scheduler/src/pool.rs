@@ -1,39 +1,41 @@
-//! Real-thread worker pool.
+//! Real-thread worker pool: the threaded driver of [`SchedulerCore`].
 //!
 //! This is the native execution backend of the scheduler: a pool of worker
 //! threads organised into per-socket thread groups, running ordinary Rust
-//! closures. It implements the worker main loop of Section 5.1 — take the
-//! highest-priority task of the own thread group, otherwise steal within the
-//! socket, otherwise steal (non-hard tasks) from other sockets — together with
-//! a watchdog that periodically wakes sleeping workers when queued tasks and
-//! idle workers coexist.
+//! closures. All scheduling *logic* — queue placement, the pop/steal order of
+//! the worker main loop (Section 5.1), targeted/chained wakeup routing, the
+//! steal throttle and the watchdog predicate — lives in
+//! [`crate::core::SchedulerCore`]; this module only translates OS-thread
+//! activity into core events and executes the returned effects:
+//!
+//! * it holds the core behind the single pool mutex (the core's transitions
+//!   must be atomic, which is exactly what that lock provides),
+//! * one condvar per thread group delivers [`Effect::Signal`]s
+//!   (`notify_one` for targeted/chained signals, broadcast for a watchdog
+//!   rescue), and
+//! * the worker threads run the popped closures and feed completions back as
+//!   `TaskFinished` events.
 //!
 //! ## Targeted wakeups
 //!
-//! Every thread group owns its own condition variable and sleeper count
-//! (guarded by the shared queue lock), so a wakeup can be routed to a group
-//! whose workers are actually allowed to take the new task:
+//! Every thread group owns its own condition variable and sleeper count, so
+//! a wakeup can be routed to a group whose workers are actually allowed to
+//! take a new task: `submit` signals the group the task landed on when it
+//! has an unsignalled sleeper, otherwise another group of the same socket,
+//! otherwise — for stealable tasks only — the least-loaded group anywhere; a
+//! worker that takes a task while more work remains visible to some sleeping
+//! group re-publishes availability (the chained wakeup); and the watchdog
+//! stays a pure backstop that only rescues a socket whose queues hold tasks
+//! while every one of its workers sleeps unsignalled — a state correct
+//! routing provably never produces (the model checker in [`crate::mc`]
+//! verifies exactly this over all small-schedule interleavings), and every
+//! rescue is counted in [`SchedulerStats::watchdog_wakeups`].
 //!
-//! * `submit` signals the group the task landed on when it has an unsignalled
-//!   sleeper; otherwise another group of the same socket; otherwise — for
-//!   stealable (non-hard) tasks only — the least-loaded group anywhere with an
-//!   unsignalled sleeper. A hard-affinity task whose socket has no sleeper
-//!   needs no signal: its socket's workers are awake and re-scan the queues
-//!   before they ever sleep.
-//! * A worker that takes a task while more work remains visible to some other
-//!   sleeping group re-publishes availability by signalling that group (the
-//!   chained wakeup), so a burst spreads over the eligible sleepers without
-//!   any producer-side broadcast.
-//! * The watchdog stays as a pure backstop: it only rescues a socket whose
-//!   queues hold tasks while every one of its workers sleeps unsignalled — a
-//!   state correct routing provably never produces — and counts every rescue
-//!   in [`SchedulerStats::watchdog_wakeups`], so a non-zero value flags a
-//!   lost wakeup.
-//!
-//! Lost wakeups cannot occur because a worker only starts waiting after
-//! checking the queues under the same lock `submit` holds while routing, and
-//! signalled-but-not-yet-woken sleepers are tracked (`signals`) so routing
-//! never double-books a sleeper that is already due to wake.
+//! Lost wakeups cannot occur because a worker's failed pop and its park
+//! happen in one core transition sequence under the same continuous lock
+//! hold `submit` routes under — and even a driver that dropped the lock in
+//! between would be safe, because [`SchedulerCore::sleep`] re-checks
+//! visibility and refuses to park a worker that has work.
 //!
 //! One deliberate simplification: worker threads are *not* pinned to physical
 //! CPUs of the host. The machine the experiments model (up to 32 sockets) is
@@ -41,7 +43,6 @@
 //! library's correctness — and what is implemented faithfully — is the queue
 //! placement, priority and stealing discipline.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -50,13 +51,47 @@ use numascan_numasim::{SocketId, Topology};
 use parking_lot::{Condvar, Mutex};
 
 use crate::bandwidth::{BandwidthTracker, StealThrottleConfig};
+use crate::core::{BackstopPolicy, CoreConfig, PopOutcome, SchedulerCore, SleepOutcome, WorkerId};
 use crate::policy::SchedulingStrategy;
-use crate::queue::{QueueSet, ThreadGroupId};
 use crate::stats::SchedulerStats;
 use crate::task::TaskMeta;
 
+#[cfg(doc)]
+use crate::core::Effect;
+
 /// A unit of work for the thread pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Watchdog configuration: how often it checks, and what it does when it
+/// finds a starving socket. Part of [`PoolConfig`] so tests and experiments
+/// can exercise tight intervals — or no backstop at all — without touching
+/// the pool's internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Interval at which the watchdog wakes up to check for starving sockets.
+    pub interval: Duration,
+    /// What a check does when it finds one.
+    pub backstop: BackstopPolicy,
+}
+
+impl WatchdogConfig {
+    /// Rescue starving sockets, checking every `interval`.
+    pub fn every(interval: Duration) -> Self {
+        WatchdogConfig { interval, backstop: BackstopPolicy::RescueStarvedSockets }
+    }
+
+    /// No watchdog thread at all: the routing invariants carry the pool with
+    /// no safety net (what the model checker proves safe).
+    pub fn disabled() -> Self {
+        WatchdogConfig { interval: Duration::from_secs(3600), backstop: BackstopPolicy::Disabled }
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig::every(Duration::from_millis(10))
+    }
+}
 
 /// Configuration of the thread pool.
 #[derive(Debug, Clone)]
@@ -67,8 +102,8 @@ pub struct PoolConfig {
     /// of hardware contexts it represents (capped at 8 per group so that
     /// large virtual topologies do not oversubscribe the host).
     pub workers_per_group: Option<usize>,
-    /// Interval at which the watchdog wakes up to check for starving groups.
-    pub watchdog_interval: Duration,
+    /// Watchdog interval and backstop policy.
+    pub watchdog: WatchdogConfig,
     /// When set, enables the bandwidth-aware steal throttle: stealable
     /// (soft-affinity) tasks are flipped to socket-bound while their home
     /// socket's measured utilization stays below the saturation threshold,
@@ -82,122 +117,24 @@ impl Default for PoolConfig {
         PoolConfig {
             strategy: SchedulingStrategy::Bound,
             workers_per_group: None,
-            watchdog_interval: Duration::from_millis(10),
+            watchdog: WatchdogConfig::default(),
             steal_throttle: None,
         }
     }
 }
 
-/// Per-group sleep bookkeeping, guarded by the queue lock.
-#[derive(Debug, Default, Clone)]
-struct WaitState {
-    /// Workers of this group currently blocked on the group's condvar.
-    sleepers: usize,
-    /// Signals issued to this group whose receiver has not woken up yet.
-    /// Routing only considers a group available when `sleepers > signals`.
-    signals: usize,
-}
-
-impl WaitState {
-    fn has_unsignalled_sleeper(&self) -> bool {
-        self.sleepers > self.signals
-    }
-}
-
-/// Everything guarded by the single pool lock: the queues plus the per-group
-/// wait states (they must be read and written atomically with queue checks,
-/// otherwise wakeups could be lost or double-booked).
-struct PoolState {
-    queues: QueueSet<(TaskMeta, Job)>,
-    waits: Vec<WaitState>,
-}
-
 struct Shared {
-    state: Mutex<PoolState>,
-    /// One condvar per thread group, all paired with `state`.
+    /// The entire scheduler state, behind the single pool lock.
+    core: Mutex<SchedulerCore<Job>>,
+    /// One condvar per thread group, all paired with `core`.
     group_cvs: Vec<Condvar>,
     /// Wakes the watchdog out of its interval sleep at shutdown.
     watchdog_cv: Condvar,
     idle: Condvar,
-    pending: AtomicUsize,
-    shutdown: AtomicBool,
-    /// Worker threads per group; the watchdog needs it to tell "every worker
-    /// of this socket is asleep" from "some are awake and will re-scan".
-    workers_per_group: usize,
-    stats: Mutex<SchedulerStats>,
-    /// Bandwidth telemetry backing the steal throttle (`None` = throttle off).
+    /// Bandwidth telemetry backing the steal throttle (`None` = throttle
+    /// off). Byte recording stays lock-free; only epoch closes enter the
+    /// core (as `ThrottleEpoch` events).
     throttle: Option<Arc<BandwidthTracker>>,
-    /// Throttle decision counters, kept as atomics so the submit fast path
-    /// never touches the stats mutex (workers lock it per pop); folded into
-    /// [`SchedulerStats`] by [`ThreadPool::stats`].
-    throttle_bound: AtomicU64,
-    throttle_released: AtomicU64,
-}
-
-impl Shared {
-    /// Picks the group `submit` should signal for a task that landed on
-    /// `landed`: the landing group itself, then the least-loaded other group
-    /// of the same socket, then — unless the task is hard-bound — the
-    /// least-loaded group anywhere. Only groups with an unsignalled sleeper
-    /// qualify; returns `None` when every eligible worker is already awake
-    /// (they re-scan the queues before sleeping, so no signal is needed).
-    fn route_submit_wakeup(state: &PoolState, landed: ThreadGroupId, hard: bool) -> Option<usize> {
-        if state.waits[landed.index()].has_unsignalled_sleeper() {
-            return Some(landed.index());
-        }
-        let socket = state.queues.socket_of_group(landed);
-        let same_socket = state
-            .queues
-            .groups_of_socket(socket)
-            .map(ThreadGroupId::index)
-            .filter(|g| *g != landed.index() && state.waits[*g].has_unsignalled_sleeper())
-            .min_by_key(|g| state.queues.group(ThreadGroupId(*g)).len());
-        if same_socket.is_some() {
-            return same_socket;
-        }
-        if hard {
-            return None;
-        }
-        (0..state.queues.group_count())
-            .filter(|g| state.waits[*g].has_unsignalled_sleeper())
-            .min_by_key(|g| state.queues.group(ThreadGroupId(*g)).len())
-    }
-
-    /// Picks a group to re-publish availability to after a worker took a
-    /// task: any group with an unsignalled sleeper that still has visible
-    /// work (own-socket queues or a stealable foreign task), least-loaded
-    /// first. This is how a burst of submissions fans out over sleepers
-    /// without the producer broadcasting to every group. Runs on every pop
-    /// under the pool lock, so visibility is precomputed per socket in
-    /// O(groups) rather than asking `has_work_for` (O(groups)) per group.
-    fn route_chained_wakeup(state: &PoolState) -> Option<usize> {
-        // Hot-path early-out: a saturated pool has no sleepers at all, and
-        // then there is nothing to route and nothing worth precomputing.
-        if !state.waits.iter().any(WaitState::has_unsignalled_sleeper) {
-            return None;
-        }
-        let sockets = state.queues.socket_count();
-        let mut total_per_socket = vec![0usize; sockets];
-        let mut normal_per_socket = vec![0usize; sockets];
-        let mut normal_total = 0usize;
-        for g in 0..state.queues.group_count() {
-            let queues = state.queues.group(ThreadGroupId(g));
-            let socket = queues.socket().index();
-            total_per_socket[socket] += queues.len();
-            normal_per_socket[socket] += queues.normal_len();
-            normal_total += queues.normal_len();
-        }
-        (0..state.queues.group_count())
-            .filter(|g| {
-                if !state.waits[*g].has_unsignalled_sleeper() {
-                    return false;
-                }
-                let socket = state.queues.socket_of_group(ThreadGroupId(*g)).index();
-                // Same visibility rule as `QueueSet::has_work_for`.
-                total_per_socket[socket] > 0 || normal_total > normal_per_socket[socket]
-            })
-            .min_by_key(|g| state.queues.group(ThreadGroupId(*g)).len())
-    }
 }
 
 /// A NUMA-aware pool of worker threads.
@@ -211,51 +148,46 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Creates a pool whose thread groups mirror `topology`.
     pub fn new(topology: &Topology, config: PoolConfig) -> Self {
-        let queues: QueueSet<(TaskMeta, Job)> = QueueSet::for_topology(topology);
-        let group_count = queues.group_count();
+        let core_config = CoreConfig::for_topology(topology)
+            .with_throttle(config.steal_throttle.is_some())
+            .with_backstop(config.watchdog.backstop);
+        let group_count = core_config.sockets * core_config.groups_per_socket;
         let contexts_per_group =
-            (topology.contexts_per_socket() / queues.groups_per_socket()).max(1);
+            (topology.contexts_per_socket() / core_config.groups_per_socket).max(1);
         let workers_per_group =
             config.workers_per_group.unwrap_or_else(|| contexts_per_group.min(8)).max(1);
+        let core: SchedulerCore<Job> =
+            SchedulerCore::new(core_config.with_uniform_workers(workers_per_group));
 
         let shared = Arc::new(Shared {
-            state: Mutex::new(PoolState { queues, waits: vec![WaitState::default(); group_count] }),
+            core: Mutex::new(core),
             group_cvs: (0..group_count).map(|_| Condvar::new()).collect(),
             watchdog_cv: Condvar::new(),
             idle: Condvar::new(),
-            pending: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
-            workers_per_group,
-            stats: Mutex::new(SchedulerStats::new(topology.socket_count())),
             throttle: config
                 .steal_throttle
                 .map(|cfg| Arc::new(BandwidthTracker::new(topology.socket_count(), cfg))),
-            throttle_bound: AtomicU64::new(0),
-            throttle_released: AtomicU64::new(0),
         });
 
         let mut workers = Vec::with_capacity(group_count * workers_per_group);
-        for group in 0..group_count {
-            for w in 0..workers_per_group {
-                let shared = Arc::clone(&shared);
-                let handle = std::thread::Builder::new()
-                    .name(format!("numascan-tg{group}-w{w}"))
-                    .spawn(move || worker_loop(shared, ThreadGroupId(group)))
-                    .expect("failed to spawn worker thread");
-                workers.push(handle);
-            }
+        for w in 0..group_count * workers_per_group {
+            let shared = Arc::clone(&shared);
+            let group = w / workers_per_group;
+            let handle = std::thread::Builder::new()
+                .name(format!("numascan-tg{group}-w{}", w % workers_per_group))
+                .spawn(move || worker_loop(shared, WorkerId(w)))
+                .expect("failed to spawn worker thread");
+            workers.push(handle);
         }
 
-        let watchdog = {
+        let watchdog = (config.watchdog.backstop != BackstopPolicy::Disabled).then(|| {
             let shared = Arc::clone(&shared);
-            let interval = config.watchdog_interval;
-            Some(
-                std::thread::Builder::new()
-                    .name("numascan-watchdog".to_string())
-                    .spawn(move || watchdog_loop(shared, interval))
-                    .expect("failed to spawn watchdog thread"),
-            )
-        };
+            let interval = config.watchdog.interval;
+            std::thread::Builder::new()
+                .name("numascan-watchdog".to_string())
+                .spawn(move || watchdog_loop(shared, interval))
+                .expect("failed to spawn watchdog thread")
+        });
 
         ThreadPool { shared, workers, watchdog, strategy: config.strategy }
     }
@@ -271,59 +203,33 @@ impl ThreadPool {
     }
 
     /// Submits a task. Its metadata is first rewritten according to the pool's
-    /// scheduling strategy (e.g. the `OS` strategy strips affinities), then
-    /// the bandwidth-aware steal throttle (when configured) hardens stealable
-    /// tasks whose home socket is unsaturated.
+    /// scheduling strategy (e.g. the `OS` strategy strips affinities); the
+    /// core then applies the bandwidth-aware steal throttle (when configured)
+    /// and routes the targeted wakeup, which this driver delivers.
     pub fn submit<F>(&self, meta: TaskMeta, job: F)
     where
         F: FnOnce() + Send + 'static,
     {
-        let mut meta = self.strategy.apply_to_meta(meta);
-        if let Some(tracker) = &self.shared.throttle {
-            if let (Some(home), false) = (meta.affinity, meta.hard_affinity) {
-                if tracker.is_saturated(home) {
-                    self.shared.throttle_released.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    meta.hard_affinity = true;
-                    self.shared.throttle_bound.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-        let hard = meta.hard_affinity;
-        self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        let wake = {
-            let mut state = self.shared.state.lock();
-            let landed = state.queues.push(&meta.clone(), None, (meta, Box::new(job)));
-            let target = Shared::route_submit_wakeup(&state, landed, hard);
-            if let Some(g) = target {
-                state.waits[g].signals += 1;
-            }
-            target
-        };
-        // Stats and the notification stay off the state critical section: the
-        // signal is already booked, so the sleeper cannot be double-routed,
-        // and the stats mutex (taken by every worker per pop) must not extend
-        // the pool-wide lock hold time.
-        if let Some(g) = wake {
-            self.shared.stats.lock().targeted_wakeups += 1;
-            self.shared.group_cvs[g].notify_one();
+        let meta = self.strategy.apply_to_meta(meta);
+        let wake = self.shared.core.lock().submit(meta, Box::new(job));
+        // The notification stays off the critical section: the signal is
+        // already booked, so the sleeper cannot be double-routed.
+        if let Some(group) = wake {
+            self.shared.group_cvs[group.index()].notify_one();
         }
     }
 
     /// Blocks until every submitted task has finished executing.
     pub fn wait_idle(&self) {
-        let mut state = self.shared.state.lock();
-        while self.shared.pending.load(Ordering::SeqCst) > 0 {
-            self.shared.idle.wait(&mut state);
+        let mut core = self.shared.core.lock();
+        while core.pending() > 0 {
+            self.shared.idle.wait(&mut core);
         }
     }
 
     /// A snapshot of the scheduler statistics.
     pub fn stats(&self) -> SchedulerStats {
-        let mut stats = self.shared.stats.lock().clone();
-        stats.steal_throttle_bound = self.shared.throttle_bound.load(Ordering::Relaxed);
-        stats.steal_throttle_released = self.shared.throttle_released.load(Ordering::Relaxed);
-        stats
+        self.shared.core.lock().stats().clone()
     }
 
     /// The bandwidth tracker behind the steal throttle, when one is
@@ -344,15 +250,21 @@ impl ThreadPool {
 
     /// Closes the current bandwidth epoch: converts the bytes recorded since
     /// the previous call over `elapsed` into the per-socket utilization the
-    /// throttle consults, and returns the estimate (`None` when no throttle
-    /// is configured).
+    /// throttle consults, feeds the saturation flags into the core as a
+    /// `ThrottleEpoch` event, and returns the estimate (`None` when no
+    /// throttle is configured).
     pub fn advance_bandwidth_epoch(&self, elapsed: Duration) -> Option<Vec<f64>> {
-        self.shared.throttle.as_ref().map(|t| t.advance_epoch(elapsed))
+        let tracker = self.shared.throttle.as_ref()?;
+        let utilization = tracker.advance_epoch(elapsed);
+        let threshold = tracker.config().saturation_threshold;
+        let saturated: Vec<bool> = utilization.iter().map(|u| *u >= threshold).collect();
+        self.shared.core.lock().throttle_epoch(&saturated);
+        Some(utilization)
     }
 
     /// Number of tasks queued or currently running.
     pub fn pending(&self) -> usize {
-        self.shared.pending.load(Ordering::SeqCst)
+        self.shared.core.lock().pending()
     }
 
     /// Stops the pool, waiting for running tasks to finish. Queued tasks that
@@ -364,15 +276,13 @@ impl ThreadPool {
 
     /// Signals shutdown, wakes every per-group condvar exactly once, joins
     /// all threads, and (in debug builds) asserts that no sleeper survived —
-    /// the per-group discipline makes the shutdown wakeup provably complete,
-    /// where the old global condvar only papered over the race.
+    /// the per-group discipline makes the shutdown wakeup provably complete.
     fn join_all(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Taking the lock once orders the flag against every worker's
-        // check-then-wait (which happens atomically under this lock): any
-        // worker not yet waiting will see the flag before it sleeps, and any
-        // worker already waiting receives the notification below.
-        drop(self.shared.state.lock());
+        // Setting the flag under the core lock orders it against every
+        // worker's check-then-wait (which happens atomically under the same
+        // lock): any worker not yet waiting sees the flag before it sleeps,
+        // and any worker already waiting receives the notification below.
+        self.shared.core.lock().initiate_shutdown();
         for cv in &self.shared.group_cvs {
             cv.notify_all();
         }
@@ -384,11 +294,11 @@ impl ThreadPool {
             let _ = w.join();
         }
         if cfg!(debug_assertions) {
-            let state = self.shared.state.lock();
-            debug_assert!(
-                state.waits.iter().all(|w| w.sleepers == 0),
-                "a worker was left sleeping through shutdown: {:?}",
-                state.waits
+            let core = self.shared.core.lock();
+            debug_assert_eq!(
+                core.total_sleepers(),
+                0,
+                "a worker was left sleeping through shutdown"
             );
         }
     }
@@ -400,148 +310,79 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, group: ThreadGroupId) {
-    let gi = group.index();
-    // Set after waking from a signalled wait; a failed pop then counts as a
-    // false wakeup (routing signalled us but someone else took the work).
-    // The count is accumulated locally and flushed outside the state lock so
-    // the stats mutex never extends the pool-wide critical section.
-    let mut signalled = false;
-    let mut false_wakes = 0u64;
+fn worker_loop(shared: Arc<Shared>, worker: WorkerId) {
+    let gi = shared.core.lock().worker_group(worker).index();
     loop {
-        let (task, chain) = {
-            let mut state = shared.state.lock();
+        // Drive the core until it hands this worker a task or tells it to
+        // exit, parking in between. The failed-pop → park sequence runs under
+        // one continuous lock hold, so `sleep` can never return `Retry` here
+        // (the core re-checks visibility anyway, keeping even a lock-dropping
+        // driver sound).
+        let next = {
+            let mut core = shared.core.lock();
             loop {
-                if let Some((item, scope)) = state.queues.pop_for_worker(group) {
-                    signalled = false;
-                    // Re-publish availability: if another sleeping group can
-                    // still make progress, chain one signal to it so bursts
-                    // fan out without a producer-side broadcast. Booking the
-                    // signal must happen under the lock; the notification and
-                    // the stats accounting happen after it is released.
-                    let chain = Shared::route_chained_wakeup(&state);
-                    if let Some(g) = chain {
-                        state.waits[g].signals += 1;
-                    }
-                    let socket = state.queues.socket_of_group(group);
-                    break (Some((item, socket, scope)), chain);
-                }
-                if std::mem::take(&mut signalled) {
-                    false_wakes += 1;
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break (None, None);
-                }
-                state.waits[gi].sleepers += 1;
-                shared.group_cvs[gi].wait(&mut state);
-                let wait = &mut state.waits[gi];
-                wait.sleepers -= 1;
-                // Consume one outstanding signal (if any): this wakeup
-                // fulfils it, whether it was meant for this worker or a
-                // spurious wake beat the notification to the lock.
-                if wait.signals > 0 {
-                    wait.signals -= 1;
-                    signalled = true;
+                match core.pop_request(worker) {
+                    PopOutcome::Run { payload, chain, .. } => break Some((payload, chain)),
+                    PopOutcome::Exit => break None,
+                    PopOutcome::Empty => match core.sleep(worker) {
+                        SleepOutcome::Parked => {
+                            shared.group_cvs[gi].wait(&mut core);
+                            core.wake(worker);
+                        }
+                        SleepOutcome::Retry => {}
+                        SleepOutcome::Exit => break None,
+                    },
                 }
             }
         };
-        match task {
-            Some(((meta, job), socket, scope)) => {
-                {
-                    let mut stats = shared.stats.lock();
-                    stats.record(socket, scope);
-                    stats.false_wakeups += std::mem::take(&mut false_wakes);
-                    if chain.is_some() {
-                        stats.chained_wakeups += 1;
-                    }
-                    // Audit the stealing discipline at the point of execution:
-                    // a hard task must be running on its affinity socket.
-                    if meta.hard_affinity && meta.affinity.is_some_and(|home| home != socket) {
-                        stats.affinity_violations += 1;
-                    }
-                }
-                if let Some(g) = chain {
-                    shared.group_cvs[g].notify_one();
+        match next {
+            Some((job, chain)) => {
+                // The chained signal is already booked (and counted) by the
+                // core; deliver the notification outside the lock.
+                if let Some(group) = chain {
+                    shared.group_cvs[group.index()].notify_one();
                 }
                 // A panicking job must still count as finished: `wait_idle`
-                // blocks on `pending`, so losing the decrement to an unwind
-                // would deadlock every waiter (and `shutdown`, which waits
-                // first). The payload is dropped; the panic is recorded.
-                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
-                    shared.stats.lock().panicked += 1;
-                }
-                if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-                    let _guard = shared.state.lock();
+                // blocks on the pending count, so losing the decrement to an
+                // unwind would deadlock every waiter (and `shutdown`, which
+                // waits first). The payload is dropped; the panic is recorded.
+                let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err();
+                let all_idle = shared.core.lock().task_finished(worker, panicked);
+                if all_idle {
                     shared.idle.notify_all();
                 }
             }
-            None => {
-                if false_wakes > 0 {
-                    shared.stats.lock().false_wakeups += false_wakes;
-                }
-                return;
-            }
+            None => return,
         }
     }
 }
 
-/// The backstop: every `interval`, rescue any socket that has queued tasks
-/// while *every* one of its workers sleeps with *no* signal outstanding.
-/// That state is unreachable under correct routing — a worker only sleeps
-/// after seeing no visible work under the lock, and any later push signals a
-/// sleeper of the socket under the same lock — so a rescue flags a lost
-/// wakeup, and every one is counted in `SchedulerStats::watchdog_wakeups`.
-/// (A weaker condition, e.g. "any unsignalled sleeper with visible work",
-/// would fire on healthy states: one queued task signalled to worker A while
-/// worker B of the same group still sleeps.) The interval wait is
-/// interruptible so that shutdown does not block for up to one (possibly
-/// very long) interval.
+/// The backstop driver: every `interval`, step a `WatchdogTick` through the
+/// core and broadcast to whatever groups it rescued. The predicate (queued
+/// tasks while every worker of the socket sleeps unsignalled) and the rescue
+/// bookkeeping live in [`SchedulerCore::watchdog_tick`]; correct routing
+/// makes a rescue unreachable, so every one it reports flags a lost wakeup.
+/// The interval wait is interruptible so that shutdown does not block for up
+/// to one (possibly very long) interval.
 fn watchdog_loop(shared: Arc<Shared>, interval: Duration) {
     loop {
-        let rescued: Vec<(usize, u64)> = {
-            let mut state = shared.state.lock();
-            // Check-then-wait must happen under the lock (shutdown takes it
-            // between setting the flag and notifying): otherwise a shutdown
-            // racing the watchdog's startup loses its notification and the
-            // join blocks for a full interval.
-            if shared.shutdown.load(Ordering::SeqCst) {
+        let rescued = {
+            let mut core = shared.core.lock();
+            // Check-then-wait must happen under the lock (shutdown sets the
+            // flag under it before notifying): otherwise a shutdown racing
+            // the watchdog's startup loses its notification and the join
+            // blocks for a full interval.
+            if core.is_shutdown() {
                 return;
             }
-            shared.watchdog_cv.wait_for(&mut state, interval);
-            if shared.shutdown.load(Ordering::SeqCst) {
+            shared.watchdog_cv.wait_for(&mut core, interval);
+            if core.is_shutdown() {
                 return;
             }
-            let mut groups: Vec<(usize, u64)> = Vec::new();
-            for socket in 0..state.queues.socket_count() {
-                let socket = SocketId(socket as u16);
-                let members: Vec<usize> =
-                    state.queues.groups_of_socket(socket).map(ThreadGroupId::index).collect();
-                let queued: usize =
-                    members.iter().map(|g| state.queues.group(ThreadGroupId(*g)).len()).sum();
-                if queued == 0 {
-                    continue;
-                }
-                let sleepers: usize = members.iter().map(|g| state.waits[*g].sleepers).sum();
-                let signals: usize = members.iter().map(|g| state.waits[*g].signals).sum();
-                let all_asleep = sleepers == members.len() * shared.workers_per_group;
-                if all_asleep && signals == 0 {
-                    for g in members {
-                        let wait = &mut state.waits[g];
-                        wait.signals = wait.sleepers;
-                        groups.push((g, wait.sleepers as u64));
-                    }
-                }
-            }
-            groups
+            core.watchdog_tick()
         };
-        if !rescued.is_empty() {
-            // Count one watchdog wakeup per *signal* booked (not per group),
-            // so that every false wakeup a rescue produces stays covered by
-            // `total_wakeups` and `false_wakeup_fraction` remains a fraction.
-            shared.stats.lock().watchdog_wakeups += rescued.iter().map(|(_, n)| n).sum::<u64>();
-            for (g, _) in rescued {
-                shared.group_cvs[g].notify_all();
-            }
+        for group in rescued {
+            shared.group_cvs[group.index()].notify_all();
         }
     }
 }
@@ -551,7 +392,7 @@ mod tests {
     use super::*;
     use crate::task::{TaskPriority, WorkClass};
     use numascan_numasim::SocketId;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn small_topology() -> Topology {
         Topology::four_socket_ivybridge_ex()
@@ -679,7 +520,7 @@ mod tests {
             PoolConfig {
                 strategy: SchedulingStrategy::Bound,
                 workers_per_group: Some(1),
-                watchdog_interval: Duration::from_secs(120),
+                watchdog: WatchdogConfig::every(Duration::from_secs(120)),
                 steal_throttle: None,
             },
         );
@@ -694,6 +535,31 @@ mod tests {
             stats.targeted_wakeups > 0,
             "trickled tasks must be served by targeted wakeups: {stats:?}"
         );
+        p.shutdown();
+    }
+
+    #[test]
+    fn pool_survives_with_the_backstop_disabled() {
+        // With `BackstopPolicy::Disabled` there is no watchdog thread at all:
+        // the targeted/chained routing alone must keep the pool alive. This
+        // is the real-thread twin of the model checker's no-lost-wakeup
+        // proof.
+        let p = ThreadPool::new(
+            &small_topology(),
+            PoolConfig {
+                strategy: SchedulingStrategy::Bound,
+                workers_per_group: Some(1),
+                watchdog: WatchdogConfig::disabled(),
+                steal_throttle: None,
+            },
+        );
+        for i in 0..40u64 {
+            p.submit(meta_for((i % 4) as u16, i), || {});
+            p.wait_idle();
+        }
+        let stats = p.stats();
+        assert_eq!(stats.executed, 40);
+        assert_eq!(stats.watchdog_wakeups, 0);
         p.shutdown();
     }
 
@@ -756,7 +622,7 @@ mod tests {
             PoolConfig {
                 strategy: SchedulingStrategy::Bound,
                 workers_per_group: Some(1),
-                watchdog_interval: Duration::from_secs(3600),
+                watchdog: WatchdogConfig::every(Duration::from_secs(3600)),
                 steal_throttle: None,
             },
         );
@@ -769,5 +635,35 @@ mod tests {
             "shutdown blocked on the watchdog interval: {:?}",
             start.elapsed()
         );
+    }
+
+    #[test]
+    fn tight_watchdog_interval_still_never_rescues() {
+        // An aggressively ticking watchdog (1ms) under a trickled load must
+        // observe zero rescue-eligible states: the invariant the model
+        // checker proves exhaustively on small schedules, exercised here on
+        // real threads at full interleaving freedom.
+        let p = ThreadPool::new(
+            &small_topology(),
+            PoolConfig {
+                strategy: SchedulingStrategy::Bound,
+                workers_per_group: Some(1),
+                watchdog: WatchdogConfig::every(Duration::from_millis(1)),
+                steal_throttle: None,
+            },
+        );
+        for i in 0..200u64 {
+            p.submit(meta_for((i % 4) as u16, i), || {
+                std::thread::sleep(Duration::from_micros(50));
+            });
+            if i % 8 == 0 {
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        }
+        p.wait_idle();
+        let stats = p.stats();
+        assert_eq!(stats.executed, 200);
+        assert_eq!(stats.watchdog_wakeups, 0, "a 1ms watchdog found a lost wakeup: {stats:?}");
+        p.shutdown();
     }
 }

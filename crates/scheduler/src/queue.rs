@@ -29,7 +29,7 @@ impl ThreadGroupId {
 }
 
 /// Heap entry ordered by priority then insertion sequence.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<T> {
     priority: TaskPriority,
     seq: u64,
@@ -54,7 +54,7 @@ impl<T> Ord for Entry<T> {
 }
 
 /// The two priority queues of one thread group.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GroupQueues<T> {
     socket: SocketId,
     normal: BinaryHeap<Reverse<Entry<T>>>,
@@ -125,11 +125,27 @@ impl<T> GroupQueues<T> {
         let heap = if take_hard { &mut self.hard } else { &mut self.normal };
         heap.pop().map(|e| e.0.item)
     }
+
+    /// Every queued entry in pop order — sorted by (priority, insertion
+    /// sequence) across both queues — tagged with whether it sits in the
+    /// hard queue. The absolute sequence values are *not* exposed: the
+    /// relative order is all that influences future pops, which is exactly
+    /// what a canonical state fingerprint must capture.
+    pub fn entries_in_pop_order(&self) -> Vec<(TaskPriority, bool, &T)> {
+        let mut entries: Vec<(TaskPriority, u64, bool, &T)> = self
+            .normal
+            .iter()
+            .map(|e| (e.0.priority, e.0.seq, false, &e.0.item))
+            .chain(self.hard.iter().map(|e| (e.0.priority, e.0.seq, true, &e.0.item)))
+            .collect();
+        entries.sort_by_key(|(priority, seq, _, _)| (*priority, *seq));
+        entries.into_iter().map(|(priority, _, hard, item)| (priority, hard, item)).collect()
+    }
 }
 
 /// The queues of every thread group of the machine, plus placement and
 /// stealing rules.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct QueueSet<T> {
     groups: Vec<GroupQueues<T>>,
     groups_per_socket: usize,
@@ -205,6 +221,21 @@ impl<T> QueueSet<T> {
     /// Direct access to one group's queues.
     pub fn group(&self, group: ThreadGroupId) -> &GroupQueues<T> {
         &self.groups[group.index()]
+    }
+
+    /// Where the next submitter-less unaffine task would land, as a group
+    /// index (the round-robin cursor, reduced modulo the group count so that
+    /// states differing only in how often the cursor wrapped coincide).
+    pub fn rr_position(&self) -> usize {
+        self.rr_cursor % self.groups.len()
+    }
+
+    /// Pops the best task of one specific group, considering the hard queue
+    /// only when `include_hard` is set (callers pass the stealing rule for
+    /// their socket). Used for explicit steal attempts; the worker main loop
+    /// uses [`QueueSet::pop_for_worker`].
+    pub fn pop_from_group(&mut self, group: ThreadGroupId, include_hard: bool) -> Option<T> {
+        self.groups[group.index()].pop(include_hard)
     }
 
     /// Enqueues a task according to its metadata and returns the thread group

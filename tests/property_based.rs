@@ -6,7 +6,8 @@ use numascan::numasim::memman::{AllocPolicy, MemoryManager, VirtRange, PAGE_SIZE
 use numascan::numasim::{SocketId, Topology};
 use numascan::psm::Psm;
 use numascan::scheduler::{
-    ConcurrencyHint, QueueSet, StealScope, TaskMeta, TaskPriority, ThreadGroupId, WorkClass,
+    ConcurrencyHint, CoreConfig, PopOutcome, QueueSet, SchedulerCore, SleepOutcome, StealScope,
+    TaskMeta, TaskPriority, ThreadGroupId, WorkClass, WorkerId, WorkerState,
 };
 use numascan::storage::{
     scan_bitvector, scan_positions, BitPackedVec, BitVector, DictColumn, Dictionary, InvertedIndex,
@@ -662,5 +663,355 @@ proptest! {
         let stats = session.engine().scheduler_stats();
         prop_assert_eq!(stats.affinity_violations, 0);
         session.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-core event replay: the wakeup counters against a naive reference.
+// ---------------------------------------------------------------------------
+
+/// Run state of one reference-model worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefState {
+    Searching,
+    MustSleep,
+    Running,
+    Sleeping,
+}
+
+/// Naive reference model of the full `SchedulerCore`: per-group task lists,
+/// sleeper/outstanding-signal counts, and per-worker run states, written as a
+/// direct restatement of the scheduling spec (placement, the three-tier
+/// targeted routing, chained re-publication, the watchdog rescue and the
+/// false-wakeup rule). Replaying the same event sequence through the core and
+/// this model, and comparing every counter after every step, pins the core's
+/// statistics to the spec — extending the queue-discipline reference model
+/// above to the whole state machine.
+struct RefCore {
+    groups: Vec<Vec<ModelTask>>,
+    sleepers: Vec<usize>,
+    signals: Vec<usize>,
+    worker_group: Vec<usize>,
+    state: Vec<RefState>,
+    signalled: Vec<bool>,
+    seq: u64,
+    rr: usize,
+    gps: usize,
+    targeted: u64,
+    chained: u64,
+    watchdog: u64,
+    false_wakeups: u64,
+}
+
+impl RefCore {
+    fn new(worker_group: Vec<usize>, sockets: usize, gps: usize) -> Self {
+        let groups = sockets * gps;
+        RefCore {
+            groups: vec![Vec::new(); groups],
+            sleepers: vec![0; groups],
+            signals: vec![0; groups],
+            state: vec![RefState::Searching; worker_group.len()],
+            signalled: vec![false; worker_group.len()],
+            worker_group,
+            seq: 0,
+            rr: 0,
+            gps,
+            targeted: 0,
+            chained: 0,
+            watchdog: 0,
+            false_wakeups: 0,
+        }
+    }
+
+    fn unsignalled(&self, g: usize) -> bool {
+        self.sleepers[g] > self.signals[g]
+    }
+
+    /// The visibility rule: a worker of `g` sees any own-socket task and any
+    /// foreign *normal* (stealable) task.
+    fn has_work_for(&self, g: usize) -> bool {
+        let socket = g / self.gps;
+        (0..self.groups.len()).any(|o| {
+            if o / self.gps == socket {
+                !self.groups[o].is_empty()
+            } else {
+                self.groups[o].iter().any(|t| !t.hard)
+            }
+        })
+    }
+
+    /// Enqueue + targeted routing. Returns the group a signal was booked for.
+    fn submit(
+        &mut self,
+        affinity: Option<usize>,
+        hard: bool,
+        epoch: u64,
+        id: u32,
+    ) -> Option<usize> {
+        let seq = self.seq;
+        self.seq += 1;
+        let landed = match affinity {
+            // Least-loaded group of the socket, lowest index on ties.
+            Some(s) => (s * self.gps..(s + 1) * self.gps)
+                .min_by_key(|g| self.groups[*g].len())
+                .expect("socket has groups"),
+            // No affinity, no submitter: round-robin.
+            None => {
+                let g = self.rr % self.groups.len();
+                self.rr += 1;
+                g
+            }
+        };
+        self.groups[landed].push(ModelTask {
+            priority: TaskPriority::new(epoch, 0),
+            seq,
+            hard,
+            id,
+        });
+        // Three-tier targeted routing: the landing group, else the
+        // least-loaded same-socket group with an unsignalled sleeper, else
+        // (soft tasks only) the least-loaded such group anywhere.
+        let socket = landed / self.gps;
+        let target = if self.unsignalled(landed) {
+            Some(landed)
+        } else {
+            (socket * self.gps..(socket + 1) * self.gps)
+                .filter(|g| *g != landed && self.unsignalled(*g))
+                .min_by_key(|g| self.groups[*g].len())
+                .or_else(|| {
+                    if hard {
+                        None
+                    } else {
+                        (0..self.groups.len())
+                            .filter(|g| self.unsignalled(*g))
+                            .min_by_key(|g| self.groups[*g].len())
+                    }
+                })
+        };
+        if let Some(t) = target {
+            self.signals[t] += 1;
+            self.targeted += 1;
+        }
+        target
+    }
+
+    /// Chained re-publication after a successful pop: the least-loaded group
+    /// with an unsignalled sleeper that still sees work.
+    fn chain(&mut self) -> Option<usize> {
+        let c = (0..self.groups.len())
+            .filter(|g| self.unsignalled(*g) && self.has_work_for(*g))
+            .min_by_key(|g| self.groups[*g].len());
+        if let Some(c) = c {
+            self.signals[c] += 1;
+            self.chained += 1;
+        }
+        c
+    }
+
+    /// Outcome bookkeeping shared by pops and steals: remove the found task,
+    /// route a chained signal, or count a false wakeup on a miss.
+    fn take(
+        &mut self,
+        w: usize,
+        found: Option<(usize, usize)>,
+    ) -> (Option<ModelTask>, Option<usize>) {
+        match found {
+            Some((g, idx)) => {
+                let task = self.groups[g].remove(idx);
+                let chain = self.chain();
+                self.signalled[w] = false;
+                self.state[w] = RefState::Running;
+                (Some(task), chain)
+            }
+            None => {
+                if std::mem::take(&mut self.signalled[w]) {
+                    self.false_wakeups += 1;
+                }
+                self.state[w] = RefState::MustSleep;
+                (None, None)
+            }
+        }
+    }
+
+    /// Best task of one victim group under the stealing rules.
+    fn steal_expected(&self, victim: usize, include_hard: bool) -> Option<usize> {
+        self.groups[victim]
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| include_hard || !t.hard)
+            .min_by_key(|(_, t)| (t.priority, t.seq))
+            .map(|(i, _)| i)
+    }
+
+    /// Park, unless work became visible in between (then the worker retries).
+    fn sleep(&mut self, w: usize) -> bool {
+        let g = self.worker_group[w];
+        if self.has_work_for(g) {
+            self.state[w] = RefState::Searching;
+            return false;
+        }
+        self.sleepers[g] += 1;
+        self.state[w] = RefState::Sleeping;
+        true
+    }
+
+    /// Wake (signal or spurious): consumes one outstanding signal if any.
+    fn wake(&mut self, w: usize) {
+        let g = self.worker_group[w];
+        self.sleepers[g] -= 1;
+        if self.signals[g] > 0 {
+            self.signals[g] -= 1;
+            self.signalled[w] = true;
+        }
+        self.state[w] = RefState::Searching;
+    }
+
+    /// Watchdog: rescue every socket whose queues hold tasks while all of its
+    /// workers sleep with no signal outstanding.
+    fn watchdog_tick(&mut self) {
+        let sockets = self.groups.len() / self.gps;
+        for socket in 0..sockets {
+            let queued: usize =
+                (socket * self.gps..(socket + 1) * self.gps).map(|g| self.groups[g].len()).sum();
+            let workers: Vec<usize> = (0..self.worker_group.len())
+                .filter(|w| self.worker_group[*w] / self.gps == socket)
+                .collect();
+            let all_asleep =
+                !workers.is_empty() && workers.iter().all(|w| self.state[*w] == RefState::Sleeping);
+            let signals: usize =
+                (socket * self.gps..(socket + 1) * self.gps).map(|g| self.signals[g]).sum();
+            if queued == 0 || !all_asleep || signals > 0 {
+                continue;
+            }
+            for g in socket * self.gps..(socket + 1) * self.gps {
+                if self.sleepers[g] > 0 {
+                    self.watchdog += self.sleepers[g] as u64;
+                    self.signals[g] = self.sleepers[g];
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Replays randomly generated event sequences through `SchedulerCore`
+    /// and the naive reference model in lockstep on a 2-socket × 2-group
+    /// machine with an asymmetric worker layout (two workers share group 0,
+    /// group 3 has none). After every event, the wakeup counters — targeted,
+    /// chained, watchdog, false — and the queue totals must agree exactly,
+    /// and every pop/steal must return the task, scope and chained target the
+    /// model predicts.
+    #[test]
+    fn core_replay_matches_reference_counters(
+        ops in proptest::collection::vec((0u8..6, 0u64..4, 0u8..2, 0u8..2, 0usize..4), 0..120)
+    ) {
+        const GPS: usize = 2;
+        let worker_groups = vec![0usize, 0, 1, 2];
+        let mut core: SchedulerCore<u32> = SchedulerCore::new(
+            CoreConfig::new(2, GPS)
+                .with_worker_groups(worker_groups.iter().map(|g| ThreadGroupId(*g)).collect()),
+        );
+        let mut model = RefCore::new(worker_groups.clone(), 2, GPS);
+        let mut next_id = 0u32;
+
+        for (kind, a, b, c, w) in ops {
+            match kind {
+                // Submissions: soft affine, hard affine, unaffine.
+                0..=2 => {
+                    let (affinity, hard) = match kind {
+                        0 => (Some(b as usize % 2), false),
+                        1 => (Some(b as usize % 2), true),
+                        _ => (None, c == 1),
+                    };
+                    let id = next_id;
+                    next_id += 1;
+                    let meta = TaskMeta {
+                        affinity: affinity.map(|s| SocketId(s as u16)),
+                        hard_affinity: hard,
+                        priority: TaskPriority::new(a, 0),
+                        work_class: WorkClass::MemoryIntensive,
+                        estimated_bytes: 0.0,
+                    };
+                    let got = core.submit(meta, id);
+                    let expected = model.submit(affinity, hard, a, id);
+                    prop_assert_eq!(got.map(ThreadGroupId::index), expected,
+                        "targeted routing diverged on submit of task {}", id);
+                }
+                // The watchdog interval elapsed.
+                5 => {
+                    let _ = core.watchdog_tick();
+                    model.watchdog_tick();
+                }
+                // A worker acts according to its current state; `kind == 4`
+                // makes a searching worker try one explicit victim group
+                // instead of the pop search order.
+                _ => {
+                    let w = w % 4;
+                    match core.worker_state(WorkerId(w)) {
+                        WorkerState::Searching => {
+                            let (outcome, found) = if kind == 4 {
+                                let victim = a as usize % 4;
+                                let own = model.worker_group[w];
+                                let include_hard = victim / GPS == own / GPS;
+                                let found = model
+                                    .steal_expected(victim, include_hard)
+                                    .map(|idx| (victim, idx));
+                                (core.steal_attempt(WorkerId(w), ThreadGroupId(victim)), found)
+                            } else {
+                                let found = model_expected_pop(
+                                    &model.groups, GPS, model.worker_group[w],
+                                ).map(|(g, idx, _)| (g, idx));
+                                (core.pop_request(WorkerId(w)), found)
+                            };
+                            let (task, chain) = model.take(w, found);
+                            match outcome {
+                                PopOutcome::Run { payload, chain: got_chain, .. } => {
+                                    let task = task.expect("core found a task the model did not");
+                                    prop_assert_eq!(payload, task.id, "pop order diverged");
+                                    prop_assert_eq!(got_chain.map(ThreadGroupId::index), chain,
+                                        "chained routing diverged");
+                                }
+                                PopOutcome::Empty => prop_assert!(task.is_none(),
+                                    "model found a task the core did not"),
+                                PopOutcome::Exit => prop_assert!(false, "exit without shutdown"),
+                            }
+                        }
+                        WorkerState::MustSleep => {
+                            let parked = core.sleep(WorkerId(w));
+                            let model_parked = model.sleep(w);
+                            prop_assert_eq!(parked == SleepOutcome::Parked, model_parked,
+                                "park/retry decision diverged for worker {}", w);
+                        }
+                        WorkerState::Sleeping => {
+                            core.wake(WorkerId(w));
+                            model.wake(w);
+                        }
+                        WorkerState::Running => {
+                            let _ = core.task_finished(WorkerId(w), false);
+                            model.state[w] = RefState::Searching;
+                        }
+                        WorkerState::Exited => prop_assert!(false, "worker exited without shutdown"),
+                    }
+                }
+            }
+
+            let stats = core.stats();
+            prop_assert_eq!(stats.targeted_wakeups, model.targeted, "targeted counter drifted");
+            prop_assert_eq!(stats.chained_wakeups, model.chained, "chained counter drifted");
+            prop_assert_eq!(stats.watchdog_wakeups, model.watchdog, "watchdog counter drifted");
+            prop_assert_eq!(stats.false_wakeups, model.false_wakeups, "false-wakeup counter drifted");
+            prop_assert_eq!(
+                core.queued_total(),
+                model.groups.iter().map(Vec::len).sum::<usize>(),
+                "queue totals drifted"
+            );
+            for g in 0..4 {
+                prop_assert_eq!(core.group_sleepers(ThreadGroupId(g)), model.sleepers[g]);
+                prop_assert_eq!(core.group_signals(ThreadGroupId(g)), model.signals[g]);
+            }
+        }
+        prop_assert_eq!(core.stats().affinity_violations, 0);
     }
 }

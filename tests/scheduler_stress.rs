@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use numascan::numasim::{SocketId, Topology};
 use numascan::scheduler::{
     PoolConfig, SchedulingStrategy, StealThrottleConfig, TaskMeta, TaskPriority, ThreadPool,
-    WorkClass,
+    WatchdogConfig, WorkClass,
 };
 
 const SOCKETS: u16 = 4;
@@ -23,15 +23,15 @@ fn topology() -> Topology {
     Topology::four_socket_ivybridge_ex()
 }
 
-/// A pool whose watchdog cannot meaningfully participate: anything the tests
-/// complete within their time bounds was driven by targeted wakeups alone.
+/// A pool with no watchdog backstop at all: anything the tests complete
+/// within their time bounds was driven by targeted wakeups alone.
 fn pool_without_watchdog(strategy: SchedulingStrategy, workers_per_group: usize) -> ThreadPool {
     ThreadPool::new(
         &topology(),
         PoolConfig {
             strategy,
             workers_per_group: Some(workers_per_group),
-            watchdog_interval: Duration::from_secs(120),
+            watchdog: WatchdogConfig::disabled(),
             steal_throttle: None,
         },
     )
@@ -241,7 +241,7 @@ fn throttled_pool(socket_bandwidth_gibs: f64) -> ThreadPool {
         PoolConfig {
             strategy: SchedulingStrategy::Target,
             workers_per_group: Some(2),
-            watchdog_interval: Duration::from_secs(120),
+            watchdog: WatchdogConfig::disabled(),
             steal_throttle: Some(StealThrottleConfig::calibrated(socket_bandwidth_gibs)),
         },
     )
