@@ -18,6 +18,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod hybrid_layouts;
 pub mod kernels;
 pub mod partcost;
 pub mod scan_sharing;
@@ -133,6 +134,12 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: kernels::run,
         },
         Experiment {
+            id: "hybrid_layouts",
+            description: "Hybrid per-partition storage: zone-map pruning, RLE vs SWAR bandwidth, \
+                          and the layout advisor's relayout loop under a workload shift",
+            run: hybrid_layouts::run,
+        },
+        Experiment {
             id: "scan_sharing",
             description: "Cooperative shared scans: aggregate throughput and sweep amortization \
                           of one hot column, private sweeps vs the shared executor",
@@ -177,6 +184,7 @@ mod tests {
             "adaptivity",
             "kernels",
             "scan_sharing",
+            "hybrid_layouts",
         ] {
             assert!(ids.contains(&expected), "missing experiment {expected}");
         }

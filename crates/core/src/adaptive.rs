@@ -18,13 +18,33 @@
 //!      the new partition on the coldest socket.
 //! 2. If utilization is balanced, look for partitioned data that has gone
 //!    cold and decrease its number of partitions.
+//! 3. Still balanced and nothing to consolidate: advise per-part storage
+//!    *layouts*. Parts whose vid stream is long-run (sorted or clustered
+//!    data) and cold are re-encoded run-length (RLE) to shrink their memory
+//!    and scan footprint; hot short-run parts stuck on RLE go back to the
+//!    bit-packed layout the SWAR kernels scan fastest.
 
 use numascan_numasim::{Machine, Result, SocketId, Topology};
+use numascan_storage::IvLayoutKind;
 
 use crate::catalog::Catalog;
 use crate::placement::{move_column_to, place_column_pp, repartition_ivp, PlacementStrategy};
 use crate::query::ColumnRef;
 use crate::sim::SimReport;
+
+/// Storage-layout statistics of one placement part, as observed by the
+/// engine: which physical index-vector layout the part currently uses and
+/// how run-length-friendly its vid stream is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartLayoutStat {
+    /// The part's current index-vector layout.
+    pub layout: IvLayoutKind,
+    /// Runs per row of the part's vid stream (1.0 = every row starts a new
+    /// run, i.e. RLE-hostile; near 0.0 = long sorted runs, RLE-friendly).
+    pub run_fraction: f64,
+    /// Rows in the part.
+    pub rows: usize,
+}
 
 /// Per-column workload statistics the placer bases its decisions on.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +63,10 @@ pub struct ColumnHeat {
     pub partitions: usize,
     /// Whether any active tasks touched the column recently.
     pub active: bool,
+    /// Per-part layout statistics, in part order. Engines that do not track
+    /// physical layouts (the simulator) leave this empty, which disables the
+    /// layout advisor for the column.
+    pub part_layouts: Vec<PartLayoutStat>,
 }
 
 /// Tunables of the adaptive data placer.
@@ -57,11 +81,22 @@ pub struct PlacerConfig {
     pub domination_threshold: f64,
     /// Upper bound on the number of partitions (usually the socket count).
     pub max_partitions: usize,
+    /// Run fraction (runs per row) at or below which a part's vid stream is
+    /// considered RLE-friendly: a cold bit-packed part below the threshold is
+    /// re-encoded run-length, and a hot RLE part above it is unpacked back to
+    /// the bit-packed layout. 1/8 means runs average at least eight rows, so
+    /// the two u32 vectors of the RLE form undercut even a 32-bit bitcase.
+    pub rle_run_fraction: f64,
 }
 
 impl Default for PlacerConfig {
     fn default() -> Self {
-        PlacerConfig { imbalance_threshold: 0.25, domination_threshold: 0.5, max_partitions: 64 }
+        PlacerConfig {
+            imbalance_threshold: 0.25,
+            domination_threshold: 0.5,
+            max_partitions: 64,
+            rle_run_fraction: 0.125,
+        }
     }
 }
 
@@ -97,6 +132,17 @@ pub enum PlacerAction {
         column: ColumnRef,
         /// The new (smaller) number of partitions.
         parts: usize,
+    },
+    /// Re-encode one placement part of a column into a different physical
+    /// index-vector layout (hybrid per-partition storage): cold long-run
+    /// parts compress to RLE, hot short-run parts unpack to bit-packed.
+    Relayout {
+        /// The column whose part is re-encoded.
+        column: ColumnRef,
+        /// Part index within the column's placement.
+        part: usize,
+        /// The layout the part switches to.
+        layout: IvLayoutKind,
     },
 }
 
@@ -148,6 +194,8 @@ impl AdaptiveDataPlacer {
                     iv_intensive: traffic.is_iv_intensive(),
                     partitions: column.iv_segments.len(),
                     active: traffic.queries > 0,
+                    // The simulator models placement, not physical layouts.
+                    part_layouts: Vec::new(),
                 }
             })
             .collect()
@@ -219,8 +267,48 @@ impl AdaptiveDataPlacer {
                     };
                 }
             }
-            PlacerAction::None
+            self.advise_layout(heats)
         }
+    }
+
+    /// The layout advisor (step 3 of the flowchart): with utilization
+    /// balanced and nothing left to consolidate, pick the most valuable
+    /// single-part layout change. Hot parts are fixed first — an RLE part
+    /// whose runs are short scans slower than bit-packed, so unpacking it
+    /// buys latency — then cold long-run bit-packed parts are compressed.
+    fn advise_layout(&self, heats: &[ColumnHeat]) -> PlacerAction {
+        let threshold = self.config.rle_run_fraction;
+        // A hot part stuck on an RLE-hostile layout costs every scan; undo
+        // it before spending effort compressing cold data.
+        for h in heats.iter().filter(|h| h.active) {
+            for (part, stat) in h.part_layouts.iter().enumerate() {
+                if stat.layout == IvLayoutKind::Rle
+                    && stat.run_fraction > threshold
+                    && stat.rows > 0
+                {
+                    return PlacerAction::Relayout {
+                        column: h.column,
+                        part,
+                        layout: IvLayoutKind::BitPacked,
+                    };
+                }
+            }
+        }
+        for h in heats.iter().filter(|h| !h.active) {
+            for (part, stat) in h.part_layouts.iter().enumerate() {
+                if stat.layout == IvLayoutKind::BitPacked
+                    && stat.run_fraction <= threshold
+                    && stat.rows > 0
+                {
+                    return PlacerAction::Relayout {
+                        column: h.column,
+                        part,
+                        layout: IvLayoutKind::Rle,
+                    };
+                }
+            }
+        }
+        PlacerAction::None
     }
 
     /// Applies a decision to the catalog on the given machine.
@@ -257,6 +345,10 @@ impl AdaptiveDataPlacer {
                     PlacementStrategy::PhysicallyPartitioned { parts: *parts };
                 Ok(())
             }
+            // The simulated catalog tracks component sizes and placement,
+            // not physical encodings — layout changes are a native-engine
+            // concern ([`crate::native::NativeEngine::relayout_part`]).
+            PlacerAction::Relayout { .. } => Ok(()),
         }
     }
 }
@@ -284,8 +376,13 @@ mod tests {
                 iv_intensive: iv,
                 partitions: parts[i],
                 active: active[i],
+                part_layouts: Vec::new(),
             })
             .collect()
+    }
+
+    fn layout_stat(layout: IvLayoutKind, run_fraction: f64) -> PartLayoutStat {
+        PartLayoutStat { layout, run_fraction, rows: 10_000 }
     }
 
     #[test]
@@ -355,6 +452,70 @@ mod tests {
                 parts: 2
             }
         );
+    }
+
+    #[test]
+    fn cold_long_run_parts_are_advised_onto_rle() {
+        let placer = AdaptiveDataPlacer::default();
+        let mut heats = heats(&[0, 1], &[0.0, 0.2], &[1, 1], &[false, true], true);
+        // The cold column's second part is sorted (one run per ~100 rows);
+        // partitions stay at 1 so consolidation does not preempt the advice.
+        heats[0].part_layouts = vec![
+            layout_stat(IvLayoutKind::BitPacked, 0.9),
+            layout_stat(IvLayoutKind::BitPacked, 0.01),
+        ];
+        let action = placer.decide(&[0.3, 0.3, 0.3, 0.3], &heats);
+        assert_eq!(
+            action,
+            PlacerAction::Relayout {
+                column: ColumnRef { table: 0, column: 0 },
+                part: 1,
+                layout: IvLayoutKind::Rle,
+            }
+        );
+    }
+
+    #[test]
+    fn hot_short_run_rle_parts_are_unpacked_first() {
+        let placer = AdaptiveDataPlacer::default();
+        let mut heats = heats(&[0, 1], &[0.0, 0.2], &[1, 1], &[false, true], true);
+        // A cold RLE candidate exists, but the hot column is misencoded:
+        // fixing the hot part takes priority.
+        heats[0].part_layouts = vec![layout_stat(IvLayoutKind::BitPacked, 0.01)];
+        heats[1].part_layouts = vec![layout_stat(IvLayoutKind::Rle, 0.95)];
+        let action = placer.decide(&[0.3, 0.3, 0.3, 0.3], &heats);
+        assert_eq!(
+            action,
+            PlacerAction::Relayout {
+                column: ColumnRef { table: 0, column: 1 },
+                part: 0,
+                layout: IvLayoutKind::BitPacked,
+            }
+        );
+    }
+
+    #[test]
+    fn short_run_cold_parts_keep_the_bitpacked_layout() {
+        // Random (run-hostile) cold data must not be compressed, and columns
+        // without layout telemetry never trigger the advisor.
+        let placer = AdaptiveDataPlacer::default();
+        let mut heats = heats(&[0, 1], &[0.0, 0.2], &[1, 1], &[false, true], true);
+        heats[0].part_layouts = vec![layout_stat(IvLayoutKind::BitPacked, 0.9)];
+        assert_eq!(placer.decide(&[0.3, 0.3, 0.3, 0.3], &heats), PlacerAction::None);
+        heats[0].part_layouts = Vec::new();
+        assert_eq!(placer.decide(&[0.3, 0.3, 0.3, 0.3], &heats), PlacerAction::None);
+    }
+
+    #[test]
+    fn consolidation_outranks_layout_advice() {
+        // A cold partitioned column is consolidated before any relayout.
+        let placer = AdaptiveDataPlacer::default();
+        let mut heats = heats(&[0, 1], &[0.0, 0.2], &[4, 1], &[false, true], true);
+        heats[0].part_layouts = vec![layout_stat(IvLayoutKind::BitPacked, 0.01)];
+        assert!(matches!(
+            placer.decide(&[0.3, 0.3, 0.3, 0.3], &heats),
+            PlacerAction::DecreasePartitions { .. }
+        ));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod shared;
 pub mod sim;
 pub mod spec;
 
-pub use adaptive::{AdaptiveDataPlacer, PlacerAction, PlacerConfig};
+pub use adaptive::{AdaptiveDataPlacer, ColumnHeat, PartLayoutStat, PlacerAction, PlacerConfig};
 pub use catalog::Catalog;
 pub use cost::{CostModel, MemTarget, TaskWork};
 pub use native::{NativeEngine, NativeEngineConfig, NativeEpoch, NativePlacement};

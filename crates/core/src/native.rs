@@ -41,12 +41,12 @@ use numascan_scheduler::{
     TaskPriority, ThreadPool, WorkClass,
 };
 use numascan_storage::{
-    scan_positions_with_estimate, ColumnId, DictColumn, EncodedPredicate, PhysicalPartitioning,
-    Predicate, Table,
+    scan_positions_with_estimate, ColumnId, DictColumn, EncodedPredicate, IvLayoutKind,
+    PhysicalPartitioning, Predicate, Table,
 };
 use parking_lot::{Condvar, Mutex, RwLock};
 
-use crate::adaptive::{AdaptiveDataPlacer, ColumnHeat, PlacerAction};
+use crate::adaptive::{AdaptiveDataPlacer, ColumnHeat, PartLayoutStat, PlacerAction};
 use crate::query::ColumnRef;
 use crate::shared::{
     PartAttachSpec, SharedCollector, SharedScanConfig, SharedScanMode, SharedScanRegistry,
@@ -496,6 +496,27 @@ impl NativeEngine {
             if part.rows.is_empty() {
                 continue;
             }
+            let part_column: &DictColumn<i64> = part.data.as_deref().unwrap_or(base);
+
+            // Encoded once per part and shared via `Arc`: PP parts carry
+            // their own dictionaries, but within one part every task sees
+            // the same encoding and selectivity estimate — an IN-list's vid
+            // payload is never deep-cloned per task.
+            let encoded = Arc::new(predicate.encode(part_column.dictionary()));
+
+            // PP parts scan their own rebuilt column with part-local
+            // positions; base-column parts scan the shared IV with global
+            // positions. Values come back in global row order either way
+            // because parts (and chunks within them) are numbered in order.
+            let local_base = if part.data.is_some() { 0 } else { part.rows.start };
+
+            // Zone-map pruning: when the part's vid bounds prove no row can
+            // match, skip it before any byte is counted — pruned parts cost
+            // neither tasks nor telemetry, exactly like rows never stored.
+            if part_column.prunes(local_base..local_base + part.rows.len(), &encoded) {
+                continue;
+            }
+
             // Telemetry is recorded at submit time and at *part* granularity:
             // the byte count depends only on the placement snapshot, never on
             // how many tasks the (concurrency-dependent) hint splits the part
@@ -504,25 +525,14 @@ impl NativeEngine {
             // interleavings. Attribution follows the data's socket — whose
             // memory controllers serve the traffic — not the executing
             // thread.
-            let part_column: &DictColumn<i64> = part.data.as_deref().unwrap_or(base);
             let part_bytes = part_column.iv_scan_bytes(part.rows.len());
             self.telemetry.socket_bytes[part.socket.index()]
                 .fetch_add(part_bytes, Ordering::Relaxed);
             self.telemetry.column_bytes[column_id.index()].fetch_add(part_bytes, Ordering::Relaxed);
             self.pool.record_scanned_bytes(part.socket, part_bytes);
 
-            // Encoded once per part and shared via `Arc`: PP parts carry
-            // their own dictionaries, but within one part every task sees
-            // the same encoding and selectivity estimate — an IN-list's vid
-            // payload is never deep-cloned per task.
-            let encoded = Arc::new(predicate.encode(part_column.dictionary()));
             let selectivity = predicate.estimated_selectivity(part_column.dictionary());
 
-            // PP parts scan their own rebuilt column with part-local
-            // positions; base-column parts scan the shared IV with global
-            // positions. Values come back in global row order either way
-            // because parts (and chunks within them) are numbered in order.
-            let local_base = if part.data.is_some() { 0 } else { part.rows.start };
             for range in numascan_storage::ivp_ranges(part.rows.len(), tasks_per_part) {
                 if range.is_empty() {
                     continue;
@@ -599,21 +609,33 @@ impl NativeEngine {
         predicate: &Predicate<i64>,
         epoch: u64,
     ) -> Vec<i64> {
-        let nonempty = placement.parts.iter().filter(|part| !part.rows.is_empty()).count();
-        let collector = Arc::new(SharedCollector::new(nonempty));
+        // Encode and zone-prune first: a part the zone map rules out never
+        // registers a sweep, records no telemetry, and — crucially — does
+        // not count toward the collector's completion set, so the statement
+        // only waits on parts that can actually produce rows.
+        let mut attaches: Vec<(usize, &ColumnPart, Arc<EncodedPredicate>)> = Vec::new();
         for (part_index, part) in placement.parts.iter().enumerate() {
             if part.rows.is_empty() {
                 continue;
             }
+            let part_column: &DictColumn<i64> = part.data.as_deref().unwrap_or(base);
+            // One encoding per part, shared across every task and every
+            // attached query of the statement.
+            let encoded = Arc::new(predicate.encode(part_column.dictionary()));
+            let local_base = if part.data.is_some() { 0 } else { part.rows.start };
+            if part_column.prunes(local_base..local_base + part.rows.len(), &encoded) {
+                continue;
+            }
+            attaches.push((part_index, part, encoded));
+        }
+        let collector = Arc::new(SharedCollector::new(attaches.len()));
+        for (part_index, part, encoded) in attaches {
             let part_column: &DictColumn<i64> = part.data.as_deref().unwrap_or(base);
             let part_bytes = part_column.iv_scan_bytes(part.rows.len());
             self.telemetry.socket_bytes[part.socket.index()]
                 .fetch_add(part_bytes, Ordering::Relaxed);
             self.telemetry.column_bytes[column_id.index()].fetch_add(part_bytes, Ordering::Relaxed);
 
-            // One encoding per part, shared across every task and every
-            // attached query of the statement.
-            let encoded = Arc::new(predicate.encode(part_column.dictionary()));
             let spec = PartAttachSpec {
                 key: SweepKey { column: column_id.index(), generation, part: part_index },
                 socket: part.socket,
@@ -689,6 +711,24 @@ impl NativeEngine {
                 iv_intensive: true,
                 partitions: placement.parts.len(),
                 active: column_queries[c] > 0,
+                part_layouts: placement
+                    .parts
+                    .iter()
+                    .map(|part| {
+                        let col: &DictColumn<i64> =
+                            part.data.as_deref().unwrap_or_else(|| self.table.column(ColumnId(c)));
+                        let rows = if part.data.is_some() {
+                            0..col.row_count()
+                        } else {
+                            part.rows.clone()
+                        };
+                        PartLayoutStat {
+                            layout: col.layout(),
+                            run_fraction: col.run_fraction(rows),
+                            rows: part.rows.len(),
+                        }
+                    })
+                    .collect(),
             })
             .collect();
         NativeEpoch { socket_bytes, utilization, heats }
@@ -717,6 +757,9 @@ impl NativeEngine {
             }
             PlacerAction::RepartitionPp { column, parts } => {
                 self.repartition_pp(ColumnId(column.column), *parts);
+            }
+            PlacerAction::Relayout { column, part, layout } => {
+                self.relayout_part(ColumnId(column.column), *part, *layout);
             }
         }
     }
@@ -755,6 +798,70 @@ impl NativeEngine {
         let mut placements = self.placements.write();
         self.placement_generation.fetch_add(1, Ordering::SeqCst);
         placements[column.index()] = placement;
+    }
+
+    /// Re-encodes one placement part of a column into a different physical
+    /// index-vector layout (hybrid per-partition storage, the live form of
+    /// [`PlacerAction::Relayout`]). A part reading the base column is first
+    /// rebuilt into a self-contained part column (the base column stays
+    /// untouched for every other part), a physically rebuilt part converts a
+    /// copy; either way the rebuild runs outside the placement lock and the
+    /// swap bumps the placement generation, so in-flight statements and
+    /// shared sweeps finish on the snapshot they took. Returns whether the
+    /// part changed (`false` when it is already in the requested layout, the
+    /// part index is stale, or a concurrent repartition replaced the part).
+    pub fn relayout_part(&self, column: ColumnId, part: usize, layout: IvLayoutKind) -> bool {
+        let (rows, data) = {
+            let placements = self.placements.read();
+            let Some(p) = placements[column.index()].parts.get(part) else { return false };
+            if p.rows.is_empty() {
+                return false;
+            }
+            (p.rows.clone(), p.data.clone())
+        };
+        let rebuilt = match data {
+            Some(col) => {
+                if col.layout() == layout {
+                    return false;
+                }
+                let mut col = (*col).clone();
+                col.relayout(layout);
+                Arc::new(col)
+            }
+            None => {
+                let base = self.table.column(column);
+                if base.layout() == layout {
+                    return false;
+                }
+                let mut col = base.rebuild_range(
+                    format!("{}#{}-{}", base.name(), rows.start, rows.end),
+                    rows.clone(),
+                    base.has_index(),
+                );
+                col.relayout(layout);
+                Arc::new(col)
+            }
+        };
+        let mut placements = self.placements.write();
+        let Some(p) = placements[column.index()].parts.get_mut(part) else { return false };
+        if p.rows != rows {
+            // The placement changed while we rebuilt; the advisor will see
+            // the new placement's stats next epoch.
+            return false;
+        }
+        self.placement_generation.fetch_add(1, Ordering::SeqCst);
+        p.data = Some(rebuilt);
+        true
+    }
+
+    /// The physical index-vector layout of one placement part (`None` for an
+    /// out-of-range part index).
+    pub fn column_part_layout(&self, column: ColumnId, part: usize) -> Option<IvLayoutKind> {
+        let placements = self.placements.read();
+        placements[column.index()]
+            .parts
+            .get(part)
+            .map(|p| p.data.as_deref().unwrap_or_else(|| self.table.column(column)).layout())
     }
 
     /// Closes the worker pool's bandwidth epoch (steal-throttle telemetry)
@@ -937,6 +1044,96 @@ mod tests {
         assert_eq!(engine.column_socket(payload), SocketId(3));
         let moved = engine.scan_between("payload", 100, 299, 1).unwrap();
         assert_eq!(moved, before, "moving a column must not change results");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn zone_maps_prune_parts_the_predicate_cannot_match() {
+        // A sorted column under IVP: parts cover disjoint vid ranges, so a
+        // narrow Between prunes three of four parts before any byte is
+        // counted — their sockets must record zero traffic.
+        let rows = 64_000usize;
+        let ids: Vec<i64> = (0..rows as i64).collect();
+        let table = TableBuilder::new("tbl").add_values("id", &ids, false).build();
+        let engine = NativeEngine::with_config(
+            table,
+            &small_topology(),
+            NativeEngineConfig {
+                placement: NativePlacement::IndexVectorPartitioned { parts: 4 },
+                ..Default::default()
+            },
+        );
+        let values = engine.scan_between("id", 100, 199, 1).unwrap();
+        assert_eq!(values, (100..=199).collect::<Vec<i64>>());
+        let epoch = engine.take_epoch();
+        let touched = epoch.socket_bytes.iter().filter(|b| **b > 0).count();
+        assert_eq!(touched, 1, "only the overlapping part may be scanned: {epoch:?}");
+        // A range outside every zone scans nothing at all.
+        assert_eq!(engine.scan_between("id", rows as i64 + 10, rows as i64 + 20, 1).unwrap(), []);
+        assert_eq!(engine.take_epoch().socket_bytes, vec![0; 4]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shared_sweeps_are_never_registered_for_pruned_parts() {
+        let rows = 64_000usize;
+        let ids: Vec<i64> = (0..rows as i64).collect();
+        let table = TableBuilder::new("tbl").add_values("id", &ids, false).build();
+        let engine = NativeEngine::with_config(
+            table,
+            &small_topology(),
+            NativeEngineConfig {
+                placement: NativePlacement::IndexVectorPartitioned { parts: 4 },
+                shared_scans: SharedScanConfig {
+                    mode: SharedScanMode::Always,
+                    ..SharedScanConfig::default()
+                },
+                ..Default::default()
+            },
+        );
+        let values = engine.scan_between("id", 100, 199, 8).unwrap();
+        assert_eq!(values, (100..=199).collect::<Vec<i64>>());
+        let stats = engine.shared_scan_stats();
+        assert_eq!(stats.sweeps_started, 1, "pruned parts must not register sweeps: {stats:?}");
+        assert_eq!(stats.rows_swept, rows as u64 / 4, "one part's pass, not the column's");
+        // All parts pruned: the statement completes immediately, empty.
+        assert_eq!(engine.scan_between("id", -50, -10, 8).unwrap(), []);
+        assert_eq!(engine.shared_scan_stats().sweeps_started, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn live_relayout_converts_parts_and_preserves_results() {
+        // Sorted low-cardinality data: 480 distinct values in runs of 100
+        // rows — the layout RLE is built for.
+        let rows = 48_000usize;
+        let ids: Vec<i64> = (0..rows as i64).map(|i| i / 100).collect();
+        let table = TableBuilder::new("tbl").add_values("id", &ids, false).build();
+        let engine = NativeEngine::new(table, &small_topology(), SchedulingStrategy::Bound);
+        let (id, _) = engine.table().column_by_name("id").unwrap();
+        let before = engine.scan_between("id", 100, 200, 1).unwrap();
+        assert_eq!(before.len(), 101 * 100);
+        assert_eq!(engine.column_part_layout(id, 0), Some(IvLayoutKind::BitPacked));
+
+        assert!(engine.relayout_part(id, 0, IvLayoutKind::Rle));
+        assert_eq!(engine.column_part_layout(id, 0), Some(IvLayoutKind::Rle));
+        let rle = engine.scan_between("id", 100, 200, 1).unwrap();
+        assert_eq!(rle, before, "relayout must not change results");
+
+        // Converting back and converting to the current layout are handled.
+        assert!(engine.relayout_part(id, 0, IvLayoutKind::BitPacked));
+        assert!(!engine.relayout_part(id, 0, IvLayoutKind::BitPacked), "no-op relayout");
+        assert!(!engine.relayout_part(id, 99, IvLayoutKind::Rle), "stale part index");
+        assert_eq!(engine.scan_between("id", 100, 200, 1).unwrap(), before);
+
+        // The epoch telemetry reports the live layout and run fraction.
+        engine.relayout_part(id, 0, IvLayoutKind::Rle);
+        engine.count_between("id", 0, 10, 1).unwrap();
+        let epoch = engine.take_epoch();
+        let stats = &epoch.heats[id.index()].part_layouts;
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].layout, IvLayoutKind::Rle);
+        assert!(stats[0].run_fraction < 0.02, "runs of 100 rows: {stats:?}");
         engine.shutdown();
     }
 

@@ -37,7 +37,7 @@ pub fn bits_for_max_value(max_value: u64) -> u8 {
 
 /// Low `n` bits set, for `n <= 64`.
 #[inline]
-fn low_mask(n: u32) -> u64 {
+pub(crate) fn low_mask(n: u32) -> u64 {
     if n >= 64 {
         u64::MAX
     } else {

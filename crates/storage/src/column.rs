@@ -2,20 +2,219 @@
 //!
 //! A [`DictColumn`] bundles the three components of Figure 3 of the paper:
 //! the sorted dictionary, the bit-compressed index vector (IV) and an optional
-//! inverted index (IX).
+//! inverted index (IX) — plus a [`ZoneMap`] of per-zone min/max vids built at
+//! encode time, which lets scans skip whole row ranges and sharpens
+//! selectivity estimates.
+//!
+//! The index vector itself is an [`IndexVector`]: either the word-parallel
+//! [`BitPackedVec`] layout or the run-length-encoded [`RleVec`] layout, chosen
+//! per column (and, in the engine, per partition) by the layout advisor.
+//! Both expose the same kernel surface, so every scan consumer is
+//! layout-agnostic.
 
-use crate::bitpack::BitPackedVec;
+use crate::bitpack::{BitPackedIter, BitPackedVec};
 use crate::dictionary::Dictionary;
 use crate::index::InvertedIndex;
+use crate::predicate::EncodedPredicate;
+use crate::rle::{RleIter, RleVec};
 use crate::value::DictValue;
+use crate::zonemap::{VidBounds, ZoneMap, ZoneMapBuilder};
+
+/// Which physical layout an index vector uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IvLayoutKind {
+    /// Densely bit-packed codes scanned by the word-parallel SWAR kernels —
+    /// the scan-fastest layout for data without long equal-value runs.
+    BitPacked,
+    /// Run-length-encoded codes scanned at run granularity — far smaller and
+    /// at least as fast for sorted/clustered low-cardinality data.
+    Rle,
+}
+
+/// An index vector in one of the supported physical layouts.
+///
+/// Every method dispatches to the layout's kernel; the mask-stream contracts
+/// are identical (see [`RleVec`]), so consumers never branch on the layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexVector {
+    /// Bit-packed layout.
+    BitPacked(BitPackedVec),
+    /// Run-length-encoded layout.
+    Rle(RleVec),
+}
+
+impl IndexVector {
+    /// The layout this vector uses.
+    pub fn layout(&self) -> IvLayoutKind {
+        match self {
+            IndexVector::BitPacked(_) => IvLayoutKind::BitPacked,
+            IndexVector::Rle(_) => IvLayoutKind::Rle,
+        }
+    }
+
+    /// Bits per code of the (equivalent) bit-packed layout — the bitcase.
+    pub fn bits(&self) -> u8 {
+        match self {
+            IndexVector::BitPacked(v) => v.bits(),
+            IndexVector::Rle(v) => v.bits(),
+        }
+    }
+
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        match self {
+            IndexVector::BitPacked(v) => v.len(),
+            IndexVector::Rle(v) => v.len(),
+        }
+    }
+
+    /// `true` if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memory footprint of the payload in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            IndexVector::BitPacked(v) => v.memory_bytes(),
+            IndexVector::Rle(v) => v.memory_bytes(),
+        }
+    }
+
+    /// Reads the element at `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of bounds.
+    pub fn get(&self, pos: usize) -> u32 {
+        match self {
+            IndexVector::BitPacked(v) => v.get(pos),
+            IndexVector::Rle(v) => v.get(pos),
+        }
+    }
+
+    /// Unchecked decode; the caller guarantees `pos < self.len()`.
+    #[inline]
+    pub(crate) fn decode_at(&self, pos: usize) -> u32 {
+        match self {
+            IndexVector::BitPacked(v) => v.decode_at(pos),
+            IndexVector::Rle(v) => v.decode_at(pos),
+        }
+    }
+
+    /// Iterates over all stored values.
+    pub fn iter(&self) -> IvIter<'_> {
+        self.iter_range(0..self.len())
+    }
+
+    /// Iterates over the values of a sub-range (clamped to the length).
+    pub fn iter_range(&self, positions: std::ops::Range<usize>) -> IvIter<'_> {
+        match self {
+            IndexVector::BitPacked(v) => IvIter::BitPacked(v.iter_range(positions)),
+            IndexVector::Rle(v) => IvIter::Rle(v.iter_range(positions)),
+        }
+    }
+
+    /// The range kernel's mask stream; see [`BitPackedVec::scan_range_masks`]
+    /// for the contract both layouts honor.
+    #[inline]
+    pub fn scan_range_masks<F: FnMut(usize, u32, u64)>(
+        &self,
+        positions: std::ops::Range<usize>,
+        min: u32,
+        max: u32,
+        sink: F,
+    ) {
+        match self {
+            IndexVector::BitPacked(v) => v.scan_range_masks(positions, min, max, sink),
+            IndexVector::Rle(v) => v.scan_range_masks(positions, min, max, sink),
+        }
+    }
+
+    /// The batched (cooperative) range kernel; see
+    /// [`BitPackedVec::scan_range_masks_batch`] for the shared contract.
+    pub fn scan_range_masks_batch<F: FnMut(usize, u32, &[u64])>(
+        &self,
+        positions: std::ops::Range<usize>,
+        bounds: &[(u32, u32)],
+        sink: F,
+    ) {
+        match self {
+            IndexVector::BitPacked(v) => v.scan_range_masks_batch(positions, bounds, sink),
+            IndexVector::Rle(v) => v.scan_range_masks_batch(positions, bounds, sink),
+        }
+    }
+
+    /// Calls `on_match(position)` for every element of `positions` whose
+    /// value lies in `[min, max]`.
+    pub fn scan_range<F: FnMut(usize)>(
+        &self,
+        positions: std::ops::Range<usize>,
+        min: u32,
+        max: u32,
+        on_match: F,
+    ) {
+        match self {
+            IndexVector::BitPacked(v) => v.scan_range(positions, min, max, on_match),
+            IndexVector::Rle(v) => v.scan_range(positions, min, max, on_match),
+        }
+    }
+
+    /// Counts the elements of `positions` whose value lies in `[min, max]`.
+    pub fn count_range(&self, positions: std::ops::Range<usize>, min: u32, max: u32) -> usize {
+        match self {
+            IndexVector::BitPacked(v) => v.count_range(positions, min, max),
+            IndexVector::Rle(v) => v.count_range(positions, min, max),
+        }
+    }
+
+    /// Bytes a scan over `rows` rows streams from memory under this layout.
+    pub fn scan_bytes(&self, rows: usize) -> u64 {
+        match self {
+            IndexVector::BitPacked(v) => (rows as u64 * u64::from(v.bits())).div_ceil(8),
+            IndexVector::Rle(v) => v.scan_bytes(rows),
+        }
+    }
+}
+
+/// Decoder over an [`IndexVector`] (sub-)range, dispatching to the layout's
+/// cursor.
+#[derive(Debug, Clone)]
+pub enum IvIter<'a> {
+    /// Word-cursor decoder of the bit-packed layout.
+    BitPacked(BitPackedIter<'a>),
+    /// Run-cursor decoder of the RLE layout.
+    Rle(RleIter<'a>),
+}
+
+impl Iterator for IvIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            IvIter::BitPacked(it) => it.next(),
+            IvIter::Rle(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            IvIter::BitPacked(it) => it.size_hint(),
+            IvIter::Rle(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for IvIter<'_> {}
 
 /// A dictionary-encoded column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DictColumn<T: DictValue> {
     name: String,
     dict: Dictionary<T>,
-    iv: BitPackedVec,
+    iv: IndexVector,
     ix: Option<InvertedIndex>,
+    zones: ZoneMap,
 }
 
 impl<T: DictValue> DictColumn<T> {
@@ -41,8 +240,77 @@ impl<T: DictValue> DictColumn<T> {
     }
 
     /// The column's index vector.
-    pub fn index_vector(&self) -> &BitPackedVec {
+    pub fn index_vector(&self) -> &IndexVector {
         &self.iv
+    }
+
+    /// The physical layout of the index vector.
+    pub fn layout(&self) -> IvLayoutKind {
+        self.iv.layout()
+    }
+
+    /// The column's zone map.
+    pub fn zone_map(&self) -> &ZoneMap {
+        &self.zones
+    }
+
+    /// Conservative vid bounds of a row range, from the zone map.
+    pub fn zone_bounds(&self, rows: std::ops::Range<usize>) -> Option<VidBounds> {
+        self.zones.bounds(rows)
+    }
+
+    /// Whether the zone map proves a scan of `rows` under `predicate` is
+    /// empty — the partition-pruning test. `false` when the bounds overlap
+    /// the predicate (a scan may match) *or* when the range holds no rows
+    /// worth skipping.
+    pub fn prunes(&self, rows: std::ops::Range<usize>, predicate: &EncodedPredicate) -> bool {
+        if matches!(predicate, EncodedPredicate::Empty) {
+            return true;
+        }
+        self.zones.bounds(rows).is_some_and(|b| !b.overlaps(predicate))
+    }
+
+    /// Zone-informed selectivity estimate of `predicate` over `rows`: the
+    /// local vid bounds replace the whole dictionary as the domain where the
+    /// zone map has coverage, falling back to the uniform-frequency default
+    /// otherwise. Always finite and in `[0, 1]`.
+    pub fn scan_selectivity_estimate(
+        &self,
+        rows: std::ops::Range<usize>,
+        predicate: &EncodedPredicate,
+    ) -> f64 {
+        if let Some(est) = self.zones.estimate_selectivity(rows, predicate) {
+            return est.clamp(0.0, 1.0);
+        }
+        let distinct = self.dict.len();
+        if distinct == 0 {
+            0.0
+        } else {
+            (predicate.vid_count() as f64 / distinct as f64).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Fraction of rows starting a new equal-value run over `rows` (from the
+    /// zone map) — the layout advisor's RLE-compressibility signal.
+    pub fn run_fraction(&self, rows: std::ops::Range<usize>) -> f64 {
+        self.zones.run_fraction(rows)
+    }
+
+    /// Converts the index vector to `layout` in place, preserving vids, the
+    /// inverted index and the zone map (both are layout-independent). Returns
+    /// `true` if the layout changed.
+    pub fn relayout(&mut self, layout: IvLayoutKind) -> bool {
+        match (&self.iv, layout) {
+            (IndexVector::BitPacked(v), IvLayoutKind::Rle) => {
+                self.iv = IndexVector::Rle(RleVec::from_bitpacked(v));
+                true
+            }
+            (IndexVector::Rle(v), IvLayoutKind::BitPacked) => {
+                self.iv = IndexVector::BitPacked(v.to_bitpacked());
+                true
+            }
+            _ => false,
+        }
     }
 
     /// The column's inverted index, if one was built.
@@ -76,11 +344,13 @@ impl<T: DictValue> DictColumn<T> {
     }
 
     /// Bytes of index-vector payload a scan over `rows` rows streams from
-    /// memory (`rows * bitcase / 8`, rounded up). This is the per-task
-    /// telemetry the adaptive layers aggregate into per-socket and per-column
-    /// bandwidth estimates.
+    /// memory — `rows * bitcase / 8` (rounded up) for the bit-packed layout,
+    /// the pro-rated run table for RLE. This is the per-task telemetry the
+    /// adaptive layers aggregate into per-socket and per-column bandwidth
+    /// estimates, so it is layout-sensitive by design: re-laying a partition
+    /// out changes what a sweep actually streams.
     pub fn iv_scan_bytes(&self, rows: usize) -> u64 {
-        (rows as u64 * u64::from(self.bitcase())).div_ceil(8)
+        self.iv.scan_bytes(rows)
     }
 
     /// Memory footprint of the dictionary in bytes.
@@ -106,7 +376,59 @@ impl<T: DictValue> DictColumn<T> {
 
     /// Builds (or rebuilds) the inverted index.
     pub fn build_index(&mut self) {
-        self.ix = Some(InvertedIndex::build(&self.iv, self.dict.len()));
+        self.ix =
+            Some(InvertedIndex::build_from_codes(self.iv.iter(), self.iv.len(), self.dict.len()));
+    }
+
+    /// Rebuilds a row range as a self-contained column straight from the
+    /// encoded index vector and dictionary — the fast path of physical
+    /// repartitioning. One pass over the packed codes collects the distinct
+    /// vids into a presence bitmap; the part dictionary is then assembled in
+    /// sorted order without re-sorting or per-row value clones (one clone per
+    /// *distinct* value), and a second code pass remaps into the part-local
+    /// vid space while building the part's zone map.
+    pub fn rebuild_range(
+        &self,
+        name: impl Into<String>,
+        rows: std::ops::Range<usize>,
+        with_index: bool,
+    ) -> DictColumn<T> {
+        let end = rows.end.min(self.row_count());
+        let start = rows.start.min(end);
+
+        // Pass 1: which global vids occur in the range.
+        let mut present = vec![0u64; self.dict.len().div_ceil(64)];
+        for code in self.iv.iter_range(start..end) {
+            present[code as usize / 64] |= 1u64 << (code % 64);
+        }
+
+        // Distinct vids ascending -> sorted part dictionary + dense remap.
+        let mut remap = vec![0u32; self.dict.len()];
+        let mut values = Vec::new();
+        for (w, &word) in present.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let vid = (w * 64) as u32 + bits.trailing_zeros();
+                remap[vid as usize] = values.len() as u32;
+                values.push(self.dict.value(vid).clone());
+                bits &= bits - 1;
+            }
+        }
+        let dict = Dictionary::from_sorted_distinct(values);
+
+        // Pass 2: re-encode into the part-local vid space.
+        let bits = dict.bitcase();
+        let mut iv = BitPackedVec::with_capacity(bits, end - start);
+        let mut zones = ZoneMapBuilder::new();
+        for code in self.iv.iter_range(start..end) {
+            let local = remap[code as usize];
+            iv.push(local);
+            zones.push(local);
+        }
+        let iv = IndexVector::BitPacked(iv);
+        let ix =
+            with_index.then(|| InvertedIndex::build_from_codes(iv.iter(), iv.len(), dict.len()));
+        DictColumn { name: name.into(), dict, iv, ix, zones: zones.finish() }
     }
 }
 
@@ -115,12 +437,13 @@ impl<T: DictValue> DictColumn<T> {
 pub struct ColumnBuilder {
     name: String,
     with_index: bool,
+    layout: IvLayoutKind,
 }
 
 impl ColumnBuilder {
     /// Creates a builder for a column with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        ColumnBuilder { name: name.into(), with_index: false }
+        ColumnBuilder { name: name.into(), with_index: false, layout: IvLayoutKind::BitPacked }
     }
 
     /// Whether to build an inverted index.
@@ -129,17 +452,31 @@ impl ColumnBuilder {
         self
     }
 
+    /// Which index-vector layout to build (bit-packed by default).
+    pub fn with_layout(mut self, layout: IvLayoutKind) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// Builds the column from row values.
     pub fn build<T: DictValue>(self, values: &[T]) -> DictColumn<T> {
         let dict = Dictionary::from_values(values.to_vec());
         let bits = dict.bitcase();
         let mut iv = BitPackedVec::with_capacity(bits, values.len());
+        let mut zones = ZoneMapBuilder::new();
         for v in values {
             let vid = dict.lookup(v).expect("value must be in its own dictionary");
             iv.push(vid);
+            zones.push(vid);
         }
-        let ix = if self.with_index { Some(InvertedIndex::build(&iv, dict.len())) } else { None };
-        DictColumn { name: self.name, dict, iv, ix }
+        let iv = match self.layout {
+            IvLayoutKind::BitPacked => IndexVector::BitPacked(iv),
+            IvLayoutKind::Rle => IndexVector::Rle(RleVec::from_bitpacked(&iv)),
+        };
+        let ix = self
+            .with_index
+            .then(|| InvertedIndex::build_from_codes(iv.iter(), iv.len(), dict.len()));
+        DictColumn { name: self.name, dict, iv, ix, zones: zones.finish() }
     }
 }
 
@@ -213,5 +550,72 @@ mod tests {
         assert_eq!(col.value_at(3), "Anna");
         let anna_vid = col.dictionary().lookup(&"Anna".to_string()).unwrap();
         assert_eq!(col.inverted_index().unwrap().positions_of(anna_vid), &[1, 3]);
+    }
+
+    #[test]
+    fn relayout_preserves_values_index_and_zone_map() {
+        let vals: Vec<i64> = (0..20_000i64).map(|i| i / 100).collect();
+        let mut col = DictColumn::from_values("c", &vals, true);
+        assert_eq!(col.layout(), IvLayoutKind::BitPacked);
+        let bitpacked_bytes = col.iv_bytes();
+        let zone_bounds = col.zone_bounds(0..col.row_count());
+
+        assert!(col.relayout(IvLayoutKind::Rle));
+        assert_eq!(col.layout(), IvLayoutKind::Rle);
+        assert!(!col.relayout(IvLayoutKind::Rle), "no-op relayout reports no change");
+        assert!(col.iv_bytes() < bitpacked_bytes / 10, "sorted data must compress");
+        assert_eq!(col.zone_bounds(0..col.row_count()), zone_bounds);
+        assert!(col.has_index(), "the index survives a relayout");
+        for i in [0usize, 99, 100, 19_999] {
+            assert_eq!(col.value_at(i), &vals[i]);
+        }
+
+        assert!(col.relayout(IvLayoutKind::BitPacked));
+        assert_eq!(col.iv_bytes(), bitpacked_bytes);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(col.value_at(i), v);
+        }
+    }
+
+    #[test]
+    fn rle_layout_answers_scans_identically() {
+        use crate::predicate::Predicate;
+        use crate::scan::scan_positions;
+        let vals: Vec<i64> = (0..10_000i64).map(|i| i / 40).collect();
+        let packed = DictColumn::from_values("c", &vals, false);
+        let mut rle = packed.clone();
+        rle.relayout(IvLayoutKind::Rle);
+        for (lo, hi) in [(0i64, 249), (10, 19), (100, 100), (300, 200)] {
+            let pred = Predicate::Between { lo, hi }.encode(packed.dictionary());
+            assert_eq!(
+                scan_positions(&rle, 0..rle.row_count(), &pred),
+                scan_positions(&packed, 0..packed.row_count(), &pred),
+                "[{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn zone_pruning_skips_row_ranges_the_predicate_cannot_match() {
+        use crate::predicate::Predicate;
+        let vals: Vec<i64> = (0..16_384i64).collect(); // 4 zones, disjoint vid bands
+        let col = DictColumn::from_values("c", &vals, false);
+        let low = Predicate::Between { lo: 0i64, hi: 100 }.encode(col.dictionary());
+        assert!(!col.prunes(0..4096, &low));
+        assert!(col.prunes(4096..8192, &low), "zone 1 holds vids 4096.., cannot match");
+        assert!(col.prunes(0..4096, &EncodedPredicate::Empty));
+        // No rows -> nothing to prune, but nothing to scan either.
+        assert!(!col.prunes(20_000..30_000, &low));
+    }
+
+    #[test]
+    fn rebuild_range_matches_the_value_by_value_rebuild() {
+        let vals: Vec<i64> = (0..4000i64).map(|i| (i * 13) % 100).collect();
+        let col = DictColumn::from_values("col", &vals, true);
+        let rebuilt = col.rebuild_range("part", 1000..2000, true);
+        let reference = DictColumn::from_values("part", &vals[1000..2000], true);
+        assert_eq!(rebuilt, reference);
+        // Clamps out-of-bounds ranges; empty ranges build empty columns.
+        assert_eq!(col.rebuild_range("e", 4000..5000, false).row_count(), 0);
     }
 }

@@ -18,10 +18,22 @@ pub struct InvertedIndex {
 }
 
 impl InvertedIndex {
-    /// Builds the index from an index vector with `distinct` distinct vids.
+    /// Builds the index from a bit-packed index vector with `distinct`
+    /// distinct vids.
     pub fn build(iv: &BitPackedVec, distinct: usize) -> Self {
+        Self::build_from_codes(iv.iter(), iv.len(), distinct)
+    }
+
+    /// Builds the index with the same two-pass counting sort from any
+    /// re-iterable code stream of `len` codes — the layout-agnostic entry
+    /// point used for RLE-encoded index vectors.
+    pub fn build_from_codes(
+        codes: impl Iterator<Item = u32> + Clone,
+        len: usize,
+        distinct: usize,
+    ) -> Self {
         let mut counts = vec![0u64; distinct + 1];
-        for vid in iv.iter() {
+        for vid in codes.clone() {
             counts[vid as usize + 1] += 1;
         }
         // Prefix sums give the offsets.
@@ -30,8 +42,8 @@ impl InvertedIndex {
         }
         let offsets = counts.clone();
         let mut cursors = counts;
-        let mut positions = vec![0u32; iv.len()];
-        for (pos, vid) in iv.iter().enumerate() {
+        let mut positions = vec![0u32; len];
+        for (pos, vid) in codes.enumerate() {
             let c = &mut cursors[vid as usize];
             positions[*c as usize] = pos as u32;
             *c += 1;

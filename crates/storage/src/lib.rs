@@ -24,9 +24,10 @@
 //! through the dictionary.
 //!
 //! The module layout mirrors those concepts: [`dictionary`], [`bitpack`],
-//! [`index`], [`column`], [`predicate`], [`scan`], [`materialize`],
-//! [`bitvector`], [`partition`] (IVP split points and PP physical
-//! repartitioning) and [`table`].
+//! [`rle`] (the run-length-encoded hybrid layout), [`zonemap`] (per-zone
+//! min/max-vid aggregates for partition pruning), [`index`], [`column`],
+//! [`predicate`], [`scan`], [`materialize`], [`bitvector`], [`partition`]
+//! (IVP split points and PP physical repartitioning) and [`table`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,20 +40,24 @@ pub mod index;
 pub mod materialize;
 pub mod partition;
 pub mod predicate;
+pub mod rle;
 pub mod scan;
 pub mod table;
 pub mod value;
+pub mod zonemap;
 
 pub use bitpack::{BitPackedIter, BitPackedVec};
 pub use bitvector::BitVector;
-pub use column::{ColumnBuilder, DictColumn};
+pub use column::{ColumnBuilder, DictColumn, IndexVector, IvIter, IvLayoutKind};
 pub use dictionary::Dictionary;
 pub use index::InvertedIndex;
 pub use materialize::{materialize_positions, materialize_range};
 pub use partition::{ivp_ranges, PhysicalPartition, PhysicalPartitioning};
 pub use predicate::{EncodedPredicate, Predicate, VidMatcher, VidRange};
+pub use rle::{RleIter, RleVec};
 pub use scan::{
     scan_bitvector, scan_positions, scan_positions_batch, scan_positions_with_estimate, MatchList,
 };
 pub use table::{ColumnId, Table, TableBuilder};
 pub use value::DictValue;
+pub use zonemap::{VidBounds, ZoneMap, ZoneMapBuilder, ZONE_ROWS};

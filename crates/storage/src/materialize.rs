@@ -11,14 +11,13 @@
 //! bounds-checked once per batch, then every gather is a pair of overlapping
 //! word loads with no per-element assert or straddle branch.
 
-use crate::bitpack::BitPackedVec;
-use crate::column::DictColumn;
+use crate::column::{DictColumn, IndexVector};
 use crate::scan::MatchList;
 use crate::value::DictValue;
 
 /// Validates a batch of positions once so the per-element decode can skip its
 /// bounds assert.
-fn check_positions(iv: &BitPackedVec, positions: &[u32]) {
+fn check_positions(iv: &IndexVector, positions: &[u32]) {
     if let Some(&max) = positions.iter().max() {
         assert!((max as usize) < iv.len(), "position {max} out of bounds (len {})", iv.len());
     }

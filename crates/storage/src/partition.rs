@@ -61,10 +61,9 @@ impl<T: DictValue> PhysicalPartitioning<T> {
         let parts = ranges
             .into_iter()
             .map(|rows| {
-                let values: Vec<T> = rows.clone().map(|p| column.value_at(p).clone()).collect();
-                let part_column = DictColumn::from_values(
+                let part_column = column.rebuild_range(
                     format!("{}#{}-{}", column.name(), rows.start, rows.end),
-                    &values,
+                    rows.clone(),
                     with_index,
                 );
                 PhysicalPartition { rows, column: part_column }

@@ -95,6 +95,18 @@ impl VidMatcher<'_> {
     }
 }
 
+/// Whether precomputing a membership bitmap beats per-row binary search for a
+/// `VidList` probe pass: build cost is the bitmap's *bytes* (zeroing
+/// `(max_vid + 1) / 64` words dominates; filling the handful of list bits is
+/// noise), probe cost saved is one `~log2(list length)`-step binary search
+/// per row. Both sides in comparable per-byte/per-step units — the heuristic
+/// this replaces compared a word count against a row count, 64x apart.
+fn bitmap_pays_off(max_vid: u32, list_len: usize, rows: usize) -> bool {
+    let bitmap_bytes = (max_vid as usize + 1).div_ceil(64) * 8;
+    let search_steps_per_row = list_len.max(2).ilog2() as usize;
+    bitmap_bytes <= rows.saturating_mul(search_steps_per_row)
+}
+
 impl EncodedPredicate {
     /// Precomputes the per-scan membership structure: `VidList` predicates
     /// whose highest vid is below [`VID_BITMAP_MAX_DOMAIN`] get a
@@ -105,10 +117,14 @@ impl EncodedPredicate {
     }
 
     /// Like [`EncodedPredicate::matcher`], but only builds the bitmap when
-    /// its initialization cost (zeroing ~`max_vid / 64` words) is amortized
-    /// over the number of rows about to be probed — short per-task chunk
-    /// scans fall back to binary search rather than re-zeroing a large
-    /// bitmap on every call.
+    /// its initialization cost is amortized over the number of rows about to
+    /// be probed — short per-task chunk scans fall back to binary search
+    /// rather than re-zeroing a large bitmap on every call. The crossover is
+    /// an explicit cost comparison, [`bitmap_pays_off`]: bitmap *bytes* to
+    /// zero and fill versus probe rows weighted by the binary search's
+    /// `log2(list length)` step count (the two sides of the old
+    /// `(max / 64) <= rows` heuristic were in different units — words versus
+    /// rows — putting the crossover off by ~64x).
     pub fn matcher_for_rows(&self, rows: usize) -> VidMatcher<'_> {
         match self {
             EncodedPredicate::Range(r) => VidMatcher::Range(*r),
@@ -117,7 +133,10 @@ impl EncodedPredicate {
                 let max_vid = vids.last().copied();
                 match max_vid {
                     None => VidMatcher::Empty,
-                    Some(max) if max < VID_BITMAP_MAX_DOMAIN && (max as usize / 64) <= rows => {
+                    Some(max)
+                        if max < VID_BITMAP_MAX_DOMAIN
+                            && bitmap_pays_off(max, vids.len(), rows) =>
+                    {
                         let mut words = vec![0u64; (max as usize + 1).div_ceil(64)];
                         for &vid in vids {
                             words[vid as usize / 64] |= 1u64 << (vid % 64);
@@ -288,6 +307,30 @@ mod tests {
                 pred.matcher_for_rows(1_000_000).matches(vid),
                 "vid {vid}"
             );
+        }
+    }
+
+    #[test]
+    fn bitmap_crossover_sits_exactly_at_the_byte_cost_boundary() {
+        // max vid 6399 -> 100 bitmap words -> 800 bytes to zero. A 2-vid
+        // list costs 1 binary-search step per row, so the bitmap pays off at
+        // exactly 800 probe rows: one row below stays Sorted, at the
+        // boundary and above it flips to Bitmap.
+        let pred = EncodedPredicate::VidList(vec![3, 6399]);
+        assert!(matches!(pred.matcher_for_rows(799), VidMatcher::Sorted(_)));
+        assert!(matches!(pred.matcher_for_rows(800), VidMatcher::Bitmap(_)));
+        // A longer list amortizes faster (4 vids -> 2 steps/row): the same
+        // 800-byte bitmap pays off at 400 rows.
+        let pred = EncodedPredicate::VidList(vec![3, 7, 100, 6399]);
+        assert!(matches!(pred.matcher_for_rows(399), VidMatcher::Sorted(_)));
+        assert!(matches!(pred.matcher_for_rows(400), VidMatcher::Bitmap(_)));
+        // Both sides of every boundary answer identically.
+        let pred = EncodedPredicate::VidList(vec![3, 6399]);
+        for rows in [799usize, 800] {
+            let matcher = pred.matcher_for_rows(rows);
+            for vid in [0u32, 3, 6398, 6399, 6400] {
+                assert_eq!(matcher.matches(vid), pred.matches(vid), "rows {rows}, vid {vid}");
+            }
         }
     }
 

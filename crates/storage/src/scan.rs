@@ -60,12 +60,15 @@ impl MatchList {
 /// Scans rows `positions` of the column's index vector and returns the
 /// qualifying positions as a list, pre-sizing the output from the caller's
 /// selectivity estimate (clamped to `[0, 1]`) so the hot loop never
-/// reallocates when the estimate is honest.
+/// reallocates when the estimate is honest. A `NaN` estimate carries no
+/// information and falls back to the column's own zone-informed estimate
+/// instead of silently pre-sizing to zero (`NaN.clamp(…)` is `NaN`, and
+/// `NaN as usize` is 0); infinities clamp to the nearest bound as before.
 ///
-/// Range predicates run on the word-parallel mask kernel
-/// ([`crate::BitPackedVec::scan_range_masks`]), recovering positions by
+/// Range predicates run on the layout's mask kernel
+/// ([`crate::IndexVector::scan_range_masks`]), recovering positions by
 /// `trailing_zeros` iteration over nonzero masks; vid-list predicates decode
-/// sequentially through the word cursor and probe a precomputed
+/// sequentially through the layout's cursor and probe a precomputed
 /// [`crate::predicate::VidMatcher`].
 pub fn scan_positions_with_estimate<T: DictValue>(
     column: &DictColumn<T>,
@@ -77,7 +80,12 @@ pub fn scan_positions_with_estimate<T: DictValue>(
     let end = positions.end.min(iv.len());
     let start = positions.start.min(end);
     let rows = end - start;
-    let estimate = (rows as f64 * estimated_selectivity.clamp(0.0, 1.0)).ceil() as usize;
+    let selectivity = if estimated_selectivity.is_nan() {
+        column.scan_selectivity_estimate(start..end, predicate)
+    } else {
+        estimated_selectivity.clamp(0.0, 1.0)
+    };
+    let estimate = (rows as f64 * selectivity).ceil() as usize;
     let mut out = Vec::with_capacity(estimate.min(rows));
     match predicate {
         EncodedPredicate::Empty => {}
@@ -99,16 +107,17 @@ pub fn scan_positions_with_estimate<T: DictValue>(
 /// Scans rows `positions` of the column's index vector and returns the
 /// qualifying positions as a list.
 ///
-/// The output estimate is derived from the predicate's vid count under the
-/// uniform-distribution assumption the paper's dataset satisfies; callers
-/// with a better estimate should use [`scan_positions_with_estimate`].
+/// The output estimate is zone-map-informed where the column has zone
+/// coverage — the scanned range's local vid bounds replace the whole
+/// dictionary as the domain, which matters on partitioned or clustered data —
+/// and falls back to the uniform-frequency default otherwise; callers with a
+/// better estimate should use [`scan_positions_with_estimate`].
 pub fn scan_positions<T: DictValue>(
     column: &DictColumn<T>,
     positions: std::ops::Range<usize>,
     predicate: &EncodedPredicate,
 ) -> Vec<u32> {
-    let distinct = column.dictionary().len();
-    let estimate = if distinct == 0 { 0.0 } else { predicate.vid_count() as f64 / distinct as f64 };
+    let estimate = column.scan_selectivity_estimate(positions.clone(), predicate);
     scan_positions_with_estimate(column, positions, predicate, estimate)
 }
 
@@ -135,13 +144,11 @@ pub fn scan_positions_batch<T: DictValue>(
     let end = positions.end.min(iv.len());
     let start = positions.start.min(end);
     let rows = end - start;
-    let distinct = column.dictionary().len();
     let mut out: Vec<Vec<u32>> = predicates
         .iter()
         .map(|p| {
-            let selectivity =
-                if distinct == 0 { 0.0 } else { p.vid_count() as f64 / distinct as f64 };
-            let estimate = (rows as f64 * selectivity.clamp(0.0, 1.0)).ceil() as usize;
+            let selectivity = column.scan_selectivity_estimate(start..end, p);
+            let estimate = (rows as f64 * selectivity).ceil() as usize;
             Vec::with_capacity(estimate.min(rows))
         })
         .collect();
@@ -394,10 +401,42 @@ mod tests {
         let col = column();
         let pred = encoded(&col, 100, 149);
         let baseline = scan_positions(&col, 0..col.row_count(), &pred);
-        for estimate in [0.0, 0.05, 1.0, 7.5, -3.0] {
+        for estimate in
+            [0.0, 0.05, 1.0, 7.5, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -f64::NAN]
+        {
             let got = scan_positions_with_estimate(&col, 0..col.row_count(), &pred, estimate);
             assert_eq!(got, baseline, "estimate {estimate}");
         }
+    }
+
+    #[test]
+    fn nan_estimate_does_not_collapse_the_presizing_to_zero() {
+        // Regression: `NaN.clamp(0.0, 1.0)` is NaN and `NaN as usize` is 0,
+        // so a NaN estimate silently pre-sized every scan to capacity 0. It
+        // must instead fall back to the column's own (finite) estimate.
+        let col = column();
+        let pred = encoded(&col, 0, 999); // matches every row
+        let got = scan_positions_with_estimate(&col, 0..col.row_count(), &pred, f64::NAN);
+        assert_eq!(got.len(), col.row_count());
+        // The fallback estimate itself is finite and well-bounded.
+        let est = col.scan_selectivity_estimate(0..col.row_count(), &pred);
+        assert!(est.is_finite() && (0.0..=1.0).contains(&est));
+        assert!(est > 0.9, "an all-matching predicate should estimate near 1, got {est}");
+    }
+
+    #[test]
+    fn zone_informed_estimates_sharpen_on_clustered_data() {
+        // Sorted column: the first zone only holds the first ZONE_ROWS vids,
+        // so a predicate on that band estimates ~1.0 locally where the
+        // uniform default would say ZONE_ROWS / distinct.
+        let values: Vec<i64> = (0..3 * crate::zonemap::ZONE_ROWS as i64).collect();
+        let col = DictColumn::from_values("sorted", &values, false);
+        let zone_rows = crate::zonemap::ZONE_ROWS;
+        let pred = encoded(&col, 0, zone_rows as i64 - 1);
+        let local = col.scan_selectivity_estimate(0..zone_rows, &pred);
+        assert!(local > 0.99, "local estimate should be ~1.0, got {local}");
+        let uniform = pred.vid_count() as f64 / col.dictionary().len() as f64;
+        assert!(uniform < 0.4, "the uniform default would badly undersize: {uniform}");
     }
 
     #[test]

@@ -138,6 +138,7 @@ fn adaptive_placer_balances_a_hotspot_and_improves_throughput() {
             iv_intensive: true,
             partitions: catalog.column(hot).iv_segments.len(),
             active: true,
+            part_layouts: Vec::new(),
         }];
         let action = placer.decide(&utilization, &heats);
         if action == PlacerAction::None {

@@ -124,14 +124,82 @@ fn shared_results_match_the_oracle_across_placements() {
         let shared = session.shared_scan_stats();
         assert!(shared.sweeps_started > 0, "{placement:?}: nothing was shared: {shared:?}");
         assert!(shared.rows_swept > 0, "{placement:?}: {shared:?}");
+        // 40 statements run, but the 10 inverted-range ones encode to Empty
+        // and are zone-pruned before attaching; the satisfiable 30 attach to
+        // every part they overlap.
         assert!(
-            shared.queries_attached >= 40,
-            "{placement:?}: every statement must attach per part: {shared:?}"
+            shared.queries_attached >= 30,
+            "{placement:?}: every satisfiable statement must attach per part: {shared:?}"
         );
         let stats = session.engine().scheduler_stats();
         assert_eq!(stats.affinity_violations, 0, "{placement:?}: {stats:?}");
         session.shutdown();
     }
+}
+
+/// Satellite: hybrid per-partition layouts under sharing. A sorted
+/// low-cardinality column under IVP gets one part re-encoded RLE; narrow
+/// predicates zone-prune the parts whose vid ranges they miss. Concurrent
+/// shared statements over that mixed layout must stay byte-identical to the
+/// sequential oracle, and the pruned parts must never register sweeps.
+#[test]
+fn pruned_and_rle_parts_share_sweeps_exactly() {
+    use numascan::storage::IvLayoutKind;
+    // 24k rows, 480 distinct values in runs of 50: parts under IVP-4 cover
+    // disjoint value ranges 0..120, 120..240, 240..360, 360..480.
+    let rows = 24_000usize;
+    let values: Vec<i64> = (0..rows as i64).map(|i| i / 50).collect();
+    let table = numascan::storage::TableBuilder::new("t").add_values("v", &values, false).build();
+    let engine = NativeEngine::with_config(
+        table,
+        &Topology::four_socket_ivybridge_ex(),
+        NativeEngineConfig {
+            placement: NativePlacement::IndexVectorPartitioned { parts: 4 },
+            shared_scans: SharedScanConfig { mode: SharedScanMode::Always, chunk_rows: 1024 },
+            ..Default::default()
+        },
+    );
+    let (v, _) = engine.table().column_by_name("v").unwrap();
+    assert!(engine.relayout_part(v, 1, IvLayoutKind::Rle), "part 1 re-encodes RLE");
+    let session = SessionManager::new(engine);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|client| {
+                let session = &session;
+                scope.spawn(move || {
+                    (0..4)
+                        .map(|query| {
+                            // Narrow ranges spread over the domain: each hits
+                            // one or two parts (including the RLE part) and
+                            // prunes the rest.
+                            let lo = ((client * 97 + query * 173) % 440) as i64;
+                            let request =
+                                ScanRequest::Between { column: "v".into(), lo, hi: lo + 35 };
+                            let got = session.execute(&request).expect("known column");
+                            (request, got)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (request, got) in handle.join().expect("client panicked") {
+                assert_eq!(got, oracle(&session, &request), "diverged for {request:?}");
+            }
+        }
+    });
+
+    let shared = session.shared_scan_stats();
+    assert!(shared.sweeps_started > 0, "{shared:?}");
+    // 24 statements over a 4-part column: without pruning the sweeps would
+    // cover up to 4 parts per distinct predicate. Every range of width 35
+    // overlaps at most 2 parts, so attach volume proves pruning engaged.
+    assert!(
+        shared.queries_attached <= 2 * 24,
+        "narrow ranges must prune to <= 2 parts each: {shared:?}"
+    );
+    session.shutdown();
 }
 
 /// Routing: `Off` never touches the shared executor; `Auto` keeps a single
