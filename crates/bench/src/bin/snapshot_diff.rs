@@ -24,7 +24,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use numascan_bench::diff::{diff_report_markdown, diff_snapshots, load_snapshot_set};
+use numascan_bench::diff::{diff_snapshot_sets, load_snapshot_set, set_diff_report_markdown};
 
 fn main() -> ExitCode {
     let mut threshold = 0.20f64;
@@ -62,31 +62,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut diffs = Vec::new();
-    let mut unmatched = Vec::new();
-    for b in &base {
-        match new.iter().find(|n| n.id == b.id) {
-            Some(n) => diffs.push(diff_snapshots(b, n, threshold)),
-            None => unmatched.push(b.id.clone()),
-        }
-    }
-    for n in &new {
-        if !base.iter().any(|b| b.id == n.id) {
-            unmatched.push(n.id.clone());
-        }
-    }
+    let diff = diff_snapshot_sets(&base, &new, threshold);
+    print!("{}", set_diff_report_markdown(&diff, threshold));
 
-    let mut report = diff_report_markdown(&diffs, threshold);
-    if !unmatched.is_empty() {
-        report.push_str(&format!(
-            "Tables present on only one side (not compared): {}.\n",
-            unmatched.join(", ")
-        ));
-    }
-    print!("{report}");
-
-    let regressions: usize = diffs.iter().map(|d| d.regressions().count()).sum();
-    if fail_on_regression && regressions > 0 {
+    if fail_on_regression && diff.regression_count() > 0 {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -351,6 +351,63 @@ impl TableDiff {
     }
 }
 
+/// The diff of two whole snapshot *sets*: per-table diffs for ids present on
+/// both sides, plus the ids (with titles) that exist on only one side —
+/// tables added by a new experiment or removed by a retired one are reported
+/// structurally instead of failing the comparison.
+#[derive(Debug, Clone)]
+pub struct SnapshotSetDiff {
+    /// Per-table diffs for ids present in both sets.
+    pub tables: Vec<TableDiff>,
+    /// `(id, title)` of tables present only in the new set.
+    pub added_tables: Vec<(String, String)>,
+    /// `(id, title)` of tables present only in the base set.
+    pub removed_tables: Vec<(String, String)>,
+}
+
+impl SnapshotSetDiff {
+    /// Total regressions across every compared table.
+    pub fn regression_count(&self) -> usize {
+        self.tables.iter().map(|d| d.regressions().count()).sum()
+    }
+}
+
+/// Diffs two snapshot sets by table id. A table present on only one side is
+/// tolerated and listed in the added/removed section of the result.
+pub fn diff_snapshot_sets(base: &[Snapshot], new: &[Snapshot], threshold: f64) -> SnapshotSetDiff {
+    let mut tables = Vec::new();
+    let mut removed_tables = Vec::new();
+    for b in base {
+        match new.iter().find(|n| n.id == b.id) {
+            Some(n) => tables.push(diff_snapshots(b, n, threshold)),
+            None => removed_tables.push((b.id.clone(), b.title.clone())),
+        }
+    }
+    let added_tables = new
+        .iter()
+        .filter(|n| !base.iter().any(|b| b.id == n.id))
+        .map(|n| (n.id.clone(), n.title.clone()))
+        .collect();
+    SnapshotSetDiff { tables, added_tables, removed_tables }
+}
+
+/// Renders a whole-set diff: the per-table report plus an explicit
+/// added/removed-tables section when the two sets cover different ids.
+pub fn set_diff_report_markdown(diff: &SnapshotSetDiff, threshold: f64) -> String {
+    let mut out = diff_report_markdown(&diff.tables, threshold);
+    if !diff.added_tables.is_empty() || !diff.removed_tables.is_empty() {
+        let _ = writeln!(out, "### Added / removed tables\n");
+        for (id, title) in &diff.added_tables {
+            let _ = writeln!(out, "* added `{id}` — {title} (no base to compare against)");
+        }
+        for (id, title) in &diff.removed_tables {
+            let _ = writeln!(out, "* removed `{id}` — {title} (present only in the base set)");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
 fn format_number(n: f64) -> String {
     if n == n.trunc() && n.abs() < 1e12 {
         format!("{n:.0}")
@@ -560,6 +617,34 @@ mod tests {
         assert_eq!(diff.regressions().count(), 0);
         assert_eq!(diff.added_rows, vec!["c"]);
         assert!(diff.removed_rows.is_empty());
+    }
+
+    #[test]
+    fn set_diffs_tolerate_one_sided_tables() {
+        let shared_base = snap("t", &["Run", "GB/s"], &[&["a", "10"]]);
+        let shared_new = snap("t", &["Run", "GB/s"], &[&["a", "4"]]);
+        let only_base = snap("old", &["Run", "GB/s"], &[&["a", "1"]]);
+        let only_new = snap("cluster-faults", &["Cell", "Complete"], &[&["crash r2", "6"]]);
+        let diff = diff_snapshot_sets(&[shared_base, only_base], &[shared_new, only_new], 0.2);
+        assert_eq!(diff.tables.len(), 1, "only the shared id is compared");
+        assert_eq!(diff.regression_count(), 1);
+        assert_eq!(diff.added_tables.len(), 1);
+        assert_eq!(diff.added_tables[0].0, "cluster-faults");
+        assert_eq!(diff.removed_tables.len(), 1);
+        assert_eq!(diff.removed_tables[0].0, "old");
+        let md = set_diff_report_markdown(&diff, 0.2);
+        assert!(md.contains("Added / removed tables"), "{md}");
+        assert!(md.contains("added `cluster-faults`"), "{md}");
+        assert!(md.contains("removed `old`"), "{md}");
+    }
+
+    #[test]
+    fn identical_sets_report_no_added_or_removed_section() {
+        let a = snap("t", &["Run", "GB/s"], &[&["a", "10"]]);
+        let diff = diff_snapshot_sets(std::slice::from_ref(&a), std::slice::from_ref(&a), 0.2);
+        assert!(diff.added_tables.is_empty() && diff.removed_tables.is_empty());
+        let md = set_diff_report_markdown(&diff, 0.2);
+        assert!(!md.contains("Added / removed tables"), "{md}");
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Fault-tolerant sharded scan tier: seeded fault matrix over the cluster.
+//!
+//! One row per matrix cell (fault kind × replication factor), each cell
+//! replaying the same mixed request script under several seeds against a
+//! three-worker, three-shard cluster on the simulated transport. The
+//! headline columns are the typed outcome counts — every query must land in
+//! exactly one of `Complete` / `Partial` / `DeadlineExceeded` — next to the
+//! robustness machinery that produced them (retries, failovers, hedges,
+//! duplicates dropped) and the transport's raw fault counters. Everything
+//! runs on the virtual clock from fixed seeds, so the table is
+//! byte-reproducible.
+
+use numascan_cluster::{Cluster, ClusterConfig, ClusterError, ScanOutcome};
+use numascan_core::ScanRequest;
+use numascan_workload::{small_real_table, FaultKind, FaultSchedule};
+
+use crate::harness::ResultTable;
+use crate::scale::ExperimentScale;
+
+const WORKERS: usize = 3;
+const DATA_SEED: u64 = 0xC1A5;
+const QUICK_SEEDS: [u64; 3] = [11, 23, 47];
+const PAPER_SEEDS: [u64; 6] = [11, 23, 47, 1_009, 52_067, 999_331];
+
+/// The mixed request script every cell replays per seed.
+fn script() -> Vec<ScanRequest> {
+    vec![
+        ScanRequest::between("col000", 20, 90),
+        ScanRequest::in_list("col001", vec![3, 77, 191, 404]),
+        ScanRequest::between("col001", 150, 320),
+    ]
+}
+
+/// Every fault kind of the matrix, with a clean baseline first.
+fn kinds() -> Vec<FaultKind> {
+    let mut kinds = vec![FaultKind::None];
+    kinds.extend(FaultKind::ALL_FAULTY);
+    kinds
+}
+
+#[derive(Default)]
+struct CellTally {
+    queries: u64,
+    complete: u64,
+    partials: u64,
+    deadline: u64,
+    requests: u64,
+    retries: u64,
+    failovers: u64,
+    hedges: u64,
+    duplicates_dropped: u64,
+    messages_dropped: u64,
+}
+
+fn run_cell(rows: usize, kind: FaultKind, replication: usize, seeds: &[u64]) -> CellTally {
+    let base = small_real_table(rows, 2, DATA_SEED);
+    let mut tally = CellTally::default();
+    for &seed in seeds {
+        let faults = FaultSchedule::generate(kind, WORKERS, seed);
+        let config = ClusterConfig {
+            workers: WORKERS,
+            shards: WORKERS,
+            replication,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::build(&base, config, faults);
+        for request in script() {
+            match cluster.scan(&request) {
+                Ok(ScanOutcome::Complete(_) | ScanOutcome::Partial { .. })
+                | Err(ClusterError::DeadlineExceeded) => {}
+                Err(other) => panic!("{kind:?} r={replication} seed={seed}: {other}"),
+            }
+        }
+        let stats = cluster.stats();
+        tally.queries += stats.queries;
+        tally.complete += stats.complete;
+        tally.partials += stats.partials;
+        tally.deadline += stats.deadline_failures;
+        tally.requests += stats.requests_sent;
+        tally.retries += stats.retries;
+        tally.failovers += stats.failovers;
+        tally.hedges += stats.hedges;
+        tally.duplicates_dropped += stats.duplicates_dropped;
+        tally.messages_dropped += cluster.transport().counters().dropped;
+        cluster.shutdown();
+    }
+    tally
+}
+
+/// Runs the seeded fault matrix and tabulates the typed outcomes.
+pub fn run(scale: &ExperimentScale) -> Vec<ResultTable> {
+    let paper_scale = scale.rows >= ExperimentScale::paper().rows;
+    let seeds: &[u64] = if paper_scale { &PAPER_SEEDS } else { &QUICK_SEEDS };
+    let rows = (scale.rows / 1_000).clamp(2_000, 20_000) as usize;
+    let mut table = ResultTable::new(
+        "cluster-faults",
+        "Fault matrix of the sharded scan tier: typed outcome counts and robustness machinery \
+         per fault kind x replication factor, summed over fixed seeds on the virtual clock",
+        &[
+            "Cell",
+            "Queries",
+            "Complete",
+            "Partial",
+            "Deadline",
+            "Requests",
+            "Retries",
+            "Failovers",
+            "Hedges",
+            "Dup dropped",
+            "Msgs dropped",
+        ],
+    );
+    for kind in kinds() {
+        for replication in 1..=3usize {
+            let tally = run_cell(rows, kind, replication, seeds);
+            table.push_row([
+                format!("{} r{replication}", kind.label()),
+                tally.queries.to_string(),
+                tally.complete.to_string(),
+                tally.partials.to_string(),
+                tally.deadline.to_string(),
+                tally.requests.to_string(),
+                tally.retries.to_string(),
+                tally.failovers.to_string(),
+                tally.hedges.to_string(),
+                tally.duplicates_dropped.to_string(),
+                tally.messages_dropped.to_string(),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cell_accounts_for_every_query_with_a_typed_outcome() {
+        let scale = ExperimentScale::quick();
+        let tables = run(&scale);
+        let table = &tables[0];
+        assert_eq!(table.rows.len(), 15, "5 kinds x 3 replication factors");
+        let mut faulty_machinery = 0.0;
+        for row in &table.rows {
+            let cell = &row[0];
+            let queries = table.cell_f64(cell, "Queries").unwrap();
+            let complete = table.cell_f64(cell, "Complete").unwrap();
+            let partial = table.cell_f64(cell, "Partial").unwrap();
+            let deadline = table.cell_f64(cell, "Deadline").unwrap();
+            assert_eq!(
+                complete + partial + deadline,
+                queries,
+                "{cell}: outcomes must partition the queries"
+            );
+            if cell.starts_with("none") {
+                assert_eq!(complete, queries, "{cell}: a clean cluster never degrades");
+                assert_eq!(table.cell_f64(cell, "Retries").unwrap(), 0.0, "{cell}");
+            } else {
+                faulty_machinery += table.cell_f64(cell, "Retries").unwrap()
+                    + table.cell_f64(cell, "Hedges").unwrap()
+                    + table.cell_f64(cell, "Dup dropped").unwrap()
+                    + partial
+                    + deadline;
+            }
+        }
+        assert!(
+            faulty_machinery > 0.0,
+            "the faulty cells must exercise the robustness machinery: {table:?}"
+        );
+    }
+}

@@ -5,6 +5,7 @@
 //! those functions.
 
 pub mod adaptivity;
+pub mod cluster_faults;
 pub mod fig01;
 pub mod fig08;
 pub mod fig09;
@@ -145,6 +146,12 @@ pub fn all_experiments() -> Vec<Experiment> {
                           of one hot column, private sweeps vs the shared executor",
             run: scan_sharing::run,
         },
+        Experiment {
+            id: "cluster_faults",
+            description: "Fault-tolerant sharded scan tier: typed outcome counts and retry / \
+                          failover / hedge machinery per fault kind x replication factor",
+            run: cluster_faults::run,
+        },
     ]
 }
 
@@ -185,6 +192,7 @@ mod tests {
             "kernels",
             "scan_sharing",
             "hybrid_layouts",
+            "cluster_faults",
         ] {
             assert!(ids.contains(&expected), "missing experiment {expected}");
         }

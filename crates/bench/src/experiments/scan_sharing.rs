@@ -49,7 +49,7 @@ fn session(rows: usize, mode: SharedScanMode) -> SessionManager {
 /// being textually identical and the batch's bounding range stays narrow.
 fn request(client: usize, query: usize) -> ScanRequest {
     let lo = ((client % 8) * 512 + query * 3_001) as i64;
-    ScanRequest::Between { column: HOT_COLUMN.to_string(), lo, hi: lo + 150 }
+    ScanRequest::between(HOT_COLUMN, lo, lo + 150)
 }
 
 struct Run {

@@ -1,0 +1,206 @@
+//! Bounded exponential backoff with deterministic seeded jitter.
+//!
+//! Retried shard attempts wait `base * 2^n` (capped) plus a seeded uniform
+//! jitter of at most `jitter_frac * base` before the next send. Because the
+//! jitter never exceeds one `base`, the delay sequence is provably monotone
+//! non-decreasing until it saturates at the cap:
+//!
+//! ```text
+//! d(n)   <= raw(n) + base <= 2 * raw(n) = raw(n+1) <= d(n+1)   (pre-cap)
+//! d(n)   <= cap           = d(n+1)                              (at cap)
+//! ```
+//!
+//! A [`BackoffSchedule`] is additionally *budget-bounded*: it refuses to
+//! yield a delay that would push the cumulative wait past the request
+//! deadline, so the total retry budget can never exceed the time the caller
+//! has left. Both properties are pinned by property tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Retry policy of one shard request: attempt count, exponential delay
+/// shape, and jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// First retry delay, microseconds of virtual time.
+    pub base_us: u64,
+    /// Upper bound on any single delay, microseconds.
+    pub cap_us: u64,
+    /// Maximum number of retries (send attempts beyond the first).
+    pub max_attempts: u32,
+    /// Jitter as a fraction of `base_us`, in `0.0..=1.0`. Keeping the
+    /// jitter below one base step is what makes the sequence monotone.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { base_us: 2_000, cap_us: 20_000, max_attempts: 6, jitter_frac: 0.3 }
+    }
+}
+
+impl RetryPolicy {
+    /// The un-jittered delay of retry `n` (0-based): `base * 2^n`, capped.
+    pub fn raw_delay_us(&self, attempt: u32) -> u64 {
+        if attempt >= 63 {
+            self.cap_us
+        } else {
+            self.base_us.saturating_mul(1u64 << attempt).min(self.cap_us)
+        }
+    }
+
+    /// A seeded, budget-bounded delay schedule for one shard's retries.
+    ///
+    /// # Panics
+    /// Panics if the policy is malformed (`base_us == 0`, `cap_us < base_us`
+    /// or `jitter_frac` outside `0.0..=1.0`).
+    pub fn schedule(&self, seed: u64, budget_us: Option<u64>) -> BackoffSchedule {
+        assert!(self.base_us > 0, "base delay must be positive");
+        assert!(self.cap_us >= self.base_us, "cap must be at least the base delay");
+        assert!(
+            (0.0..=1.0).contains(&self.jitter_frac),
+            "jitter_frac must be within 0.0..=1.0 to keep the sequence monotone"
+        );
+        BackoffSchedule {
+            policy: *self,
+            rng: StdRng::seed_from_u64(seed),
+            attempt: 0,
+            spent_us: 0,
+            budget_us,
+        }
+    }
+}
+
+/// Iterator over the retry delays of one shard request.
+///
+/// Yields at most [`RetryPolicy::max_attempts`] delays and stops early when
+/// the next delay would push the cumulative wait past the budget.
+#[derive(Debug, Clone)]
+pub struct BackoffSchedule {
+    policy: RetryPolicy,
+    rng: StdRng,
+    attempt: u32,
+    spent_us: u64,
+    budget_us: Option<u64>,
+}
+
+impl BackoffSchedule {
+    /// Cumulative microseconds of delay handed out so far.
+    pub fn spent_us(&self) -> u64 {
+        self.spent_us
+    }
+}
+
+impl Iterator for BackoffSchedule {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.attempt >= self.policy.max_attempts {
+            return None;
+        }
+        let raw = self.policy.raw_delay_us(self.attempt);
+        let jitter_cap = (self.policy.base_us as f64 * self.policy.jitter_frac) as u64;
+        let jitter = if jitter_cap == 0 { 0 } else { self.rng.gen_range(0..=jitter_cap) };
+        let delay = raw.saturating_add(jitter).min(self.policy.cap_us);
+        if let Some(budget) = self.budget_us {
+            if self.spent_us.saturating_add(delay) > budget {
+                // Exhaust the schedule: a later (longer) delay cannot fit
+                // either, so yielding nothing further keeps the total wait
+                // within the request deadline.
+                self.attempt = self.policy.max_attempts;
+                return None;
+            }
+        }
+        self.spent_us += delay;
+        self.attempt += 1;
+        Some(delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn policy(base_us: u64, cap_us: u64, max_attempts: u32, jitter_frac: f64) -> RetryPolicy {
+        RetryPolicy { base_us, cap_us, max_attempts, jitter_frac }
+    }
+
+    #[test]
+    fn delays_double_until_the_cap() {
+        let p = policy(1_000, 6_000, 8, 0.0);
+        let delays: Vec<u64> = p.schedule(0, None).collect();
+        assert_eq!(delays, vec![1_000, 2_000, 4_000, 6_000, 6_000, 6_000, 6_000, 6_000]);
+    }
+
+    #[test]
+    fn a_zero_budget_yields_no_retries() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.schedule(1, Some(0)).count(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Satellite property: every delay is bounded by the cap.
+        #[test]
+        fn every_delay_is_bounded_by_the_cap(
+            base in 1u64..10_000,
+            cap_mult in 1u64..64,
+            attempts in 1u32..12,
+            jitter in 0u32..=100,
+            seed in any::<u64>(),
+        ) {
+            let p = policy(base, base * cap_mult, attempts, jitter as f64 / 100.0);
+            for delay in p.schedule(seed, None) {
+                prop_assert!(delay <= p.cap_us, "{delay} > cap {}", p.cap_us);
+            }
+        }
+
+        /// Satellite property: the sequence is monotone non-decreasing before
+        /// (and at) the cap, despite the jitter.
+        #[test]
+        fn delays_are_monotone_non_decreasing(
+            base in 1u64..10_000,
+            cap_mult in 1u64..64,
+            attempts in 2u32..12,
+            jitter in 0u32..=100,
+            seed in any::<u64>(),
+        ) {
+            let p = policy(base, base * cap_mult, attempts, jitter as f64 / 100.0);
+            let delays: Vec<u64> = p.schedule(seed, None).collect();
+            for pair in delays.windows(2) {
+                prop_assert!(pair[0] <= pair[1], "sequence decreased: {delays:?}");
+            }
+        }
+
+        /// Satellite property: the same seed replays the same schedule, and
+        /// the jitter actually depends on the seed.
+        #[test]
+        fn schedules_are_deterministic_per_seed(
+            base in 100u64..10_000,
+            seed in any::<u64>(),
+        ) {
+            let p = policy(base, base * 16, 8, 0.5);
+            let a: Vec<u64> = p.schedule(seed, None).collect();
+            let b: Vec<u64> = p.schedule(seed, None).collect();
+            prop_assert_eq!(a, b);
+        }
+
+        /// Satellite property: the total retry budget never exceeds the
+        /// request deadline handed to the schedule.
+        #[test]
+        fn total_delay_never_exceeds_the_budget(
+            base in 1u64..5_000,
+            cap_mult in 1u64..32,
+            attempts in 1u32..16,
+            budget in 0u64..100_000,
+            seed in any::<u64>(),
+        ) {
+            let p = policy(base, base * cap_mult, attempts, 0.3);
+            let schedule = p.schedule(seed, Some(budget));
+            let total: u64 = schedule.sum();
+            prop_assert!(total <= budget, "spent {total} of budget {budget}");
+        }
+    }
+}

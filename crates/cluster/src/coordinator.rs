@@ -1,0 +1,858 @@
+//! The coordinator: shard routing, zone pruning, retries, hedging,
+//! failover, and graceful degradation.
+//!
+//! [`Cluster::build`] slices a table into contiguous row-range shards
+//! (`ivp_ranges`, so concatenating shard results in shard order reproduces
+//! the global row order byte for byte), records per-shard per-column
+//! `(min, max)` zone bounds, and places each shard on `replication` workers
+//! (`shard + r mod workers`). [`Cluster::scan`] then runs one seeded
+//! event-loop per query over the [`Transport`]:
+//!
+//! * shards whose zone bounds cannot match the predicate are **pruned**;
+//! * each live shard gets an attempt with a per-attempt timeout; timeouts
+//!   trigger **bounded exponential backoff** (budgeted by the deadline) and
+//!   **failover** rotation through the shard's replicas;
+//! * a **hedge** timer duplicates slow attempts to the next replica once;
+//! * duplicate and late responses are deduplicated;
+//! * the **deadline** timer bounds the whole query — on expiry the merged
+//!   prefix is returned as a typed [`ScanOutcome::Partial`] (or
+//!   [`ClusterError::DeadlineExceeded`] if nothing resolved), never a hang
+//!   or a panic.
+//!
+//! Every decision is appended to a replayable [`Decision`] log: rebuilding
+//! the cluster with the same seed and replaying the same statements yields
+//! an identical log, which is how the fault-matrix tests pin determinism.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use numascan_core::{NativeEngine, NativeEngineConfig, ScanRequest, ScanSpec, SessionManager};
+use numascan_numasim::topology::{HopProfile, SocketSpec};
+use numascan_numasim::Topology;
+use numascan_storage::{ivp_ranges, Table, TableBuilder};
+use numascan_workload::FaultSchedule;
+
+use crate::backoff::{BackoffSchedule, RetryPolicy};
+use crate::transport::{Payload, ShardRequest, ShardResponse, SimTransport, TimerKind, Transport};
+use crate::worker::Worker;
+
+/// Sizing and robustness knobs of the cluster tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of workers.
+    pub workers: usize,
+    /// Number of row-range shards the table is split into.
+    pub shards: usize,
+    /// Replicas per shard (clamped to the worker count).
+    pub replication: usize,
+    /// Default per-query deadline, microseconds of virtual time. A
+    /// statement's own `ScanRequest::with_deadline` overrides it.
+    pub request_deadline_us: u64,
+    /// Per-attempt timeout before a retry is considered.
+    pub attempt_timeout_us: u64,
+    /// Age at which an unresolved attempt is hedged to the next replica.
+    pub hedge_delay_us: u64,
+    /// Nominal service time of one shard scan on a healthy worker.
+    pub service_base_us: u64,
+    /// Retry delay shape.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 3,
+            shards: 3,
+            replication: 2,
+            request_deadline_us: 200_000,
+            attempt_timeout_us: 10_000,
+            hedge_delay_us: 15_000,
+            service_base_us: 1_000,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Placement and zone metadata of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardMeta {
+    /// Global row range the shard covers.
+    pub rows: Range<usize>,
+    /// Workers hosting a replica, in failover order (primary first).
+    pub replicas: Vec<usize>,
+    /// Per-column `(min, max)` value bounds within the shard.
+    pub zones: BTreeMap<String, (i64, i64)>,
+}
+
+/// One entry of the replayable per-query decision log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// The shard's zone bounds cannot match the predicate; skipped.
+    Pruned {
+        /// Pruned shard.
+        shard: usize,
+    },
+    /// An attempt was sent.
+    Sent {
+        /// Target shard.
+        shard: usize,
+        /// Worker addressed.
+        worker: usize,
+        /// Attempt number.
+        attempt: u32,
+    },
+    /// The latest attempt's timeout fired with no response.
+    TimedOut {
+        /// Affected shard.
+        shard: usize,
+        /// The attempt that timed out.
+        attempt: u32,
+    },
+    /// A retry was scheduled after a backoff delay.
+    BackedOff {
+        /// Shard being retried.
+        shard: usize,
+        /// The backoff delay, microseconds.
+        delay_us: u64,
+    },
+    /// A retry rotated to a different replica than the previous attempt.
+    Failover {
+        /// Shard failing over.
+        shard: usize,
+        /// Worker of the previous attempt.
+        from: usize,
+        /// Worker of the new attempt.
+        to: usize,
+    },
+    /// The hedge timer duplicated a slow attempt to another replica.
+    Hedged {
+        /// Hedged shard.
+        shard: usize,
+        /// The extra replica addressed.
+        worker: usize,
+    },
+    /// A shard resolved with its first accepted response.
+    Resolved {
+        /// Resolved shard.
+        shard: usize,
+        /// Worker whose answer won.
+        worker: usize,
+        /// Attempt whose answer won.
+        attempt: u32,
+    },
+    /// A late or duplicated response for an already-settled shard.
+    DuplicateDropped {
+        /// Affected shard.
+        shard: usize,
+        /// Worker whose surplus answer was dropped.
+        worker: usize,
+    },
+    /// The shard's retry budget is exhausted (or its replica reported a
+    /// typed error); the shard is abandoned for this query.
+    ShardFailed {
+        /// Abandoned shard.
+        shard: usize,
+    },
+    /// The query's deadline fired before every shard settled.
+    DeadlineReached,
+    /// Per-shard results merged in shard order.
+    Merged {
+        /// Shards that contributed rows.
+        resolved: usize,
+        /// Shards that could not be served.
+        missing: usize,
+    },
+}
+
+/// Aggregate robustness counters across all queries of a cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Statements executed.
+    pub queries: u64,
+    /// Shard attempts sent (including retries and hedges).
+    pub requests_sent: u64,
+    /// Retries after an attempt timeout.
+    pub retries: u64,
+    /// Hedged duplicate attempts.
+    pub hedges: u64,
+    /// Retries that switched to a different replica.
+    pub failovers: u64,
+    /// Late or duplicated responses discarded.
+    pub duplicates_dropped: u64,
+    /// Shards skipped by zone pruning.
+    pub shards_pruned: u64,
+    /// Queries answered completely.
+    pub complete: u64,
+    /// Queries degraded to a partial answer.
+    pub partials: u64,
+    /// Queries that failed with `DeadlineExceeded`.
+    pub deadline_failures: u64,
+}
+
+/// The merged result of one clustered scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanOutcome {
+    /// Every un-pruned shard answered; rows are in global row order and
+    /// byte-identical to a single-engine scan.
+    Complete(Vec<i64>),
+    /// Some shards could not be served before the deadline; the rows of the
+    /// resolved shards are returned (still in global row order) together
+    /// with the shards that are missing.
+    Partial {
+        /// Rows of the shards that did resolve.
+        rows: Vec<i64>,
+        /// Shards with no surviving replica answer, ascending.
+        missing_shards: Vec<usize>,
+    },
+}
+
+/// The merged result of one clustered count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountOutcome {
+    /// Every un-pruned shard answered.
+    Complete(usize),
+    /// The count over the shards that resolved, plus the missing shards.
+    Partial {
+        /// Matching rows across the resolved shards.
+        count: usize,
+        /// Shards with no surviving replica answer, ascending.
+        missing_shards: Vec<usize>,
+    },
+}
+
+/// Typed failures of a clustered statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The statement names a column the table does not have.
+    UnknownColumn(String),
+    /// The deadline expired before any shard resolved.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            ClusterError::DeadlineExceeded => {
+                write!(f, "cluster deadline exceeded before any shard resolved")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Per-shard bookkeeping of one in-flight query.
+#[derive(Debug)]
+struct ShardState {
+    replicas: Vec<usize>,
+    resolved: Option<Vec<i64>>,
+    failed: bool,
+    last_attempt: u32,
+    last_worker: usize,
+    next_attempt: u32,
+    pending_send: bool,
+    hedged: bool,
+    backoff: BackoffSchedule,
+}
+
+impl ShardState {
+    fn settled(&self) -> bool {
+        self.resolved.is_some() || self.failed
+    }
+}
+
+/// The sharded scan tier: a coordinator over `workers` fault-isolated
+/// engine processes, connected by a swappable [`Transport`].
+#[derive(Debug)]
+pub struct Cluster<T: Transport = SimTransport> {
+    config: ClusterConfig,
+    shards: Vec<ShardMeta>,
+    workers: Vec<Worker>,
+    transport: T,
+    columns: Vec<String>,
+    stats: ClusterStats,
+    decisions: Vec<Decision>,
+    backoff_seed: u64,
+    query_counter: u64,
+}
+
+/// A deliberately tiny virtual topology for shard engines: two sockets, one
+/// core each, so a cluster of many replicas keeps its thread count modest.
+pub fn shard_engine_topology() -> Topology {
+    Topology::custom_uniform(
+        2,
+        SocketSpec {
+            cores: 1,
+            threads_per_core: 1,
+            local_bandwidth_gibs: 50.0,
+            memory_gib: 64.0,
+            per_context_stream_gibs: 8.0,
+            context_ops_per_sec: 2.0e9,
+            memory_level_parallelism: 8.0,
+            frequency_ghz: 2.2,
+        },
+        HopProfile {
+            local_latency_ns: 90.0,
+            one_hop_latency_ns: 150.0,
+            max_hop_latency_ns: 150.0,
+            one_hop_bandwidth_gibs: 25.0,
+            max_hop_bandwidth_gibs: 25.0,
+        },
+    )
+}
+
+impl Cluster<SimTransport> {
+    /// Shards `table` across a simulated cluster injecting `faults`.
+    ///
+    /// Every replica is an independent [`NativeEngine`] over its shard's
+    /// row slice, placed on [`shard_engine_topology`] (pass a different
+    /// engine config via [`Cluster::build_with_engine_config`] when the
+    /// baseline comparison needs to match a specific engine setup).
+    pub fn build(table: &Table, config: ClusterConfig, faults: FaultSchedule) -> Self {
+        Cluster::build_with_engine_config(
+            table,
+            config,
+            faults,
+            &shard_engine_topology(),
+            NativeEngineConfig::default(),
+        )
+    }
+
+    /// [`Cluster::build`] with an explicit per-replica engine topology and
+    /// config (used by the zero-fault overhead gate to mirror its direct
+    /// baseline engine exactly).
+    pub fn build_with_engine_config(
+        table: &Table,
+        config: ClusterConfig,
+        faults: FaultSchedule,
+        topology: &Topology,
+        engine_config: NativeEngineConfig,
+    ) -> Self {
+        assert!(config.workers > 0, "a cluster needs at least one worker");
+        assert!(config.shards > 0, "a cluster needs at least one shard");
+        assert!(config.replication > 0, "replication of zero would place no data");
+        let replication = config.replication.min(config.workers);
+
+        let columns: Vec<String> = table.columns().map(|(_, c)| c.name().to_string()).collect();
+        let mut workers: Vec<Worker> = (0..config.workers).map(Worker::new).collect();
+        let mut shards = Vec::with_capacity(config.shards);
+
+        for (shard, rows) in ivp_ranges(table.row_count(), config.shards).into_iter().enumerate() {
+            // Slice every column to the shard's row range and record zones.
+            let mut zones = BTreeMap::new();
+            let mut builder = TableBuilder::new(format!("{}-shard{shard}", table.name()));
+            for (_, column) in table.columns() {
+                let values: Vec<i64> = rows.clone().map(|p| *column.value_at(p)).collect();
+                let min = values.iter().copied().min().unwrap_or(i64::MAX);
+                let max = values.iter().copied().max().unwrap_or(i64::MIN);
+                zones.insert(column.name().to_string(), (min, max));
+                builder = builder.add_values(column.name(), &values, false);
+            }
+            let sub_table = builder.build();
+
+            let replicas: Vec<usize> =
+                (0..replication).map(|r| (shard + r) % config.workers).collect();
+            for &worker in &replicas {
+                let engine =
+                    NativeEngine::with_config(sub_table.clone(), topology, engine_config.clone());
+                workers[worker].add_shard(shard, SessionManager::new(engine));
+            }
+            shards.push(ShardMeta { rows, replicas, zones });
+        }
+
+        let backoff_seed = faults.seed;
+        Cluster {
+            config,
+            shards,
+            workers,
+            transport: SimTransport::new(faults),
+            columns,
+            stats: ClusterStats::default(),
+            decisions: Vec::new(),
+            backoff_seed,
+            query_counter: 0,
+        }
+    }
+}
+
+impl<T: Transport> Cluster<T> {
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Shard metadata, in shard order.
+    pub fn shards(&self) -> &[ShardMeta] {
+        &self.shards
+    }
+
+    /// Aggregate robustness counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// The transport (for its fault counters).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// The decision log of the most recent query.
+    pub fn last_decisions(&self) -> Vec<Decision> {
+        self.decisions.clone()
+    }
+
+    /// Whether the shard's zone bounds rule out every match of `spec`.
+    fn pruned(meta: &ShardMeta, column: &str, spec: &ScanSpec) -> bool {
+        let Some(&(min, max)) = meta.zones.get(column) else {
+            return true;
+        };
+        match spec {
+            ScanSpec::Between { lo, hi } => *lo > *hi || *hi < min || *lo > max,
+            ScanSpec::InList { values } => values.iter().all(|v| *v < min || *v > max),
+        }
+    }
+
+    /// Executes one clustered scan; see the module docs for the event loop.
+    pub fn scan(&mut self, request: &ScanRequest) -> Result<ScanOutcome, ClusterError> {
+        self.decisions.clear();
+        self.stats.queries += 1;
+        self.query_counter += 1;
+        let query = self.query_counter;
+
+        if !self.columns.iter().any(|c| c == request.column()) {
+            return Err(ClusterError::UnknownColumn(request.column().to_string()));
+        }
+
+        // The statement's own deadline (interpreted as virtual microseconds
+        // at this tier) overrides the configured default.
+        let deadline_us = request
+            .deadline
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(self.config.request_deadline_us);
+
+        // Shard requests carry no engine-level deadline: attempt timeouts
+        // and the query deadline live on the virtual clock, not wall time.
+        let shard_request = ScanRequest {
+            column: request.column.to_string(),
+            spec: request.spec.clone(),
+            deadline: None,
+        };
+
+        self.transport.begin_query();
+        self.transport.schedule_timer(deadline_us, TimerKind::Deadline);
+
+        // Target set: prune what the zones rule out.
+        let mut states: BTreeMap<usize, ShardState> = BTreeMap::new();
+        for (shard, meta) in self.shards.iter().enumerate() {
+            if Self::pruned(meta, request.column(), &request.spec) {
+                self.decisions.push(Decision::Pruned { shard });
+                self.stats.shards_pruned += 1;
+                continue;
+            }
+            let seed = self
+                .backoff_seed
+                .wrapping_add(query.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((shard as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            states.insert(
+                shard,
+                ShardState {
+                    replicas: meta.replicas.clone(),
+                    resolved: None,
+                    failed: false,
+                    last_attempt: 0,
+                    last_worker: meta.replicas[0],
+                    next_attempt: 0,
+                    pending_send: false,
+                    hedged: false,
+                    backoff: self.config.retry.schedule(seed, Some(deadline_us)),
+                },
+            );
+        }
+
+        // First attempts plus (with replication) one hedge timer per shard.
+        let shard_ids: Vec<usize> = states.keys().copied().collect();
+        for &shard in &shard_ids {
+            let state = states.get_mut(&shard).expect("state just inserted");
+            Self::dispatch(
+                &mut self.transport,
+                &mut self.decisions,
+                &mut self.stats,
+                &self.config,
+                query,
+                &shard_request,
+                shard,
+                state,
+                false,
+            );
+            if state.replicas.len() > 1 {
+                self.transport
+                    .schedule_timer(self.config.hedge_delay_us, TimerKind::Hedge { shard });
+            }
+        }
+
+        let mut deadline_hit = false;
+        while !states.is_empty() && !states.values().all(|s| s.settled()) {
+            let Some((at, payload)) = self.transport.next_arrival() else {
+                // Unreachable with the deadline timer armed, but a missing
+                // arrival must degrade, not hang.
+                deadline_hit = true;
+                break;
+            };
+            match payload {
+                Payload::Request(req) => {
+                    if !self.transport.worker_up(req.worker, at) {
+                        continue; // lost: the worker is down at arrival
+                    }
+                    let service =
+                        self.transport.service_us(req.worker, self.config.service_base_us);
+                    let finish = at + service;
+                    if !self.transport.worker_up(req.worker, finish) {
+                        continue; // lost: the worker crashes mid-service
+                    }
+                    let Some(result) = self.workers[req.worker].execute(req.shard, &req.request)
+                    else {
+                        continue; // misrouted: treated like a lost message
+                    };
+                    let response = ShardResponse {
+                        query: req.query,
+                        shard: req.shard,
+                        attempt: req.attempt,
+                        worker: req.worker,
+                        result: result.map_err(|e| e.to_string()),
+                    };
+                    self.transport.send_response(response, finish);
+                }
+                Payload::Response(resp) => {
+                    if resp.query != query {
+                        continue; // stale cross-query traffic
+                    }
+                    let Some(state) = states.get_mut(&resp.shard) else {
+                        continue;
+                    };
+                    if state.settled() {
+                        self.decisions.push(Decision::DuplicateDropped {
+                            shard: resp.shard,
+                            worker: resp.worker,
+                        });
+                        self.stats.duplicates_dropped += 1;
+                        continue;
+                    }
+                    match resp.result {
+                        Ok(rows) => {
+                            state.resolved = Some(rows);
+                            self.decisions.push(Decision::Resolved {
+                                shard: resp.shard,
+                                worker: resp.worker,
+                                attempt: resp.attempt,
+                            });
+                        }
+                        Err(_) => {
+                            state.failed = true;
+                            self.decisions.push(Decision::ShardFailed { shard: resp.shard });
+                        }
+                    }
+                }
+                Payload::Timer(TimerKind::AttemptTimeout { shard, attempt }) => {
+                    let Some(state) = states.get_mut(&shard) else { continue };
+                    if state.settled() || state.pending_send || attempt != state.last_attempt {
+                        continue;
+                    }
+                    self.decisions.push(Decision::TimedOut { shard, attempt });
+                    match state.backoff.next() {
+                        Some(delay_us) => {
+                            self.decisions.push(Decision::BackedOff { shard, delay_us });
+                            state.pending_send = true;
+                            let next = state.next_attempt;
+                            self.transport.schedule_timer(
+                                at + delay_us,
+                                TimerKind::SendAttempt { shard, attempt: next },
+                            );
+                        }
+                        None => {
+                            state.failed = true;
+                            self.decisions.push(Decision::ShardFailed { shard });
+                        }
+                    }
+                }
+                Payload::Timer(TimerKind::SendAttempt { shard, attempt }) => {
+                    let Some(state) = states.get_mut(&shard) else { continue };
+                    if state.settled() || attempt != state.next_attempt {
+                        continue;
+                    }
+                    state.pending_send = false;
+                    self.stats.retries += 1;
+                    Self::dispatch(
+                        &mut self.transport,
+                        &mut self.decisions,
+                        &mut self.stats,
+                        &self.config,
+                        query,
+                        &shard_request,
+                        shard,
+                        state,
+                        false,
+                    );
+                }
+                Payload::Timer(TimerKind::Hedge { shard }) => {
+                    let Some(state) = states.get_mut(&shard) else { continue };
+                    if state.settled() || state.hedged || state.next_attempt > 1 {
+                        continue; // already answered, hedged, or retrying
+                    }
+                    state.hedged = true;
+                    self.stats.hedges += 1;
+                    Self::dispatch(
+                        &mut self.transport,
+                        &mut self.decisions,
+                        &mut self.stats,
+                        &self.config,
+                        query,
+                        &shard_request,
+                        shard,
+                        state,
+                        true,
+                    );
+                }
+                Payload::Timer(TimerKind::Deadline) => {
+                    self.decisions.push(Decision::DeadlineReached);
+                    deadline_hit = true;
+                    break;
+                }
+            }
+        }
+
+        // Merge in shard order: contiguous row-range shards concatenated
+        // ascending reproduce the global row order.
+        let mut rows = Vec::new();
+        let mut missing = Vec::new();
+        let mut resolved = 0usize;
+        for (shard, state) in &mut states {
+            match state.resolved.take() {
+                Some(mut shard_rows) => {
+                    resolved += 1;
+                    rows.append(&mut shard_rows);
+                }
+                None => missing.push(*shard),
+            }
+        }
+        self.decisions.push(Decision::Merged { resolved, missing: missing.len() });
+
+        if missing.is_empty() {
+            self.stats.complete += 1;
+            Ok(ScanOutcome::Complete(rows))
+        } else if resolved == 0 && deadline_hit {
+            self.stats.deadline_failures += 1;
+            Err(ClusterError::DeadlineExceeded)
+        } else {
+            self.stats.partials += 1;
+            Ok(ScanOutcome::Partial { rows, missing_shards: missing })
+        }
+    }
+
+    /// Executes one clustered count: a [`Cluster::scan`] whose merged rows
+    /// are reduced to their cardinality.
+    pub fn count(&mut self, request: &ScanRequest) -> Result<CountOutcome, ClusterError> {
+        Ok(match self.scan(request)? {
+            ScanOutcome::Complete(rows) => CountOutcome::Complete(rows.len()),
+            ScanOutcome::Partial { rows, missing_shards } => {
+                CountOutcome::Partial { count: rows.len(), missing_shards }
+            }
+        })
+    }
+
+    /// Sends one attempt for `shard` to the replica its attempt number
+    /// selects, arming the per-attempt timeout.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        transport: &mut T,
+        decisions: &mut Vec<Decision>,
+        stats: &mut ClusterStats,
+        config: &ClusterConfig,
+        query: u64,
+        shard_request: &ScanRequest,
+        shard: usize,
+        state: &mut ShardState,
+        hedge: bool,
+    ) {
+        let attempt = state.next_attempt;
+        state.next_attempt += 1;
+        let worker = state.replicas[attempt as usize % state.replicas.len()];
+        if hedge {
+            decisions.push(Decision::Hedged { shard, worker });
+        } else {
+            if attempt > 0 && worker != state.last_worker {
+                decisions.push(Decision::Failover { shard, from: state.last_worker, to: worker });
+                stats.failovers += 1;
+            }
+            decisions.push(Decision::Sent { shard, worker, attempt });
+        }
+        state.last_attempt = attempt;
+        state.last_worker = worker;
+        stats.requests_sent += 1;
+        transport.send_request(ShardRequest {
+            query,
+            shard,
+            attempt,
+            worker,
+            request: shard_request.clone(),
+        });
+        transport.schedule_timer(
+            transport.now_us() + config.attempt_timeout_us,
+            TimerKind::AttemptTimeout { shard, attempt },
+        );
+    }
+
+    /// Shuts the cluster down, joining every shard engine's thread pool.
+    pub fn shutdown(self) {
+        for worker in self.workers {
+            worker.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numascan_workload::{small_real_table, FaultKind};
+
+    fn cluster(config: ClusterConfig, faults: FaultSchedule) -> Cluster<SimTransport> {
+        let table = small_real_table(6_000, 2, 0xC1u64);
+        Cluster::build(&table, config, faults)
+    }
+
+    fn oracle(rows: usize) -> Vec<i64> {
+        let table = small_real_table(rows, 2, 0xC1u64);
+        let (_, column) = table.column_by_name("col000").expect("column exists");
+        (0..column.row_count())
+            .map(|p| *column.value_at(p))
+            .filter(|v| (20..=90).contains(v))
+            .collect()
+    }
+
+    #[test]
+    fn a_clean_cluster_matches_the_single_engine_oracle() {
+        let mut c = cluster(ClusterConfig::default(), FaultSchedule::none(1));
+        let outcome = c.scan(&ScanRequest::between("col000", 20, 90)).expect("no faults");
+        assert_eq!(outcome, ScanOutcome::Complete(oracle(6_000)));
+        assert_eq!(c.stats().complete, 1);
+        let decisions = c.last_decisions();
+        assert!(decisions.iter().any(|d| matches!(d, Decision::Resolved { .. })));
+        c.shutdown();
+    }
+
+    #[test]
+    fn unknown_columns_fail_typed() {
+        let mut c = cluster(ClusterConfig::default(), FaultSchedule::none(2));
+        assert_eq!(
+            c.scan(&ScanRequest::between("nope", 0, 1)),
+            Err(ClusterError::UnknownColumn("nope".into()))
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn counts_are_scan_cardinalities() {
+        let mut c = cluster(ClusterConfig::default(), FaultSchedule::none(3));
+        let count = c.count(&ScanRequest::between("col000", 20, 90)).expect("no faults");
+        assert_eq!(count, CountOutcome::Complete(oracle(6_000).len()));
+        c.shutdown();
+    }
+
+    #[test]
+    fn zone_pruning_skips_impossible_shards() {
+        // col000 values live in 0..256 everywhere, so a range far outside
+        // prunes every shard and completes empty without any network trip.
+        let mut c = cluster(ClusterConfig::default(), FaultSchedule::none(4));
+        let outcome = c.scan(&ScanRequest::between("col000", 5_000, 6_000)).expect("prunable");
+        assert_eq!(outcome, ScanOutcome::Complete(Vec::new()));
+        assert_eq!(c.stats().shards_pruned, 3);
+        assert_eq!(c.stats().requests_sent, 0);
+        // An inverted range is unsatisfiable and prunes everywhere too.
+        let outcome = c.scan(&ScanRequest::between("col000", 90, 20)).expect("prunable");
+        assert_eq!(outcome, ScanOutcome::Complete(Vec::new()));
+        c.shutdown();
+    }
+
+    #[test]
+    fn a_permanently_dead_primary_fails_over_to_its_replica() {
+        let mut faults = FaultSchedule::none(5);
+        // Worker 0 (primary of shard 0) is down for the whole query.
+        faults.crashes.push(numascan_workload::CrashWindow {
+            worker: 0,
+            down_at_us: 0,
+            up_at_us: u64::MAX,
+        });
+        let mut c = cluster(ClusterConfig::default(), faults);
+        let outcome = c.scan(&ScanRequest::between("col000", 20, 90)).expect("replica serves");
+        assert_eq!(outcome, ScanOutcome::Complete(oracle(6_000)), "failover must be lossless");
+        assert!(c.stats().retries + c.stats().hedges > 0, "{:?}", c.stats());
+        c.shutdown();
+    }
+
+    #[test]
+    fn unreplicated_dead_shards_degrade_to_typed_partials() {
+        let mut faults = FaultSchedule::none(6);
+        faults.crashes.push(numascan_workload::CrashWindow {
+            worker: 0,
+            down_at_us: 0,
+            up_at_us: u64::MAX,
+        });
+        let config = ClusterConfig { replication: 1, ..ClusterConfig::default() };
+        let mut c = cluster(config, faults);
+        match c.scan(&ScanRequest::between("col000", 20, 90)).expect("typed degradation") {
+            ScanOutcome::Partial { missing_shards, .. } => {
+                assert_eq!(missing_shards, vec![0], "only worker 0's shard is unservable");
+            }
+            other => panic!("expected a partial outcome, got {other:?}"),
+        }
+        assert_eq!(c.stats().partials, 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn an_entirely_dead_cluster_degrades_or_times_out_typed() {
+        let mut faults = FaultSchedule::none(7);
+        for worker in 0..3 {
+            faults.crashes.push(numascan_workload::CrashWindow {
+                worker,
+                down_at_us: 0,
+                up_at_us: u64::MAX,
+            });
+        }
+        let mut c = cluster(ClusterConfig::default(), faults.clone());
+        // With the full deadline, every shard exhausts its retry budget
+        // first: the documented degradation is a typed all-missing partial.
+        assert_eq!(
+            c.scan(&ScanRequest::between("col000", 20, 90)),
+            Ok(ScanOutcome::Partial { rows: Vec::new(), missing_shards: vec![0, 1, 2] })
+        );
+        // With a deadline shorter than the first attempt timeout, the clock
+        // runs out before anything resolves: typed DeadlineExceeded.
+        let rushed = ScanRequest::between("col000", 20, 90)
+            .with_deadline(std::time::Duration::from_micros(5_000));
+        assert_eq!(c.scan(&rushed), Err(ClusterError::DeadlineExceeded));
+        assert_eq!(c.stats().deadline_failures, 1);
+        assert_eq!(c.stats().partials, 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn decision_logs_replay_identically_for_one_seed() {
+        let run = |seed: u64| -> Vec<Vec<Decision>> {
+            let mut c = cluster(
+                ClusterConfig::default(),
+                FaultSchedule::generate(FaultKind::Drop, 3, seed),
+            );
+            let mut logs = Vec::new();
+            for q in 0..3 {
+                let lo = 10 + q * 25;
+                let _ = c.scan(&ScanRequest::between("col000", lo, lo + 60));
+                logs.push(c.last_decisions());
+            }
+            c.shutdown();
+            logs
+        };
+        assert_eq!(run(11), run(11), "one seed must replay one decision sequence");
+        assert_ne!(run(11), run(12), "different seeds must explore different interleavings");
+    }
+}

@@ -1,0 +1,41 @@
+//! # numascan-cluster
+//!
+//! The fault-tolerant sharded scan tier over the NUMA-aware engine: a
+//! [`Coordinator`](Cluster) that splits a table into contiguous row-range
+//! shards, places each shard on `replication` [`Worker`]s (each an
+//! independent [`numascan_core::NativeEngine`] over its shard slice), routes
+//! per-shard scan/count requests over a swappable [`Transport`], and merges
+//! the partial results back into the exact global row order.
+//!
+//! The robustness layer — per-request deadlines, per-attempt timeouts,
+//! bounded exponential [`backoff`] with seeded jitter, hedged retries,
+//! k-way replica failover, and graceful degradation to typed
+//! [`ScanOutcome::Partial`] answers — is exercised against the simulated
+//! [`SimTransport`], whose virtual clock and seeded fault injection
+//! (message drop/delay/duplication, worker crash windows, stragglers) make
+//! every interleaving deterministic and replayable from a single seed:
+//!
+//! * [`backoff`] — the retry-delay schedule and its provable properties.
+//! * [`transport`] — the message layer: the [`Transport`] seam and the
+//!   seeded in-process simulation driving the virtual clock.
+//! * [`worker`] — shard-hosting workers executing requests on local engines.
+//! * [`coordinator`] — routing, zone pruning, retry/hedge/failover logic,
+//!   the replayable [`Decision`] log, and outcome typing.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backoff;
+pub mod coordinator;
+pub mod transport;
+pub mod worker;
+
+pub use backoff::{BackoffSchedule, RetryPolicy};
+pub use coordinator::{
+    shard_engine_topology, Cluster, ClusterConfig, ClusterError, ClusterStats, CountOutcome,
+    Decision, ScanOutcome, ShardMeta,
+};
+pub use transport::{
+    FaultCounters, Payload, ShardRequest, ShardResponse, SimTransport, TimerKind, Transport,
+};
+pub use worker::Worker;

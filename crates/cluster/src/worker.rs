@@ -1,0 +1,96 @@
+//! A scan worker: a set of shard-local engines behind the transport.
+//!
+//! Each worker hosts the replicas assigned to it as independent
+//! [`SessionManager`]s over shard-sliced sub-tables, and executes arriving
+//! shard requests synchronously — the *timing* of its answers (service
+//! time, stragglers, crash windows) is modeled entirely by the transport's
+//! virtual clock, so the real wall-clock cost of the scan never leaks into
+//! the simulated interleaving.
+
+use std::collections::BTreeMap;
+
+use numascan_core::{EngineError, ScanRequest, SessionManager};
+
+/// One worker process of the cluster tier.
+pub struct Worker {
+    id: usize,
+    shards: BTreeMap<usize, SessionManager>,
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker").field("id", &self.id).field("shards", &self.shard_ids()).finish()
+    }
+}
+
+impl Worker {
+    /// A worker with no shards yet.
+    pub fn new(id: usize) -> Self {
+        Worker { id, shards: BTreeMap::new() }
+    }
+
+    /// This worker's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Hosts a shard replica on this worker.
+    pub fn add_shard(&mut self, shard: usize, session: SessionManager) {
+        let previous = self.shards.insert(shard, session);
+        assert!(previous.is_none(), "worker {} already hosts shard {shard}", self.id);
+    }
+
+    /// The shards this worker hosts, ascending.
+    pub fn shard_ids(&self) -> Vec<usize> {
+        self.shards.keys().copied().collect()
+    }
+
+    /// Executes `request` against the local replica of `shard`.
+    ///
+    /// Returns `None` when the worker does not host the shard (a misrouted
+    /// request — the coordinator treats it like a lost message).
+    pub fn execute(
+        &self,
+        shard: usize,
+        request: &ScanRequest,
+    ) -> Option<Result<Vec<i64>, EngineError>> {
+        self.shards.get(&shard).map(|session| session.execute(request))
+    }
+
+    /// Shuts down every shard engine, joining their thread pools.
+    pub fn shutdown(self) {
+        for (_, session) in self.shards {
+            session.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numascan_core::NativeEngine;
+    use numascan_numasim::Topology;
+    use numascan_scheduler::SchedulingStrategy;
+    use numascan_storage::TableBuilder;
+
+    #[test]
+    fn workers_serve_their_shards_and_miss_the_rest() {
+        let values: Vec<i64> = (0..512).collect();
+        let table = TableBuilder::new("t").add_values("v", &values, false).build();
+        let session = SessionManager::new(NativeEngine::new(
+            table,
+            &Topology::four_socket_ivybridge_ex(),
+            SchedulingStrategy::Bound,
+        ));
+        let mut worker = Worker::new(3);
+        worker.add_shard(1, session);
+        assert_eq!(worker.id(), 3);
+        assert_eq!(worker.shard_ids(), vec![1]);
+
+        let request = ScanRequest::between("v", 5, 9);
+        let rows = worker.execute(1, &request).expect("hosted shard").expect("known column");
+        assert_eq!(rows, vec![5, 6, 7, 8, 9]);
+        assert!(worker.execute(0, &request).is_none(), "unhosted shard is a miss");
+        worker.shutdown();
+    }
+}

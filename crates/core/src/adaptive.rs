@@ -221,15 +221,18 @@ impl AdaptiveDataPlacer {
         if utilization.is_empty() {
             return PlacerAction::None;
         }
+        // `total_cmp`, not `partial_cmp().expect(...)`: a NaN smuggled in by
+        // a degenerate telemetry epoch must yield a (possibly suboptimal)
+        // decision, never a panic that unwinds through a cluster worker.
         let (hot_socket, &hot_util) = utilization
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite utilization"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty utilization");
         let (cold_socket, &cold_util) = utilization
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite utilization"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty utilization");
 
         if hot_util - cold_util > self.config.imbalance_threshold {
@@ -237,7 +240,7 @@ impl AdaptiveDataPlacer {
             let hottest = heats
                 .iter()
                 .filter(|h| h.primary_socket.index() == hot_socket && h.active)
-                .max_by(|a, b| a.heat.partial_cmp(&b.heat).expect("finite heat"));
+                .max_by(|a, b| a.heat.total_cmp(&b.heat));
             let Some(item) = hottest else { return PlacerAction::None };
 
             let socket_share = if hot_util > 0.0 {

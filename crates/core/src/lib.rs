@@ -30,6 +30,9 @@
 //!   library outside the simulator: placement-aligned task splitting, live
 //!   move/repartition actions, and the scan telemetry (per-socket and
 //!   per-column bytes) that closes the adaptive loop without the simulator.
+//! * [`error`] — typed statement errors ([`EngineError`]): unknown columns
+//!   and deadline expiry, so callers above the engine (the cluster tier in
+//!   particular) can tell a permanent failure from a timed-out attempt.
 //! * [`session`] — the multi-client admission layer: concurrent statements
 //!   register themselves so the measured active-statement count drives the
 //!   concurrency hint, and epoch rebalance steps are coordinated in one
@@ -46,6 +49,7 @@
 pub mod adaptive;
 pub mod catalog;
 pub mod cost;
+pub mod error;
 pub mod native;
 pub mod placement;
 pub mod planner;
@@ -58,11 +62,12 @@ pub mod spec;
 pub use adaptive::{AdaptiveDataPlacer, ColumnHeat, PartLayoutStat, PlacerAction, PlacerConfig};
 pub use catalog::Catalog;
 pub use cost::{CostModel, MemTarget, TaskWork};
+pub use error::EngineError;
 pub use native::{NativeEngine, NativeEngineConfig, NativeEpoch, NativePlacement};
 pub use placement::{PlacedColumn, PlacedTable, PlacementStrategy, RepartitionCost};
 pub use planner::{PlannedTask, QueryPlan, ScanPlanner};
 pub use query::{ColumnRef, QueryGenerator, QueryKind, QuerySpec};
-pub use session::{ScanRequest, SessionManager};
+pub use session::{ScanRequest, ScanSpec, SessionManager};
 pub use shared::{SharedScanConfig, SharedScanMode, SharedScanStats};
 pub use sim::{SimConfig, SimEngine, SimReport};
 pub use spec::{ColumnSpec, TableSpec};

@@ -33,12 +33,12 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use numascan_numasim::{SocketId, Topology};
 use numascan_scheduler::{
-    ConcurrencyHint, PoolConfig, SchedulerStats, SchedulingStrategy, StealThrottleConfig, TaskMeta,
-    TaskPriority, ThreadPool, WorkClass,
+    CancellationToken, ConcurrencyHint, PoolConfig, SchedulerStats, SchedulingStrategy,
+    StealThrottleConfig, TaskMeta, TaskPriority, ThreadPool, WorkClass,
 };
 use numascan_storage::{
     scan_positions_with_estimate, ColumnId, DictColumn, EncodedPredicate, IvLayoutKind,
@@ -47,7 +47,9 @@ use numascan_storage::{
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::adaptive::{AdaptiveDataPlacer, ColumnHeat, PartLayoutStat, PlacerAction};
+use crate::error::EngineError;
 use crate::query::ColumnRef;
+use crate::session::ScanRequest;
 use crate::shared::{
     PartAttachSpec, SharedCollector, SharedScanConfig, SharedScanMode, SharedScanRegistry,
     SharedScanStats, SweepKey,
@@ -219,6 +221,20 @@ impl StatementLatch {
         while *remaining > 0 {
             self.done.wait(&mut remaining);
         }
+    }
+
+    /// Like [`StatementLatch::wait`], but gives up at `deadline`. Returns
+    /// whether every task finished (`false` = the deadline expired first).
+    fn wait_until(&self, deadline: Instant) -> bool {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.done.wait_for(&mut remaining, deadline - now);
+        }
+        true
     }
 }
 
@@ -416,7 +432,38 @@ impl NativeEngine {
         predicate: &Predicate<i64>,
         active_statements: usize,
     ) -> Option<Vec<i64>> {
-        let (column_id, base) = self.table.column_by_name(column_name)?;
+        self.scan_with_deadline(column_name, predicate, active_statements, None).ok()
+    }
+
+    /// Executes a session-layer [`ScanRequest`], honouring its optional
+    /// deadline (measured from this call).
+    pub fn scan_request(
+        &self,
+        request: &ScanRequest,
+        active_statements: usize,
+    ) -> Result<Vec<i64>, EngineError> {
+        let deadline = request.deadline.map(|d| Instant::now() + d);
+        self.scan_with_deadline(request.column(), &request.predicate(), active_statements, deadline)
+    }
+
+    /// [`NativeEngine::scan_predicate`] with typed errors and an optional
+    /// absolute deadline, honoured at chunk boundaries on both execution
+    /// paths: on the private path the statement stops waiting at the
+    /// deadline and cancels its not-yet-started tasks (running chunks finish
+    /// and are discarded); on the shared path the statement's attachment is
+    /// purged from the sweep at the next chunk boundary, so the sweep's
+    /// refcounts — and every other attached statement — are untouched.
+    pub fn scan_with_deadline(
+        &self,
+        column_name: &str,
+        predicate: &Predicate<i64>,
+        active_statements: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<i64>, EngineError> {
+        let (column_id, base) = self
+            .table
+            .column_by_name(column_name)
+            .ok_or_else(|| EngineError::UnknownColumn(column_name.to_string()))?;
         let (placement, generation) = {
             let placements = self.placements.read();
             // Read under the same lock that writers hold while bumping, so
@@ -432,16 +479,17 @@ impl NativeEngine {
         // made hot by a column it reports as inactive.
         self.telemetry.column_queries[column_id.index()].fetch_add(1, Ordering::Relaxed);
         if self.should_share(active_statements, placement.parts.len()) {
-            Some(self.scan_shared(column_id, base, &placement, generation, predicate, epoch))
+            self.scan_shared(column_id, base, &placement, generation, predicate, epoch, deadline)
         } else {
-            Some(self.scan_private(
+            self.scan_private(
                 column_id,
                 base,
                 &placement,
                 predicate,
                 active_statements,
                 epoch,
-            ))
+                deadline,
+            )
         }
     }
 
@@ -465,6 +513,7 @@ impl NativeEngine {
     /// The private (per-statement) execution path: splits the scan into
     /// concurrency-hint-many tasks aligned to the column's placement and
     /// submits them with their parts' socket affinities.
+    #[allow(clippy::too_many_arguments)]
     fn scan_private(
         &self,
         column_id: ColumnId,
@@ -473,7 +522,8 @@ impl NativeEngine {
         predicate: &Predicate<i64>,
         active_statements: usize,
         epoch: u64,
-    ) -> Vec<i64> {
+        deadline: Option<Instant>,
+    ) -> Result<Vec<i64>, EngineError> {
         // Round the suggested task count up to a multiple of the parts so
         // every task's range falls wholly inside one part (Section 5.2).
         let parts = placement.parts.len();
@@ -550,6 +600,7 @@ impl NativeEngine {
 
         let latch = Arc::new(StatementLatch::new(specs.len()));
         let results: Arc<Mutex<TaskChunks>> = Arc::new(Mutex::new(Vec::with_capacity(specs.len())));
+        let token = CancellationToken::new();
         for (seq, spec) in specs.into_iter().enumerate() {
             let part_column: &DictColumn<i64> = spec.data.as_deref().unwrap_or(base);
             let bytes = part_column.iv_scan_bytes(spec.local_rows.len());
@@ -563,9 +614,12 @@ impl NativeEngine {
             };
             let table = Arc::clone(&self.table);
             let results = Arc::clone(&results);
-            let latch = Arc::clone(&latch);
-            self.pool.submit(meta, move || {
-                let _count_down = LatchGuard(latch);
+            // Moved *into* the closure (not created inside it): a cancelled
+            // task's closure is dropped unrun, and the guard's drop still
+            // counts the latch down, so an expired statement never wedges.
+            let count_down = LatchGuard(Arc::clone(&latch));
+            self.pool.submit_cancellable(meta, token.clone(), move || {
+                let _count_down = count_down;
                 let column: &DictColumn<i64> =
                     spec.data.as_deref().unwrap_or_else(|| table.column(column_id));
                 let positions = scan_positions_with_estimate(
@@ -578,13 +632,24 @@ impl NativeEngine {
                 results.lock().push((spec.chunk, values));
             });
         }
-        latch.wait();
+        match deadline {
+            None => latch.wait(),
+            Some(deadline) => {
+                if !latch.wait_until(deadline) {
+                    // Queued tasks are dropped at pickup; tasks already
+                    // running finish into `results` (kept alive by their
+                    // `Arc`) and are discarded with it.
+                    token.cancel();
+                    return Err(EngineError::DeadlineExceeded);
+                }
+            }
+        }
 
         let mut chunks = Arc::try_unwrap(results)
             .map(|m| m.into_inner())
             .unwrap_or_else(|arc| arc.lock().clone());
         chunks.sort_by_key(|(i, _)| *i);
-        chunks.into_iter().flat_map(|(_, v)| v).collect()
+        Ok(chunks.into_iter().flat_map(|(_, v)| v).collect())
     }
 
     /// The cooperative execution path: the statement attaches one query per
@@ -600,6 +665,7 @@ impl NativeEngine {
     /// are tracked in [`SharedScanStats::bytes_swept`], and the steal
     /// throttle's bandwidth estimate is fed one pass per started sweep (the
     /// attached statements add no traffic).
+    #[allow(clippy::too_many_arguments)]
     fn scan_shared(
         &self,
         column_id: ColumnId,
@@ -608,7 +674,8 @@ impl NativeEngine {
         generation: u64,
         predicate: &Predicate<i64>,
         epoch: u64,
-    ) -> Vec<i64> {
+        deadline: Option<Instant>,
+    ) -> Result<Vec<i64>, EngineError> {
         // Encode and zone-prune first: a part the zone map rules out never
         // registers a sweep, records no telemetry, and — crucially — does
         // not count toward the collector's completion set, so the statement
@@ -660,7 +727,7 @@ impl NativeEngine {
                 self.pool.submit(meta, move || registry.dispatch(ticket));
             }
         }
-        collector.wait()
+        collector.wait_until(deadline).ok_or(EngineError::DeadlineExceeded)
     }
 
     /// Counters of the cooperative shared-scan executor: sweeps started,

@@ -14,6 +14,12 @@
 //! place: epoch snapshots, placer rebalance steps and the pool's bandwidth
 //! epochs are all driven through the session manager between statement
 //! batches.
+//!
+//! Requests optionally carry a **per-statement deadline**
+//! ([`ScanRequest::with_deadline`]): the engine honours it at chunk
+//! boundaries on both execution paths and returns
+//! [`EngineError::DeadlineExceeded`] instead of blocking past it — the
+//! primitive the cluster tier's retry/failover layer is built on.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
@@ -21,42 +27,67 @@ use std::time::Duration;
 use numascan_storage::Predicate;
 
 use crate::adaptive::{AdaptiveDataPlacer, PlacerAction};
+use crate::error::EngineError;
 use crate::native::{NativeEngine, NativeEpoch};
 
-/// A client request the session layer can admit.
+/// The predicate shape of a [`ScanRequest`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ScanRequest {
-    /// `SELECT col FROM t WHERE col BETWEEN lo AND hi`.
+pub enum ScanSpec {
+    /// `col BETWEEN lo AND hi`.
     Between {
-        /// Column name.
-        column: String,
         /// Inclusive lower bound.
         lo: i64,
         /// Inclusive upper bound.
         hi: i64,
     },
-    /// `SELECT col FROM t WHERE col IN (values)`.
+    /// `col IN (values)`.
     InList {
-        /// Column name.
-        column: String,
         /// The IN-list values.
         values: Vec<i64>,
     },
 }
 
+/// A client request the session layer can admit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanRequest {
+    /// The scanned (and materialized) column.
+    pub column: String,
+    /// The predicate.
+    pub spec: ScanSpec,
+    /// Optional statement deadline, measured from admission. `None` (the
+    /// default) blocks until the statement completes.
+    pub deadline: Option<Duration>,
+}
+
 impl ScanRequest {
+    /// `SELECT col FROM t WHERE col BETWEEN lo AND hi`.
+    pub fn between(column: impl Into<String>, lo: i64, hi: i64) -> Self {
+        ScanRequest { column: column.into(), spec: ScanSpec::Between { lo, hi }, deadline: None }
+    }
+
+    /// `SELECT col FROM t WHERE col IN (values)`.
+    pub fn in_list(column: impl Into<String>, values: Vec<i64>) -> Self {
+        ScanRequest { column: column.into(), spec: ScanSpec::InList { values }, deadline: None }
+    }
+
+    /// Attaches a deadline: the statement returns
+    /// [`EngineError::DeadlineExceeded`] if its results are not complete
+    /// within `deadline` of admission.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// The column the request scans.
     pub fn column(&self) -> &str {
-        match self {
-            ScanRequest::Between { column, .. } | ScanRequest::InList { column, .. } => column,
-        }
+        &self.column
     }
 
     /// The request's predicate.
     pub fn predicate(&self) -> Predicate<i64> {
-        match self {
-            ScanRequest::Between { lo, hi, .. } => Predicate::Between { lo: *lo, hi: *hi },
-            ScanRequest::InList { values, .. } => Predicate::InList(values.clone()),
+        match &self.spec {
+            ScanSpec::Between { lo, hi } => Predicate::Between { lo: *lo, hi: *hi },
+            ScanSpec::InList { values } => Predicate::InList(values.clone()),
         }
     }
 }
@@ -106,8 +137,9 @@ impl SessionManager {
     }
 
     /// Admits and executes one statement: registers it as active and blocks
-    /// the calling client until its results are complete. Returns `None` for
-    /// unknown columns.
+    /// the calling client until its results are complete, its deadline
+    /// expires ([`EngineError::DeadlineExceeded`]), or the column turns out
+    /// not to exist ([`EngineError::UnknownColumn`]).
     ///
     /// The measured active count decides the execution shape: under low
     /// concurrency the engine splits the statement into concurrency-hint-many
@@ -118,11 +150,11 @@ impl SessionManager {
     /// byte-identical either way. The predicate is encoded once per part and
     /// shared via `Arc` across all tasks and attached queries — IN-list
     /// payloads are never deep-cloned per task.
-    pub fn execute(&self, request: &ScanRequest) -> Option<Vec<i64>> {
+    pub fn execute(&self, request: &ScanRequest) -> Result<Vec<i64>, EngineError> {
         let active = self.active.fetch_add(1, Ordering::SeqCst) + 1;
         self.admitted.fetch_add(1, Ordering::SeqCst);
         let _guard = StatementGuard { active: &self.active };
-        self.engine.scan_predicate(request.column(), &request.predicate(), active)
+        self.engine.scan_request(request, active)
     }
 
     /// Counters of the engine's cooperative shared-scan executor.
@@ -160,6 +192,8 @@ impl SessionManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shared::{SharedScanConfig, SharedScanMode};
+    use crate::NativeEngineConfig;
     use numascan_numasim::Topology;
     use numascan_scheduler::SchedulingStrategy;
     use numascan_storage::{Table, TableBuilder};
@@ -181,7 +215,7 @@ mod tests {
     #[test]
     fn sequential_statements_match_a_reference_filter() {
         let s = session(20_000);
-        let got = s.execute(&ScanRequest::Between { column: "v".into(), lo: 10, hi: 49 }).unwrap();
+        let got = s.execute(&ScanRequest::between("v", 10, 49)).unwrap();
         let expected: Vec<i64> =
             (0..20_000i64).map(|i| (i * 31) % 500).filter(|v| (10..=49).contains(v)).collect();
         assert_eq!(got, expected);
@@ -191,9 +225,12 @@ mod tests {
     }
 
     #[test]
-    fn unknown_columns_do_not_leak_active_statements() {
+    fn unknown_columns_fail_typed_and_do_not_leak_active_statements() {
         let s = session(1_000);
-        assert!(s.execute(&ScanRequest::Between { column: "nope".into(), lo: 0, hi: 1 }).is_none());
+        assert_eq!(
+            s.execute(&ScanRequest::between("nope", 0, 1)),
+            Err(EngineError::UnknownColumn("nope".into()))
+        );
         assert_eq!(s.active_statements(), 0);
         s.shutdown();
     }
@@ -209,8 +246,7 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..5i64 {
                         let lo = (c as i64 * 20 + i) % 400;
-                        s.execute(&ScanRequest::Between { column: "v".into(), lo, hi: lo + 60 })
-                            .unwrap();
+                        s.execute(&ScanRequest::between("v", lo, lo + 60)).unwrap();
                         if s.active_statements() > 1 {
                             saw.store(true, Ordering::Relaxed);
                         }
@@ -225,7 +261,7 @@ mod tests {
 
     #[test]
     fn in_list_requests_expose_column_and_predicate() {
-        let r = ScanRequest::InList { column: "v".into(), values: vec![1, 2, 3] };
+        let r = ScanRequest::in_list("v", vec![1, 2, 3]);
         assert_eq!(r.column(), "v");
         assert_eq!(r.predicate(), Predicate::InList(vec![1, 2, 3]));
         let s = session(10_000);
@@ -233,6 +269,60 @@ mod tests {
         let expected: Vec<i64> =
             (0..10_000i64).map(|i| (i * 31) % 500).filter(|v| [1, 2, 3].contains(v)).collect();
         assert_eq!(got, expected);
+        s.shutdown();
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_typed_on_the_private_path() {
+        let s = session(200_000);
+        // A zero deadline has expired by the first latch check; the private
+        // path must cancel its outstanding tasks and return immediately.
+        let r = ScanRequest::between("v", 0, 499).with_deadline(Duration::ZERO);
+        assert_eq!(s.execute(&r), Err(EngineError::DeadlineExceeded));
+        assert_eq!(s.active_statements(), 0);
+        // The engine stays fully usable afterwards; dropped tasks released
+        // their latch through the guard.
+        let got = s.execute(&ScanRequest::between("v", 10, 49)).unwrap();
+        let expected: Vec<i64> =
+            (0..200_000i64).map(|i| (i * 31) % 500).filter(|v| (10..=49).contains(v)).collect();
+        assert_eq!(got, expected);
+        assert!(s.engine().scheduler_stats().cancelled > 0, "tasks should have been dropped");
+        s.shutdown();
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_typed_on_the_shared_path() {
+        let s = SessionManager::new(NativeEngine::with_config(
+            table(300_000),
+            &Topology::four_socket_ivybridge_ex(),
+            NativeEngineConfig {
+                shared_scans: SharedScanConfig {
+                    mode: SharedScanMode::Always,
+                    ..SharedScanConfig::default()
+                },
+                ..Default::default()
+            },
+        ));
+        let r = ScanRequest::between("v", 0, 499).with_deadline(Duration::ZERO);
+        assert_eq!(s.execute(&r), Err(EngineError::DeadlineExceeded));
+        // A later statement over the same column must still be served in
+        // full: the expired attachment is purged at a chunk boundary without
+        // corrupting the sweep's refcounts.
+        let got = s.execute(&ScanRequest::between("v", 10, 49)).unwrap();
+        let expected: Vec<i64> =
+            (0..300_000i64).map(|i| (i * 31) % 500).filter(|v| (10..=49).contains(v)).collect();
+        assert_eq!(got, expected);
+        s.shutdown();
+    }
+
+    #[test]
+    fn generous_deadlines_do_not_change_results() {
+        let s = session(20_000);
+        let plain = s.execute(&ScanRequest::between("v", 10, 49)).unwrap();
+        let with_deadline = s
+            .execute(&ScanRequest::between("v", 10, 49).with_deadline(Duration::from_secs(60)))
+            .unwrap();
+        assert_eq!(plain, with_deadline);
         s.shutdown();
     }
 }

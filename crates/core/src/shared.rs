@@ -41,8 +41,9 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use numascan_numasim::SocketId;
 use numascan_storage::{
@@ -110,6 +111,11 @@ pub struct SharedScanStats {
     /// Dispatch tickets that the relevance policy redirected to a more
     /// relevant sweep than the one whose registration created the ticket.
     pub relevance_redirects: u64,
+    /// Attachments purged at a chunk boundary because their statement's
+    /// deadline expired while it waited. The purged statement's rows stop
+    /// being swept; every other attachment — and the sweep's completion
+    /// accounting — is untouched.
+    pub deadline_detaches: u64,
 }
 
 /// Identity of one sweep: a column part under one placement snapshot. The
@@ -152,6 +158,10 @@ pub(crate) struct SharedCollector {
     remaining: Mutex<usize>,
     done: Condvar,
     chunks: Mutex<Vec<ChunkRef>>,
+    /// Set when the waiting statement's deadline expired: the waiter is gone,
+    /// so sweeps purge this collector's attachments at their next chunk
+    /// boundary instead of serving (and completing) them.
+    cancelled: AtomicBool,
 }
 
 impl SharedCollector {
@@ -161,7 +171,19 @@ impl SharedCollector {
             remaining: Mutex::new(parts),
             done: Condvar::new(),
             chunks: Mutex::new(Vec::new()),
+            cancelled: AtomicBool::new(false),
         }
+    }
+
+    /// Whether the waiting statement gave up (deadline expiry).
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Marks the collector abandoned, as deadline expiry does.
+    #[cfg(test)]
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
     }
 
     /// Appends one chunk reference (no-op for chunks with no matches).
@@ -185,10 +207,29 @@ impl SharedCollector {
     /// statement (parts partition the row space and chunks partition each
     /// pass), so sorting by start and concatenating reproduces the
     /// sequential scan order exactly.
+    #[cfg(test)]
     pub(crate) fn wait(&self) -> Vec<i64> {
+        self.wait_until(None).expect("waits without a deadline cannot expire")
+    }
+
+    /// [`SharedCollector::wait`] with an optional absolute deadline. Returns
+    /// `None` exactly when the deadline expired first; the collector is then
+    /// marked cancelled so every sweep it is attached to purges the
+    /// attachment at its next chunk boundary.
+    pub(crate) fn wait_until(&self, deadline: Option<Instant>) -> Option<Vec<i64>> {
         let mut remaining = self.remaining.lock();
         while *remaining > 0 {
-            self.done.wait(&mut remaining);
+            match deadline {
+                None => self.done.wait(&mut remaining),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.cancelled.store(true, Ordering::SeqCst);
+                        return None;
+                    }
+                    let _ = self.done.wait_for(&mut remaining, deadline - now);
+                }
+            }
         }
         drop(remaining);
         let mut chunks = std::mem::take(&mut *self.chunks.lock());
@@ -200,7 +241,7 @@ impl SharedCollector {
             let keep = chunk.positions.partition_point(|&p| p < cut);
             out.extend(materialize_positions(chunk.sweep.column(), &chunk.positions[..keep]));
         }
-        out
+        Some(out)
     }
 }
 
@@ -307,6 +348,7 @@ pub(crate) struct SharedScanRegistry {
     rows_swept: AtomicU64,
     bytes_swept: AtomicU64,
     relevance_redirects: AtomicU64,
+    deadline_detaches: AtomicU64,
 }
 
 impl SharedScanRegistry {
@@ -323,6 +365,7 @@ impl SharedScanRegistry {
             rows_swept: AtomicU64::new(0),
             bytes_swept: AtomicU64::new(0),
             relevance_redirects: AtomicU64::new(0),
+            deadline_detaches: AtomicU64::new(0),
         }
     }
 
@@ -337,6 +380,7 @@ impl SharedScanRegistry {
             rows_swept: self.rows_swept.load(Ordering::Relaxed),
             bytes_swept: self.bytes_swept.load(Ordering::Relaxed),
             relevance_redirects: self.relevance_redirects.load(Ordering::Relaxed),
+            deadline_detaches: self.deadline_detaches.load(Ordering::Relaxed),
         }
     }
 
@@ -445,6 +489,19 @@ impl SharedScanRegistry {
                 let mut state = sweep.state.lock();
                 if state.cursor == sweep.len {
                     state.cursor = 0;
+                }
+                // Deadline-expired statements detach here, at the chunk
+                // boundary: their waiter is gone, so their attachments are
+                // dropped without a `complete_part` — the per-collector
+                // remaining count was never decremented for these parts, so
+                // nothing underflows, and the remaining active set keeps its
+                // served counts untouched.
+                let waiting = state.active.len() + state.pending.len();
+                state.active.retain(|attached| !attached.collector.is_cancelled());
+                state.pending.retain(|attached| !attached.collector.is_cancelled());
+                let detached = waiting - state.active.len() - state.pending.len();
+                if detached > 0 {
+                    self.deadline_detaches.fetch_add(detached as u64, Ordering::Relaxed);
                 }
                 if !state.pending.is_empty() {
                     if state.cursor != 0 {
@@ -642,6 +699,40 @@ mod tests {
         assert_eq!(stats.wraparound_joins, 2);
         // The circular pass covers tail + prefix exactly once per row.
         assert_eq!(stats.rows_swept, 8_000);
+    }
+
+    #[test]
+    fn a_cancelled_attachment_is_purged_without_starving_the_rest() {
+        let table = test_table(6_000);
+        let registry = SharedScanRegistry::new(512);
+        let key = SweepKey { column: 0, generation: 0, part: 0 };
+        let (expired, ticket) = attach_query(&registry, &table, key, 100, 199);
+        let ticket = ticket.expect("first attach registers the sweep");
+        let (live, none) = attach_query(&registry, &table, key, 0, 499);
+        assert!(none.is_none());
+        // Simulate a deadline expiry before the sweep runs: the waiter gave
+        // up, so the sweep must drop the attachment at its first boundary.
+        expired.cancel();
+        registry.dispatch(ticket);
+        assert_eq!(live.wait(), oracle(&table, 0, 499));
+        let stats = registry.stats();
+        assert_eq!(stats.deadline_detaches, 1);
+        assert_eq!(stats.rows_swept, 6_000, "the live query is still served a full pass");
+        assert!(registry.inner.lock().sweeps.is_empty(), "the sweep must still close cleanly");
+    }
+
+    #[test]
+    fn a_sweep_whose_every_waiter_expired_closes_without_work() {
+        let table = test_table(4_000);
+        let registry = SharedScanRegistry::new(256);
+        let key = SweepKey { column: 0, generation: 0, part: 0 };
+        let (gone, ticket) = attach_query(&registry, &table, key, 0, 99);
+        gone.cancel();
+        registry.dispatch(ticket.unwrap());
+        let stats = registry.stats();
+        assert_eq!(stats.deadline_detaches, 1);
+        assert_eq!(stats.rows_swept, 0, "no chunk may be swept for an abandoned statement");
+        assert!(registry.inner.lock().sweeps.is_empty());
     }
 
     #[test]

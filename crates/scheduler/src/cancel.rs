@@ -1,0 +1,56 @@
+//! Cooperative statement cancellation.
+//!
+//! A statement that misses its deadline must not wait for (or tear down) the
+//! tasks it already submitted: the pool owns them, and yanking a closure out
+//! of a queue from another thread would race the worker main loop. Instead
+//! the statement shares a [`CancellationToken`] with every task it submits
+//! ([`crate::ThreadPool::submit_cancellable`]); cancelling flips one atomic
+//! flag, and each task checks it at the moment a worker picks it up — a task
+//! that finds the flag set is *dropped* instead of run (its closure's
+//! destructors still fire, so completion latches captured by the closure
+//! still count down). Tasks already running are never interrupted; the
+//! statement's chunk granularity is the cancellation granularity.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared flag that marks a statement's outstanding tasks as not worth
+/// running. Clones share the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancellationToken::default()
+    }
+
+    /// Marks the token cancelled. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancellationToken::cancel`] has been called on this token or
+    /// any clone of it.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancellationToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled() && !clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled() && clone.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled(), "cancel is idempotent");
+    }
+}

@@ -21,6 +21,9 @@
 //!   (`OS`, `Target`, `Bound`) and the stealing rules they imply.
 //! * [`concurrency`] — the concurrency hint that adapts task granularity to
 //!   the number of concurrently active statements.
+//! * [`cancel`] — cooperative statement cancellation: a shared token checked
+//!   when a worker picks a task up, so deadline-expired statements drop their
+//!   outstanding tasks without perturbing the scheduling state machine.
 //! * [`bandwidth`] — the bandwidth-aware steal throttle: per-socket
 //!   utilization estimated from scan telemetry, used to flip stealable tasks
 //!   to socket-bound while their home socket is unsaturated (the online half
@@ -44,6 +47,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bandwidth;
+pub mod cancel;
 pub mod concurrency;
 pub mod core;
 pub mod mc;
@@ -54,6 +58,7 @@ pub mod stats;
 pub mod task;
 
 pub use bandwidth::{BandwidthTracker, StealThrottleConfig};
+pub use cancel::CancellationToken;
 pub use concurrency::ConcurrencyHint;
 pub use policy::{SchedulingStrategy, StealScope};
 pub use pool::{PoolConfig, ThreadPool, WatchdogConfig};

@@ -43,6 +43,7 @@
 //! library's correctness — and what is implemented faithfully — is the queue
 //! placement, priority and stealing discipline.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -51,6 +52,7 @@ use numascan_numasim::{SocketId, Topology};
 use parking_lot::{Condvar, Mutex};
 
 use crate::bandwidth::{BandwidthTracker, StealThrottleConfig};
+use crate::cancel::CancellationToken;
 use crate::core::{BackstopPolicy, CoreConfig, PopOutcome, SchedulerCore, SleepOutcome, WorkerId};
 use crate::policy::SchedulingStrategy;
 use crate::stats::SchedulerStats;
@@ -135,6 +137,11 @@ struct Shared {
     /// off). Byte recording stays lock-free; only epoch closes enter the
     /// core (as `ThrottleEpoch` events).
     throttle: Option<Arc<BandwidthTracker>>,
+    /// Tasks dropped unrun because their cancellation token was set. Kept
+    /// outside the model-checked [`SchedulerCore`] on purpose: cancellation
+    /// is a property of the *payload*, not of the scheduling state machine,
+    /// so the core's verified transitions stay untouched.
+    cancelled: AtomicU64,
 }
 
 /// A NUMA-aware pool of worker threads.
@@ -167,6 +174,7 @@ impl ThreadPool {
             throttle: config
                 .steal_throttle
                 .map(|cfg| Arc::new(BandwidthTracker::new(topology.socket_count(), cfg))),
+            cancelled: AtomicU64::new(0),
         });
 
         let mut workers = Vec::with_capacity(group_count * workers_per_group);
@@ -227,9 +235,31 @@ impl ThreadPool {
         }
     }
 
+    /// Submits a task that may be dropped unrun: when `token` is cancelled by
+    /// the time a worker picks the task up, the wrapped closure is *dropped*
+    /// instead of called (destructors of captured values — completion-latch
+    /// guards in particular — still run) and the drop is counted in
+    /// [`SchedulerStats::cancelled`]. Cancellation is cooperative and
+    /// chunk-granular: a task already running is never interrupted.
+    pub fn submit_cancellable<F>(&self, meta: TaskMeta, token: CancellationToken, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let shared = Arc::clone(&self.shared);
+        self.submit(meta, move || {
+            if token.is_cancelled() {
+                shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            } else {
+                job();
+            }
+        });
+    }
+
     /// A snapshot of the scheduler statistics.
     pub fn stats(&self) -> SchedulerStats {
-        self.shared.core.lock().stats().clone()
+        let mut stats = self.shared.core.lock().stats().clone();
+        stats.cancelled = self.shared.cancelled.load(Ordering::Relaxed);
+        stats
     }
 
     /// The bandwidth tracker behind the steal throttle, when one is
@@ -586,6 +616,47 @@ mod tests {
         let stats = p.stats();
         assert_eq!(stats.executed, 40);
         assert_eq!(stats.panicked, 4);
+        p.shutdown();
+    }
+
+    #[test]
+    fn cancelled_tasks_are_dropped_not_run_and_still_release_captures() {
+        let p = pool(SchedulingStrategy::Bound);
+        let ran = Arc::new(AtomicU64::new(0));
+        let dropped = Arc::new(AtomicU64::new(0));
+        /// Counts its drop whether or not the closure that captured it ran.
+        struct DropProbe(Arc<AtomicU64>);
+        impl Drop for DropProbe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let token = CancellationToken::new();
+        token.cancel();
+        for i in 0..20u64 {
+            let ran = Arc::clone(&ran);
+            let probe = DropProbe(Arc::clone(&dropped));
+            p.submit_cancellable(meta_for((i % 4) as u16, i), token.clone(), move || {
+                let _probe = probe;
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        p.wait_idle();
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "cancelled closures must not run");
+        assert_eq!(dropped.load(Ordering::SeqCst), 20, "captured values must still be dropped");
+        let stats = p.stats();
+        assert_eq!(stats.cancelled, 20);
+        assert_eq!(stats.executed, 20, "the worker still owned each dropped task");
+
+        // An uncancelled token leaves the fast path untouched.
+        let live = CancellationToken::new();
+        let ran2 = Arc::clone(&ran);
+        p.submit_cancellable(meta_for(0, 21), live, move || {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        });
+        p.wait_idle();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(p.stats().cancelled, 20);
         p.shutdown();
     }
 

@@ -44,6 +44,12 @@ pub struct SchedulerStats {
     /// forbids (`policy::may_execute` violated). The queue discipline makes
     /// this impossible, so any non-zero value flags a scheduler bug.
     pub affinity_violations: u64,
+    /// Tasks submitted through `ThreadPool::submit_cancellable` that were
+    /// dropped unrun because their statement's cancellation token was set by
+    /// the time a worker picked them up (deadline-expired statements). A
+    /// dropped task still counts as executed by the core — the worker owned
+    /// it — but its closure body never ran.
+    pub cancelled: u64,
     /// Tasks executed per socket.
     pub executed_per_socket: Vec<u64>,
 }
@@ -80,6 +86,7 @@ impl SchedulerStats {
         self.steal_throttle_bound += other.steal_throttle_bound;
         self.steal_throttle_released += other.steal_throttle_released;
         self.affinity_violations += other.affinity_violations;
+        self.cancelled += other.cancelled;
         if self.executed_per_socket.len() < other.executed_per_socket.len() {
             self.executed_per_socket.resize(other.executed_per_socket.len(), 0);
         }

@@ -1,0 +1,233 @@
+//! Seeded fault schedules for the sharded cluster tier.
+//!
+//! A [`FaultSchedule`] is a *pure description* of the faults one cluster run
+//! injects: message drop/duplication probabilities, delay jitter, worker
+//! crash windows, and per-worker straggler slowdowns. It lives in the
+//! workload crate — next to the other seeded load generators — so the
+//! cluster crate (which executes schedules), the integration tests (which
+//! sweep a fault matrix), and the bench harness (which reports fault
+//! experiments) all share one definition without a dependency cycle.
+//!
+//! Schedules are generated deterministically from a [`FaultKind`] and a seed:
+//! the same `(kind, workers, seed)` triple always yields byte-identical
+//! parameters, which is half of the cluster tier's replayability story (the
+//! other half is the simulated transport consuming the schedule through its
+//! own seeded RNG).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The family of faults a generated schedule injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// No faults: the transport delivers every message immediately.
+    None,
+    /// One or two workers crash (lose all in-flight work) and later restart.
+    Crash,
+    /// Messages are dropped with a fixed probability, in both directions.
+    Drop,
+    /// Messages arrive after a randomized delay.
+    Delay,
+    /// One worker serves every request several times slower than the rest.
+    Straggler,
+}
+
+impl FaultKind {
+    /// All kinds that actually inject faults, in matrix order.
+    pub const ALL_FAULTY: [FaultKind; 4] =
+        [FaultKind::Crash, FaultKind::Drop, FaultKind::Delay, FaultKind::Straggler];
+
+    /// Short lowercase label for logs and snapshot rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::None => "none",
+            FaultKind::Crash => "crash",
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Straggler => "straggler",
+        }
+    }
+}
+
+/// One interval of virtual time during which a worker is down.
+///
+/// Requests arriving inside the window are lost (the worker never sees
+/// them); at `up_at_us` the worker restarts with its shard data intact
+/// (crash-restart, not data loss — shard stores are rebuilt from placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// Index of the crashed worker.
+    pub worker: usize,
+    /// Virtual microsecond at which the worker goes down (inclusive).
+    pub down_at_us: u64,
+    /// Virtual microsecond at which the worker is back up (exclusive).
+    pub up_at_us: u64,
+}
+
+/// A complete, deterministic description of the faults one run injects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Seed for the transport's per-message random draws (drop/dup/delay).
+    pub seed: u64,
+    /// Probability that any one message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability that a delivered message is delivered twice.
+    pub duplicate_probability: f64,
+    /// Fixed delay added to every message, microseconds of virtual time.
+    pub base_delay_us: u64,
+    /// Upper bound of the additional per-message uniform random delay.
+    pub delay_jitter_us: u64,
+    /// Crash windows, in schedule order.
+    pub crashes: Vec<CrashWindow>,
+    /// Per-worker service-time multipliers `(worker, factor)`.
+    pub stragglers: Vec<(usize, f64)>,
+}
+
+impl FaultSchedule {
+    /// The no-fault schedule: instant, reliable delivery.
+    pub fn none(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            base_delay_us: 0,
+            delay_jitter_us: 0,
+            crashes: Vec::new(),
+            stragglers: Vec::new(),
+        }
+    }
+
+    /// Generates the schedule for `kind` over a cluster of `workers` workers,
+    /// deterministically from `seed`.
+    pub fn generate(kind: FaultKind, workers: usize, seed: u64) -> Self {
+        assert!(workers > 0, "a schedule needs at least one worker");
+        let mut schedule = FaultSchedule::none(seed);
+        // Derive parameter draws from a separate stream so the transport's
+        // per-message draws (seeded with `seed` itself) are unaffected.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_5EED_0000_0000);
+        match kind {
+            FaultKind::None => {}
+            FaultKind::Crash => {
+                let windows = 1 + rng.gen_range(0..2usize).min(workers - 1);
+                for _ in 0..windows {
+                    let worker = rng.gen_range(0..workers);
+                    // Queries start at virtual time zero, so the window must
+                    // open within the first service interval (~1ms) to ever
+                    // be hit; the 20-80ms outage then forces failover (or,
+                    // without replicas, retries until restart or the budget).
+                    let down_at_us = rng.gen_range(0..1_000u64);
+                    let duration = rng.gen_range(20_000..80_000u64);
+                    schedule.crashes.push(CrashWindow {
+                        worker,
+                        down_at_us,
+                        up_at_us: down_at_us + duration,
+                    });
+                }
+            }
+            FaultKind::Drop => {
+                schedule.drop_probability = 0.15 + rng.gen_range(0..250u32) as f64 / 1_000.0;
+                schedule.duplicate_probability = 0.05;
+            }
+            FaultKind::Delay => {
+                schedule.base_delay_us = rng.gen_range(500..2_000u64);
+                schedule.delay_jitter_us = rng.gen_range(2_000..10_000u64);
+            }
+            FaultKind::Straggler => {
+                // A 6-16x slowdown straddles the default 10ms attempt
+                // timeout (1ms base service), so some seeds straggle within
+                // the timeout and others force retries + duplicate drops.
+                let worker = rng.gen_range(0..workers);
+                let factor = 6.0 + rng.gen_range(0..100u32) as f64 / 10.0;
+                schedule.stragglers.push((worker, factor));
+            }
+        }
+        schedule
+    }
+
+    /// Whether `worker` is up at virtual time `at_us`.
+    pub fn worker_up(&self, worker: usize, at_us: u64) -> bool {
+        !self
+            .crashes
+            .iter()
+            .any(|w| w.worker == worker && at_us >= w.down_at_us && at_us < w.up_at_us)
+    }
+
+    /// The service-time multiplier of `worker` (1.0 unless it straggles).
+    pub fn straggle_factor(&self, worker: usize) -> f64 {
+        self.stragglers.iter().find(|(w, _)| *w == worker).map_or(1.0, |(_, f)| *f)
+    }
+
+    /// A one-line human-readable summary for `--nocapture` test logs.
+    pub fn summary(&self) -> String {
+        let mut parts = vec![format!("seed={:#x}", self.seed)];
+        if self.drop_probability > 0.0 {
+            parts.push(format!("drop={:.2}", self.drop_probability));
+        }
+        if self.duplicate_probability > 0.0 {
+            parts.push(format!("dup={:.2}", self.duplicate_probability));
+        }
+        if self.base_delay_us > 0 || self.delay_jitter_us > 0 {
+            parts.push(format!("delay={}us+{}us", self.base_delay_us, self.delay_jitter_us));
+        }
+        for w in &self.crashes {
+            parts.push(format!(
+                "crash(w{} {}..{}ms)",
+                w.worker,
+                w.down_at_us / 1_000,
+                w.up_at_us / 1_000
+            ));
+        }
+        for (w, f) in &self.stragglers {
+            parts.push(format!("straggler(w{w} x{f:.1})"));
+        }
+        if parts.len() == 1 {
+            parts.push("no faults".to_string());
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for kind in FaultKind::ALL_FAULTY {
+            let a = FaultSchedule::generate(kind, 4, 99);
+            let b = FaultSchedule::generate(kind, 4, 99);
+            assert_eq!(a, b, "{kind:?} must replay identically");
+            let c = FaultSchedule::generate(kind, 4, 100);
+            assert_ne!(a, c, "{kind:?} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn schedules_inject_what_their_kind_says() {
+        let crash = FaultSchedule::generate(FaultKind::Crash, 3, 7);
+        assert!(!crash.crashes.is_empty());
+        let w = crash.crashes[0];
+        assert!(!crash.worker_up(w.worker, w.down_at_us));
+        // Windows for one worker may overlap; past the last one it is up.
+        let last_up = crash.crashes.iter().map(|c| c.up_at_us).max().unwrap();
+        assert!(crash.worker_up(w.worker, last_up));
+
+        let drop = FaultSchedule::generate(FaultKind::Drop, 3, 7);
+        assert!((0.15..=0.4).contains(&drop.drop_probability));
+
+        let delay = FaultSchedule::generate(FaultKind::Delay, 3, 7);
+        assert!(delay.delay_jitter_us >= 2_000);
+
+        let straggler = FaultSchedule::generate(FaultKind::Straggler, 3, 7);
+        let (w, f) = straggler.stragglers[0];
+        assert!(f >= 4.0 && straggler.straggle_factor(w) == f);
+        assert_eq!(straggler.straggle_factor(w + 1), 1.0);
+    }
+
+    #[test]
+    fn summaries_name_the_faults() {
+        assert!(FaultSchedule::none(1).summary().contains("no faults"));
+        let s = FaultSchedule::generate(FaultKind::Straggler, 2, 3).summary();
+        assert!(s.contains("straggler"), "{s}");
+    }
+}

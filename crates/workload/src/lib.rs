@@ -22,12 +22,16 @@
 //!   engine's session layer: seeded phases of hot-column traffic from
 //!   concurrent clients, with the adaptive placer's closed loop optionally
 //!   running between epochs.
+//! * [`faults`] — seeded fault schedules (crashes, drops, delays,
+//!   stragglers) consumed by the cluster tier's simulated transport, so
+//!   every fault interleaving is replayable from a `(kind, seed)` pair.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bweml;
 pub mod dataset;
+pub mod faults;
 pub mod scans;
 pub mod selection;
 pub mod shift;
@@ -35,6 +39,7 @@ pub mod tpch;
 
 pub use bweml::BwEmlWorkload;
 pub use dataset::{paper_table_spec, small_real_table, PAPER_COLUMNS, PAPER_ROWS};
+pub use faults::{CrashWindow, FaultKind, FaultSchedule};
 pub use scans::ScanWorkload;
 pub use selection::ColumnSelection;
 pub use shift::{replay_shift, EpochStats, ShiftConfig, ShiftPhase, ShiftReport};

@@ -94,10 +94,10 @@ impl ShiftConfig {
                 if in_list {
                     let len = rng.gen_range(1..6usize);
                     let values = (0..len).map(|_| rng.gen_range(0..self.value_domain)).collect();
-                    ScanRequest::InList { column, values }
+                    ScanRequest::in_list(column, values)
                 } else {
                     let lo = rng.gen_range(0..self.value_domain);
-                    ScanRequest::Between { column, lo, hi: lo + self.range_width }
+                    ScanRequest::between(column, lo, lo + self.range_width)
                 }
             })
             .collect()
@@ -201,7 +201,7 @@ pub fn replay_shift(
                         for request in &requests {
                             session
                                 .execute(request)
-                                .unwrap_or_else(|| panic!("unknown column in {request:?}"));
+                                .unwrap_or_else(|e| panic!("{e} in {request:?}"));
                         }
                     });
                 }
@@ -234,7 +234,7 @@ pub fn replay_shift(
 mod tests {
     use super::*;
     use crate::dataset::small_real_table;
-    use numascan_core::{NativeEngine, SessionManager};
+    use numascan_core::{NativeEngine, ScanSpec, SessionManager};
     use numascan_numasim::Topology;
     use numascan_scheduler::SchedulingStrategy;
 
@@ -257,8 +257,8 @@ mod tests {
         assert_ne!(a, c, "a different phase draws a different stream");
         assert!(a.iter().all(|r| phase.hot_columns.contains(&r.column().to_string())));
         // The default config mixes both request kinds.
-        assert!(a.iter().any(|r| matches!(r, ScanRequest::InList { .. })));
-        assert!(a.iter().any(|r| matches!(r, ScanRequest::Between { .. })));
+        assert!(a.iter().any(|r| matches!(r.spec, ScanSpec::InList { .. })));
+        assert!(a.iter().any(|r| matches!(r.spec, ScanSpec::Between { .. })));
     }
 
     #[test]

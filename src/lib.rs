@@ -21,7 +21,12 @@
 //!   scheduling, the adaptive data placer, and the simulation and native
 //!   execution engines.
 //! * [`workload`] — dataset and workload generators (uniform and skewed scan
-//!   workloads, TPC-H Q1-style and BW-EML-style aggregation workloads).
+//!   workloads, TPC-H Q1-style and BW-EML-style aggregation workloads),
+//!   plus seeded fault schedules for the cluster tier.
+//! * [`cluster`] — the fault-tolerant sharded scan tier: a coordinator
+//!   routing per-shard requests over a swappable transport with retries,
+//!   backoff, hedging, replica failover, and typed partial degradation —
+//!   all replayable from a seed via the simulated transport.
 //! * [`bench`] — the experiment harness regenerating every table and figure
 //!   of the paper.
 //!
@@ -53,6 +58,7 @@
 //! ```
 
 pub use numascan_bench as bench;
+pub use numascan_cluster as cluster;
 pub use numascan_core as core;
 pub use numascan_numasim as numasim;
 pub use numascan_psm as psm;

@@ -23,7 +23,8 @@
 use std::collections::HashSet;
 
 use numascan::core::{
-    NativeEngine, NativeEngineConfig, NativePlacement, PlacerAction, ScanRequest, SessionManager,
+    NativeEngine, NativeEngineConfig, NativePlacement, PlacerAction, ScanRequest, ScanSpec,
+    SessionManager,
 };
 use numascan::numasim::Topology;
 use numascan::scheduler::{SchedulingStrategy, StealThrottleConfig};
@@ -45,12 +46,12 @@ fn topology() -> Topology {
 /// The single-threaded oracle: a naive filter over the materialized column.
 fn oracle(table: &Table, request: &ScanRequest) -> Vec<i64> {
     let (_, column) = table.column_by_name(request.column()).expect("oracle column exists");
-    let keep: Box<dyn Fn(i64) -> bool> = match request {
-        ScanRequest::Between { lo, hi, .. } => {
+    let keep: Box<dyn Fn(i64) -> bool> = match &request.spec {
+        ScanSpec::Between { lo, hi } => {
             let (lo, hi) = (*lo, *hi);
             Box::new(move |v| (lo..=hi).contains(&v))
         }
-        ScanRequest::InList { values, .. } => {
+        ScanSpec::InList { values } => {
             let set: HashSet<i64> = values.iter().copied().collect();
             Box::new(move |v| set.contains(&v))
         }
@@ -66,10 +67,10 @@ fn client_script(client: usize) -> Vec<ScanRequest> {
             let column = format!("col{:03}", (client + 2 * q) % PAYLOAD_COLUMNS);
             if q % 3 == 2 {
                 let base = (17 * client + 29 * q) as i64 % 200;
-                ScanRequest::InList { column, values: vec![base, base + 3, base + 91, base + 140] }
+                ScanRequest::in_list(column, vec![base, base + 3, base + 91, base + 140])
             } else {
                 let lo = (13 * client + 41 * q) as i64 % 180;
-                ScanRequest::Between { column, lo, hi: lo + 55 }
+                ScanRequest::between(column, lo, lo + 55)
             }
         })
         .collect()

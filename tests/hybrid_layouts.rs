@@ -132,8 +132,8 @@ fn workload_shift_replay_relayouts_the_cold_column_with_exact_results() {
         values.iter().copied().filter(|v| (lo..=hi).contains(v)).collect()
     };
     assert_eq!(
-        session.execute(&ScanRequest::Between { column: "cold".into(), lo: 100, hi: 260 }),
-        Some(oracle(&cold, 100, 260)),
+        session.execute(&ScanRequest::between("cold", 100, 260)),
+        Ok(oracle(&cold, 100, 260)),
         "pre-shift scan disagrees with the reference filter"
     );
 
@@ -191,13 +191,13 @@ fn workload_shift_replay_relayouts_the_cold_column_with_exact_results() {
     // Post-shift: the relayouted cold column and the still-bit-packed hot
     // column answer byte-identically to the sequential reference.
     assert_eq!(
-        session.execute(&ScanRequest::Between { column: "cold".into(), lo: 100, hi: 260 }),
-        Some(oracle(&cold, 100, 260)),
+        session.execute(&ScanRequest::between("cold", 100, 260)),
+        Ok(oracle(&cold, 100, 260)),
         "post-relayout cold scan disagrees with the reference filter"
     );
     assert_eq!(
-        session.execute(&ScanRequest::Between { column: "hot".into(), lo: 40, hi: 99 }),
-        Some(oracle(&hot, 40, 99)),
+        session.execute(&ScanRequest::between("hot", 40, 99)),
+        Ok(oracle(&hot, 40, 99)),
         "post-shift hot scan disagrees with the reference filter"
     );
     session.shutdown();

@@ -758,12 +758,9 @@ proptest! {
                         // col000 is bitcase 8; fold the draw into its domain.
                         let (a, w) = if col == 0 { (a % 200, w % 60) } else { (a, w) };
                         let request = match kind {
-                            0 => ScanRequest::Between { column, lo: a, hi: a + w },
-                            1 => ScanRequest::InList {
-                                column,
-                                values: vec![a, a + 1, a + w, a + 2 * w],
-                            },
-                            _ => ScanRequest::Between { column, lo: a + w, hi: a },
+                            0 => ScanRequest::between(column, a, a + w),
+                            1 => ScanRequest::in_list(column, vec![a, a + 1, a + w, a + 2 * w]),
+                            _ => ScanRequest::between(column, a + w, a),
                         };
                         let got = session.execute(&request).expect("known column");
                         (request, got)
@@ -777,12 +774,12 @@ proptest! {
         let table = session.engine().table();
         for (request, got) in &outcomes {
             let (_, column) = table.column_by_name(request.column()).expect("oracle column");
-            let keep: Box<dyn Fn(i64) -> bool> = match request {
-                ScanRequest::Between { lo, hi, .. } => {
+            let keep: Box<dyn Fn(i64) -> bool> = match &request.spec {
+                numascan::core::ScanSpec::Between { lo, hi } => {
                     let (lo, hi) = (*lo, *hi);
                     Box::new(move |v| (lo..=hi).contains(&v))
                 }
-                ScanRequest::InList { values, .. } => {
+                numascan::core::ScanSpec::InList { values } => {
                     let set: std::collections::HashSet<i64> = values.iter().copied().collect();
                     Box::new(move |v| set.contains(&v))
                 }

@@ -22,7 +22,7 @@ use std::sync::Barrier;
 use std::time::Instant;
 
 use numascan::core::{
-    NativeEngine, NativeEngineConfig, NativePlacement, ScanRequest, SessionManager,
+    NativeEngine, NativeEngineConfig, NativePlacement, ScanRequest, ScanSpec, SessionManager,
     SharedScanConfig, SharedScanMode,
 };
 use numascan::numasim::Topology;
@@ -46,12 +46,12 @@ fn session(rows: usize, placement: NativePlacement, mode: SharedScanMode) -> Ses
 fn oracle(session: &SessionManager, request: &ScanRequest) -> Vec<i64> {
     let table = session.engine().table();
     let (_, column) = table.column_by_name(request.column()).expect("oracle column exists");
-    let keep: Box<dyn Fn(i64) -> bool> = match request {
-        ScanRequest::Between { lo, hi, .. } => {
+    let keep: Box<dyn Fn(i64) -> bool> = match &request.spec {
+        ScanSpec::Between { lo, hi } => {
             let (lo, hi) = (*lo, *hi);
             Box::new(move |v| (lo..=hi).contains(&v))
         }
-        ScanRequest::InList { values, .. } => {
+        ScanSpec::InList { values } => {
             let set: std::collections::HashSet<i64> = values.iter().copied().collect();
             Box::new(move |v| set.contains(&v))
         }
@@ -67,20 +67,17 @@ fn request(client: usize, query: usize) -> ScanRequest {
     match (client + query) % 4 {
         0 => {
             let lo = ((client * 37 + query * 911) % 400) as i64;
-            ScanRequest::Between { column: "col001".into(), lo, hi: lo + 60 }
+            ScanRequest::between("col001", lo, lo + 60)
         }
         1 => {
             let lo = ((client * 13 + query * 7) % 200) as i64;
-            ScanRequest::Between { column: "col000".into(), lo, hi: lo + 25 }
+            ScanRequest::between("col000", lo, lo + 25)
         }
         2 => {
             let base = ((client * 53 + query * 101) % 450) as i64;
-            ScanRequest::InList {
-                column: "col001".into(),
-                values: vec![base, base + 2, base + 77, base + 4_000],
-            }
+            ScanRequest::in_list("col001", vec![base, base + 2, base + 77, base + 4_000])
         }
-        _ => ScanRequest::Between { column: "col001".into(), lo: 10, hi: 3 },
+        _ => ScanRequest::between("col001", 10, 3),
     }
 }
 
@@ -174,8 +171,7 @@ fn pruned_and_rle_parts_share_sweeps_exactly() {
                             // one or two parts (including the RLE part) and
                             // prunes the rest.
                             let lo = ((client * 97 + query * 173) % 440) as i64;
-                            let request =
-                                ScanRequest::Between { column: "v".into(), lo, hi: lo + 35 };
+                            let request = ScanRequest::between("v", lo, lo + 35);
                             let got = session.execute(&request).expect("known column");
                             (request, got)
                         })
@@ -207,7 +203,7 @@ fn pruned_and_rle_parts_share_sweeps_exactly() {
 /// machine) and `Always` routes even that client through a sweep.
 #[test]
 fn sharing_mode_routes_statements_as_documented() {
-    let request = ScanRequest::Between { column: "col001".into(), lo: 100, hi: 400 };
+    let request = ScanRequest::between("col001", 100, 400);
 
     for (mode, expect_shared) in [
         (SharedScanMode::Off, false),
@@ -293,7 +289,7 @@ fn gate_replay(
                 barrier.wait();
                 for query in 0..GATE_QUERIES {
                     let (lo, hi) = gate_bounds(client, query);
-                    let request = ScanRequest::Between { column: GATE_COLUMN.into(), lo, hi };
+                    let request = ScanRequest::between(GATE_COLUMN, lo, hi);
                     let got = session.execute(&request).expect("known column");
                     let expected = &oracles[&(lo, hi)];
                     assert_eq!(&got, expected, "{mode:?}: diverged for {request:?}");
@@ -330,9 +326,9 @@ fn shared_scans_reach_4x_aggregate_throughput_at_256_clients() {
     for client in 0..GATE_CLIENTS {
         for query in 0..GATE_QUERIES {
             let (lo, hi) = gate_bounds(client, query);
-            oracles.entry((lo, hi)).or_insert_with(|| {
-                oracle(&reference, &ScanRequest::Between { column: GATE_COLUMN.into(), lo, hi })
-            });
+            oracles
+                .entry((lo, hi))
+                .or_insert_with(|| oracle(&reference, &ScanRequest::between(GATE_COLUMN, lo, hi)));
         }
     }
     reference.shutdown();
