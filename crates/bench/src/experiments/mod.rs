@@ -25,6 +25,7 @@ pub mod partcost;
 pub mod scan_sharing;
 pub mod table01;
 pub mod table02;
+pub mod tpch_olap;
 
 use crate::harness::ResultTable;
 use crate::scale::ExperimentScale;
@@ -152,6 +153,12 @@ pub fn all_experiments() -> Vec<Experiment> {
                           failover / hedge machinery per fault kind x replication factor",
             run: cluster_faults::run,
         },
+        Experiment {
+            id: "tpch_olap",
+            description: "TPC-H-derived Q1/Q6 fused aggregation pipelines: mask-stream fused vs \
+                          positions-then-aggregate, value-identical, plus end-to-end latency",
+            run: tpch_olap::run,
+        },
     ]
 }
 
@@ -193,6 +200,7 @@ mod tests {
             "scan_sharing",
             "hybrid_layouts",
             "cluster_faults",
+            "tpch_olap",
         ] {
             assert!(ids.contains(&expected), "missing experiment {expected}");
         }

@@ -73,7 +73,7 @@ fn replay(rows: usize, clients: usize, mode: SharedScanMode) -> Run {
                     let mut fp = 0u64;
                     for query in 0..QUERIES_PER_CLIENT {
                         let values =
-                            session.execute(&request(client, query)).expect("known column");
+                            session.execute_rows(&request(client, query)).expect("known column");
                         for v in values {
                             fp = fp.wrapping_mul(1_099_511_628_211).wrapping_add(v as u64);
                         }

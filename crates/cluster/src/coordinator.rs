@@ -22,11 +22,20 @@
 //! Every decision is appended to a replayable [`Decision`] log: rebuilding
 //! the cluster with the same seed and replaying the same statements yields
 //! an identical log, which is how the fault-matrix tests pin determinism.
+//!
+//! [`Cluster::aggregate`] runs the same event loop for fused aggregation
+//! statements: shards answer with **mergeable partial** [`AggTable`]s
+//! (coordinator-merge pattern — averages keep their counts until the
+//! coordinator finalizes), and degradation stays typed: missing shards
+//! yield [`AggOutcome::Partial`] carrying the surviving per-shard partials,
+//! never a merged number that silently claims full coverage.
 
 use std::collections::BTreeMap;
 use std::ops::Range;
 
-use numascan_core::{NativeEngine, NativeEngineConfig, ScanRequest, ScanSpec, SessionManager};
+use numascan_core::{
+    AggTable, NativeEngine, NativeEngineConfig, QueryResult, ScanRequest, ScanSpec, SessionManager,
+};
 use numascan_numasim::topology::{HopProfile, SocketSpec};
 use numascan_numasim::Topology;
 use numascan_storage::{ivp_ranges, Table, TableBuilder};
@@ -206,6 +215,29 @@ pub enum ScanOutcome {
     },
 }
 
+/// The merged result of one clustered fused aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggOutcome {
+    /// Every un-pruned shard answered: the per-shard partials merged in
+    /// shard order and finalized (averages divided down). Identical to a
+    /// single-engine aggregation over the whole table.
+    Complete(AggTable),
+    /// Some shards could not be served before the deadline. Merging the
+    /// survivors into one number would silently misreport sums, counts and
+    /// averages as if they covered the whole table, so no merged number is
+    /// produced: the caller gets the still-**mergeable** per-shard partials
+    /// (shard-ascending) plus the missing shards, and decides for itself
+    /// whether a partial merge is meaningful for its statement.
+    Partial {
+        /// `(shard, partial table)` of every shard that resolved; states
+        /// are partial (averages still carry their counts) so the caller
+        /// can merge them with [`AggTable::merge`].
+        partials: Vec<(usize, AggTable)>,
+        /// Shards with no surviving replica answer, ascending.
+        missing_shards: Vec<usize>,
+    },
+}
+
 /// The merged result of one clustered count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CountOutcome {
@@ -227,6 +259,10 @@ pub enum ClusterError {
     UnknownColumn(String),
     /// The deadline expired before any shard resolved.
     DeadlineExceeded,
+    /// Per-shard aggregate partials could not be combined without producing
+    /// a wrong number (e.g. an average arrived without its count), so no
+    /// number was produced.
+    NotMergeable(String),
 }
 
 impl std::fmt::Display for ClusterError {
@@ -236,17 +272,29 @@ impl std::fmt::Display for ClusterError {
             ClusterError::DeadlineExceeded => {
                 write!(f, "cluster deadline exceeded before any shard resolved")
             }
+            ClusterError::NotMergeable(why) => {
+                write!(f, "shard aggregate partials are not mergeable: {why}")
+            }
         }
     }
 }
 
 impl std::error::Error for ClusterError {}
 
+/// What the shared event loop resolves for one statement: the typed answers
+/// of the shards that settled successfully (shard-ascending) and the shards
+/// with no surviving replica answer.
+#[derive(Debug)]
+struct Resolution {
+    resolved: Vec<(usize, QueryResult)>,
+    missing: Vec<usize>,
+}
+
 /// Per-shard bookkeeping of one in-flight query.
 #[derive(Debug)]
 struct ShardState {
     replicas: Vec<usize>,
-    resolved: Option<Vec<i64>>,
+    resolved: Option<QueryResult>,
     failed: bool,
     last_attempt: u32,
     last_worker: usize,
@@ -414,14 +462,77 @@ impl<T: Transport> Cluster<T> {
     }
 
     /// Executes one clustered scan; see the module docs for the event loop.
+    ///
+    /// # Panics
+    /// Panics when the request carries an [`numascan_core::AggSpec`] —
+    /// aggregate statements go through [`Cluster::aggregate`], whose partial
+    /// outcome is typed for mergeable tables rather than row concatenation.
     pub fn scan(&mut self, request: &ScanRequest) -> Result<ScanOutcome, ClusterError> {
+        assert!(request.agg.is_none(), "aggregate statements go through Cluster::aggregate");
+        let Resolution { resolved, missing } = self.run_statement(request)?;
+        let mut rows = Vec::new();
+        for (_, result) in resolved {
+            rows.extend(result.into_rows());
+        }
+        Ok(if missing.is_empty() {
+            ScanOutcome::Complete(rows)
+        } else {
+            ScanOutcome::Partial { rows, missing_shards: missing }
+        })
+    }
+
+    /// Executes one clustered fused aggregation: every un-pruned shard runs
+    /// the fused scan→aggregate pipeline over its slice and answers with a
+    /// **mergeable partial** [`AggTable`]; the coordinator merges the
+    /// partials in shard order and finalizes (divides averages down) only
+    /// once every shard is in. Shards whose zone bounds rule out the filter
+    /// contribute nothing — exactly the identity the merge starts from.
+    ///
+    /// Degradation is typed: missing shards yield [`AggOutcome::Partial`]
+    /// carrying the surviving per-shard partials, never a merged number that
+    /// pretends to cover the whole table; partials that cannot be combined
+    /// fail with [`ClusterError::NotMergeable`].
+    ///
+    /// # Panics
+    /// Panics when the request carries no [`numascan_core::AggSpec`].
+    pub fn aggregate(&mut self, request: &ScanRequest) -> Result<AggOutcome, ClusterError> {
+        let spec = request.agg.as_ref().expect("aggregate statements carry an AggSpec").clone();
+        let Resolution { resolved, missing } = self.run_statement(request)?;
+        if missing.is_empty() {
+            let mut merged = AggTable::empty(&spec);
+            for (_, result) in resolved {
+                merged
+                    .merge(&result.into_aggregate())
+                    .map_err(|e| ClusterError::NotMergeable(e.to_string()))?;
+            }
+            Ok(AggOutcome::Complete(merged.finalize()))
+        } else {
+            let partials =
+                resolved.into_iter().map(|(shard, r)| (shard, r.into_aggregate())).collect();
+            Ok(AggOutcome::Partial { partials, missing_shards: missing })
+        }
+    }
+
+    /// The shared per-statement event loop: routing, pruning, retries,
+    /// hedging, failover and deadline handling, resolving each shard to its
+    /// typed [`QueryResult`]; see the module docs.
+    fn run_statement(&mut self, request: &ScanRequest) -> Result<Resolution, ClusterError> {
         self.decisions.clear();
         self.stats.queries += 1;
         self.query_counter += 1;
         let query = self.query_counter;
 
-        if !self.columns.iter().any(|c| c == request.column()) {
-            return Err(ClusterError::UnknownColumn(request.column().to_string()));
+        let mut required = vec![request.column()];
+        if let Some(agg) = &request.agg {
+            required.push(agg.value_column.as_str());
+            if let Some(group) = &agg.group_by {
+                required.push(group.as_str());
+            }
+        }
+        for name in required {
+            if !self.columns.iter().any(|c| c == name) {
+                return Err(ClusterError::UnknownColumn(name.to_string()));
+            }
         }
 
         // The statement's own deadline (interpreted as virtual microseconds
@@ -437,6 +548,7 @@ impl<T: Transport> Cluster<T> {
             column: request.column.to_string(),
             spec: request.spec.clone(),
             deadline: None,
+            agg: request.agg.clone(),
         };
 
         self.transport.begin_query();
@@ -539,8 +651,8 @@ impl<T: Transport> Cluster<T> {
                         continue;
                     }
                     match resp.result {
-                        Ok(rows) => {
-                            state.resolved = Some(rows);
+                        Ok(result) => {
+                            state.resolved = Some(result);
                             self.decisions.push(Decision::Resolved {
                                 shard: resp.shard,
                                 worker: resp.worker,
@@ -621,32 +733,28 @@ impl<T: Transport> Cluster<T> {
             }
         }
 
-        // Merge in shard order: contiguous row-range shards concatenated
-        // ascending reproduce the global row order.
-        let mut rows = Vec::new();
+        // Collect in shard order: contiguous row-range shards ascending, so
+        // concatenating scan rows reproduces the global row order and
+        // aggregate partials merge deterministically.
+        let mut resolved = Vec::new();
         let mut missing = Vec::new();
-        let mut resolved = 0usize;
         for (shard, state) in &mut states {
             match state.resolved.take() {
-                Some(mut shard_rows) => {
-                    resolved += 1;
-                    rows.append(&mut shard_rows);
-                }
+                Some(result) => resolved.push((*shard, result)),
                 None => missing.push(*shard),
             }
         }
-        self.decisions.push(Decision::Merged { resolved, missing: missing.len() });
+        self.decisions.push(Decision::Merged { resolved: resolved.len(), missing: missing.len() });
 
         if missing.is_empty() {
             self.stats.complete += 1;
-            Ok(ScanOutcome::Complete(rows))
-        } else if resolved == 0 && deadline_hit {
+        } else if resolved.is_empty() && deadline_hit {
             self.stats.deadline_failures += 1;
-            Err(ClusterError::DeadlineExceeded)
+            return Err(ClusterError::DeadlineExceeded);
         } else {
             self.stats.partials += 1;
-            Ok(ScanOutcome::Partial { rows, missing_shards: missing })
         }
+        Ok(Resolution { resolved, missing })
     }
 
     /// Executes one clustered count: a [`Cluster::scan`] whose merged rows
@@ -833,6 +941,110 @@ mod tests {
         assert_eq!(c.scan(&rushed), Err(ClusterError::DeadlineExceeded));
         assert_eq!(c.stats().deadline_failures, 1);
         assert_eq!(c.stats().partials, 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn a_clean_cluster_aggregation_matches_the_single_engine_oracle() {
+        use numascan_core::{oracle_aggregate, AggFunc, AggSpec};
+        use numascan_storage::Predicate;
+
+        let table = small_real_table(6_000, 2, 0xC1u64);
+        let spec = AggSpec::new(
+            "col001",
+            vec![AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg],
+        )
+        .with_group_by("col000");
+        let expected =
+            oracle_aggregate(&table, "col000", &Predicate::Between { lo: 20, hi: 90 }, &spec)
+                .finalize();
+
+        let mut c = cluster(ClusterConfig::default(), FaultSchedule::none(21));
+        let request = ScanRequest::between("col000", 20, 90).with_aggregate(spec);
+        let outcome = c.aggregate(&request).expect("no faults");
+        assert_eq!(outcome, AggOutcome::Complete(expected));
+        assert_eq!(c.stats().complete, 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn pruned_shards_contribute_the_identity_to_aggregations() {
+        use numascan_core::{oracle_aggregate, AggFunc, AggSpec, AggValue};
+        use numascan_storage::Predicate;
+
+        // col000 values live in 0..256, so this range prunes every shard:
+        // the ungrouped statement still answers its one identity row.
+        let spec = AggSpec::new("col001", vec![AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
+        let mut c = cluster(ClusterConfig::default(), FaultSchedule::none(22));
+        let request = ScanRequest::between("col000", 5_000, 6_000).with_aggregate(spec.clone());
+        match c.aggregate(&request).expect("prunable") {
+            AggOutcome::Complete(table) => {
+                assert_eq!(
+                    table.global_row(),
+                    vec![AggValue::Int(0), AggValue::Int(0), AggValue::Null]
+                );
+            }
+            other => panic!("expected a complete identity, got {other:?}"),
+        }
+        assert_eq!(c.stats().requests_sent, 0, "pruned everywhere means no network trip");
+
+        // A range pruning only *some* shards must still match the oracle:
+        // the pruned slices genuinely hold no qualifying rows.
+        let table = small_real_table(6_000, 2, 0xC1u64);
+        let grouped =
+            AggSpec::new("col001", vec![AggFunc::Sum, AggFunc::Avg]).with_group_by("col000");
+        let expected =
+            oracle_aggregate(&table, "col001", &Predicate::Between { lo: 0, hi: 40 }, &grouped)
+                .finalize();
+        let request = ScanRequest::between("col001", 0, 40).with_aggregate(grouped);
+        let outcome = c.aggregate(&request).expect("no faults");
+        assert_eq!(outcome, AggOutcome::Complete(expected));
+        c.shutdown();
+    }
+
+    #[test]
+    fn missing_shards_degrade_to_typed_partial_aggregates_not_wrong_numbers() {
+        use numascan_core::{AggFunc, AggSpec};
+
+        let mut faults = FaultSchedule::none(23);
+        faults.crashes.push(numascan_workload::CrashWindow {
+            worker: 0,
+            down_at_us: 0,
+            up_at_us: u64::MAX,
+        });
+        let config = ClusterConfig { replication: 1, ..ClusterConfig::default() };
+        let mut c = cluster(config, faults);
+        let spec = AggSpec::new("col001", vec![AggFunc::Sum, AggFunc::Avg]);
+        let request = ScanRequest::between("col000", 20, 90).with_aggregate(spec.clone());
+        match c.aggregate(&request).expect("typed degradation") {
+            AggOutcome::Partial { partials, missing_shards } => {
+                assert_eq!(missing_shards, vec![0], "only worker 0's shard is unservable");
+                assert_eq!(partials.len(), 2, "the surviving shards hand over their partials");
+                // The partials are still mergeable — averages kept their
+                // counts — so the caller can combine them knowingly.
+                let mut merged = numascan_core::AggTable::empty(&spec);
+                for (shard, partial) in &partials {
+                    assert_ne!(*shard, 0);
+                    merged.merge(partial).expect("partials stay mergeable");
+                }
+            }
+            other => panic!("expected a partial outcome, got {other:?}"),
+        }
+        assert_eq!(c.stats().partials, 1);
+        c.shutdown();
+    }
+
+    #[test]
+    fn aggregations_validate_every_named_column() {
+        use numascan_core::{AggFunc, AggSpec};
+
+        let mut c = cluster(ClusterConfig::default(), FaultSchedule::none(24));
+        let bad_value = ScanRequest::between("col000", 0, 10)
+            .with_aggregate(AggSpec::new("nope", vec![AggFunc::Sum]));
+        assert_eq!(c.aggregate(&bad_value), Err(ClusterError::UnknownColumn("nope".into())));
+        let bad_group = ScanRequest::between("col000", 0, 10)
+            .with_aggregate(AggSpec::new("col001", vec![AggFunc::Sum]).with_group_by("missing"));
+        assert_eq!(c.aggregate(&bad_group), Err(ClusterError::UnknownColumn("missing".into())));
         c.shutdown();
     }
 

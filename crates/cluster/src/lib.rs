@@ -4,8 +4,10 @@
 //! [`Coordinator`](Cluster) that splits a table into contiguous row-range
 //! shards, places each shard on `replication` [`Worker`]s (each an
 //! independent [`numascan_core::NativeEngine`] over its shard slice), routes
-//! per-shard scan/count requests over a swappable [`Transport`], and merges
-//! the partial results back into the exact global row order.
+//! per-shard scan/count/aggregate requests over a swappable [`Transport`],
+//! and merges the partial results back into the exact global row order (or,
+//! for fused aggregations, merges the shards' mergeable partial tables in
+//! shard order before finalizing — the coordinator-merge pattern).
 //!
 //! The robustness layer — per-request deadlines, per-attempt timeouts,
 //! bounded exponential [`backoff`] with seeded jitter, hedged retries,
@@ -32,8 +34,8 @@ pub mod worker;
 
 pub use backoff::{BackoffSchedule, RetryPolicy};
 pub use coordinator::{
-    shard_engine_topology, Cluster, ClusterConfig, ClusterError, ClusterStats, CountOutcome,
-    Decision, ScanOutcome, ShardMeta,
+    shard_engine_topology, AggOutcome, Cluster, ClusterConfig, ClusterError, ClusterStats,
+    CountOutcome, Decision, ScanOutcome, ShardMeta,
 };
 pub use transport::{
     FaultCounters, Payload, ShardRequest, ShardResponse, SimTransport, TimerKind, Transport,

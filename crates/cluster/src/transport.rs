@@ -17,7 +17,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use numascan_core::ScanRequest;
+use numascan_core::{QueryResult, ScanRequest};
 use numascan_workload::FaultSchedule;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,8 +48,10 @@ pub struct ShardResponse {
     pub attempt: u32,
     /// Worker that produced the answer.
     pub worker: usize,
-    /// The shard-local qualifying values, or the worker's typed failure.
-    pub result: Result<Vec<i64>, String>,
+    /// The shard-local typed answer — qualifying values for a scan, a
+    /// mergeable partial [`numascan_core::AggTable`] for a fused aggregation
+    /// — or the worker's typed failure.
+    pub result: Result<QueryResult, String>,
 }
 
 /// Coordinator-side timers; exact, never dropped or delayed.

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use numascan_core::{EngineError, ScanRequest, SessionManager};
+use numascan_core::{EngineError, QueryResult, ScanRequest, SessionManager};
 
 /// One worker process of the cluster tier.
 pub struct Worker {
@@ -45,7 +45,10 @@ impl Worker {
         self.shards.keys().copied().collect()
     }
 
-    /// Executes `request` against the local replica of `shard`.
+    /// Executes `request` against the local replica of `shard`. The answer
+    /// is typed: plain scans resolve to [`QueryResult::Rows`], fused
+    /// aggregations to a [`QueryResult::Aggregate`] **partial** (mergeable
+    /// states — the coordinator, not the shard, finalizes averages).
     ///
     /// Returns `None` when the worker does not host the shard (a misrouted
     /// request — the coordinator treats it like a lost message).
@@ -53,7 +56,7 @@ impl Worker {
         &self,
         shard: usize,
         request: &ScanRequest,
-    ) -> Option<Result<Vec<i64>, EngineError>> {
+    ) -> Option<Result<QueryResult, EngineError>> {
         self.shards.get(&shard).map(|session| session.execute(request))
     }
 
@@ -88,7 +91,8 @@ mod tests {
         assert_eq!(worker.shard_ids(), vec![1]);
 
         let request = ScanRequest::between("v", 5, 9);
-        let rows = worker.execute(1, &request).expect("hosted shard").expect("known column");
+        let rows =
+            worker.execute(1, &request).expect("hosted shard").expect("known column").into_rows();
         assert_eq!(rows, vec![5, 6, 7, 8, 9]);
         assert!(worker.execute(0, &request).is_none(), "unhosted shard is a miss");
         worker.shutdown();

@@ -53,8 +53,15 @@ pub struct ColumnHeat {
     pub column: ColumnRef,
     /// The socket serving most of the column's traffic.
     pub primary_socket: SocketId,
-    /// The column's share of the machine-wide traffic (0.0 ..= 1.0).
+    /// The column's share of the machine-wide traffic (0.0 ..= 1.0). For
+    /// engines that run aggregation pipelines, the share counts the fused
+    /// paths' gather traffic as well as scan traffic.
     pub heat: f64,
+    /// Gather bytes fused aggregation pipelines read from the column this
+    /// epoch (value/group columns of Q1-class statements). Already folded
+    /// into `heat`; carried separately so placers can tell aggregation load
+    /// from scan load.
+    pub agg_bytes: u64,
     /// Whether the column's tasks mostly scan the index vector (IVP is then
     /// the appropriate partitioning) rather than doing index lookups or
     /// heavy materialization (PP).
@@ -191,6 +198,9 @@ impl AdaptiveDataPlacer {
                     column: traffic.column,
                     primary_socket,
                     heat: if total > 0.0 { traffic.total_bytes() / total } else { 0.0 },
+                    // The simulator's traffic model has no fused aggregation
+                    // pipelines; only the native engine reports gather bytes.
+                    agg_bytes: 0,
                     iv_intensive: traffic.is_iv_intensive(),
                     partitions: column.iv_segments.len(),
                     active: traffic.queries > 0,
@@ -376,6 +386,7 @@ mod tests {
                 column: ColumnRef { table: 0, column: i },
                 primary_socket: SocketId(*s),
                 heat: heat[i],
+                agg_bytes: 0,
                 iv_intensive: iv,
                 partitions: parts[i],
                 active: active[i],

@@ -20,6 +20,8 @@ use numascan_numasim::latency::AccessTarget;
 use numascan_numasim::SocketId;
 use numascan_scheduler::WorkClass;
 
+use crate::query::QueryKind;
+
 /// Where a piece of data lives, from the cost model's point of view.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MemTarget {
@@ -123,6 +125,11 @@ pub struct CostModel {
     /// are classified CPU-intensive (TPC-H Q1); below it they are
     /// memory-intensive (BW-EML).
     pub aggregate_cpu_intensive_ops: f64,
+    /// Byte-equivalent weight of one scalar CPU operation, used by
+    /// [`CostModel::statement_cost`] to fold CPU work into the same unit as
+    /// streamed bytes (a core retiring ~2 ops per streamed byte of a
+    /// balanced scan gives 2.0).
+    pub cpu_op_byte_cost: f64,
 }
 
 impl Default for CostModel {
@@ -134,6 +141,7 @@ impl Default for CostModel {
             index_ops_per_match: 6.0,
             index_selectivity_threshold: 0.001,
             aggregate_cpu_intensive_ops: 6.0,
+            cpu_op_byte_cost: 2.0,
         }
     }
 }
@@ -152,6 +160,29 @@ impl CostModel {
         } else {
             WorkClass::MemoryIntensive
         }
+    }
+
+    /// Total statement cost in byte-equivalents: the streamed index-vector
+    /// bytes plus the CPU work converted through
+    /// [`CostModel::cpu_op_byte_cost`], for a query over `rows` rows of a
+    /// `bitcase`-bit column.
+    ///
+    /// The CPU term prices what the statement actually computes per row:
+    /// scans pay predicate evaluation plus materialization for the selected
+    /// fraction; aggregations pay predicate evaluation **plus their
+    /// `ops_per_row` aggregation arithmetic** — previously that arithmetic
+    /// was priced as free scan work, so a TPC-H Q1 (30 ops/row) costed the
+    /// same as a Q6 (2 ops/row) over the same column and the admission and
+    /// placement layers misread Q1-class statements as bandwidth-bound.
+    pub fn statement_cost(&self, kind: &QueryKind, rows: f64, bitcase: u8) -> f64 {
+        let stream_bytes = rows * f64::from(bitcase) / 8.0;
+        let cpu_ops = match kind {
+            QueryKind::Scan { selectivity, .. } => {
+                rows * self.scan_ops_per_row + rows * selectivity * self.materialize_ops_per_match
+            }
+            QueryKind::Aggregate { ops_per_row } => rows * (self.scan_ops_per_row + ops_per_row),
+        };
+        stream_bytes + cpu_ops * self.cpu_op_byte_cost
     }
 }
 
@@ -195,6 +226,32 @@ mod tests {
         let m = CostModel::default();
         assert_eq!(m.aggregate_work_class(25.0), WorkClass::CpuIntensive);
         assert_eq!(m.aggregate_work_class(2.0), WorkClass::MemoryIntensive);
+    }
+
+    #[test]
+    fn aggregation_arithmetic_is_priced_not_free() {
+        // Regression: `ops_per_row` must reach the CPU term. A Q1-class
+        // aggregation (30 ops/row) over the same column must cost strictly
+        // more than a Q6-class one (2 ops/row), which in turn must cost more
+        // than the bare scan work — previously all three collapsed to the
+        // same bandwidth-bound price.
+        let m = CostModel::default();
+        let rows = 4_000_000.0;
+        let bitcase = 12;
+        let q1 = m.statement_cost(&QueryKind::Aggregate { ops_per_row: 30.0 }, rows, bitcase);
+        let q6 = m.statement_cost(&QueryKind::Aggregate { ops_per_row: 2.0 }, rows, bitcase);
+        let scan = m.statement_cost(
+            &QueryKind::Scan { selectivity: 0.0, allow_index: false },
+            rows,
+            bitcase,
+        );
+        assert!(q1 > q6, "Q1 must out-cost Q6: {q1} vs {q6}");
+        assert!(q6 > scan, "aggregation arithmetic must not be free: {q6} vs {scan}");
+        // The ordering is driven by the CPU term, so it must hold even
+        // against a much wider column's bandwidth bill.
+        let wide_scan =
+            m.statement_cost(&QueryKind::Scan { selectivity: 0.0, allow_index: false }, rows, 32);
+        assert!(q1 > wide_scan, "30 ops/row dominates a 32-bit stream: {q1} vs {wide_scan}");
     }
 
     #[test]

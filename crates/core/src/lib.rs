@@ -42,11 +42,16 @@
 //!   (mid-column joins wrap around), and every chunk is evaluated once for
 //!   the whole waiting set through the batched SWAR kernel, so aggregate
 //!   throughput scales with bandwidth instead of client count.
+//! * [`aggregate`] — NUMA-aware aggregation pipelines fused with the scan
+//!   kernels: per-socket partial tables fed straight from the SWAR mask
+//!   stream, merged in a deterministic part-order reduce (and, one tier up,
+//!   per-shard partials merged by the cluster coordinator).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod adaptive;
+pub mod aggregate;
 pub mod catalog;
 pub mod cost;
 pub mod error;
@@ -60,6 +65,7 @@ pub mod sim;
 pub mod spec;
 
 pub use adaptive::{AdaptiveDataPlacer, ColumnHeat, PartLayoutStat, PlacerAction, PlacerConfig};
+pub use aggregate::{oracle_aggregate, AggError, AggFunc, AggSpec, AggState, AggTable, AggValue};
 pub use catalog::Catalog;
 pub use cost::{CostModel, MemTarget, TaskWork};
 pub use error::EngineError;
@@ -67,7 +73,7 @@ pub use native::{NativeEngine, NativeEngineConfig, NativeEpoch, NativePlacement}
 pub use placement::{PlacedColumn, PlacedTable, PlacementStrategy, RepartitionCost};
 pub use planner::{PlannedTask, QueryPlan, ScanPlanner};
 pub use query::{ColumnRef, QueryGenerator, QueryKind, QuerySpec};
-pub use session::{ScanRequest, ScanSpec, SessionManager};
+pub use session::{QueryResult, ScanRequest, ScanSpec, SessionManager};
 pub use shared::{SharedScanConfig, SharedScanMode, SharedScanStats};
 pub use sim::{SimConfig, SimEngine, SimReport};
 pub use spec::{ColumnSpec, TableSpec};

@@ -47,9 +47,13 @@ use numascan_storage::{
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::adaptive::{AdaptiveDataPlacer, ColumnHeat, PartLayoutStat, PlacerAction};
+use crate::aggregate::{
+    accumulate_filtered, accumulate_positions, dense_group_capacity, AggSpec, AggTable,
+    GroupAccumulator, RowReader,
+};
 use crate::error::EngineError;
 use crate::query::ColumnRef;
-use crate::session::ScanRequest;
+use crate::session::{QueryResult, ScanRequest};
 use crate::shared::{
     PartAttachSpec, SharedCollector, SharedScanConfig, SharedScanMode, SharedScanRegistry,
     SharedScanStats, SweepKey,
@@ -144,6 +148,17 @@ impl ColumnPlacement {
     }
 }
 
+/// The gather side of one aggregate statement, resolved once and shared by
+/// both execution paths.
+struct AggTarget {
+    /// Column whose values feed the aggregate functions.
+    value: ColumnId,
+    /// Group-by column, if any.
+    group: Option<ColumnId>,
+    /// Dense partial-table slots: the group dictionary's cardinality.
+    capacity: usize,
+}
+
 /// Per-epoch telemetry counters (reset by [`NativeEngine::take_epoch`]).
 #[derive(Debug)]
 struct Telemetry {
@@ -153,6 +168,10 @@ struct Telemetry {
     column_bytes: Vec<AtomicU64>,
     /// Statements executed per column.
     column_queries: Vec<AtomicU64>,
+    /// Per-column gather bytes of fused aggregation pipelines (value and
+    /// group columns read per qualifying row) — the heat signal that lets
+    /// the placer see Q1-class load on columns no scan predicate touches.
+    column_agg_bytes: Vec<AtomicU64>,
 }
 
 impl Telemetry {
@@ -161,6 +180,7 @@ impl Telemetry {
             socket_bytes: (0..sockets).map(|_| AtomicU64::new(0)).collect(),
             column_bytes: (0..columns).map(|_| AtomicU64::new(0)).collect(),
             column_queries: (0..columns).map(|_| AtomicU64::new(0)).collect(),
+            column_agg_bytes: (0..columns).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 }
@@ -446,6 +466,37 @@ impl NativeEngine {
         self.scan_with_deadline(request.column(), &request.predicate(), active_statements, deadline)
     }
 
+    /// Executes a session-layer request of either shape: a plain scan
+    /// answers [`QueryResult::Rows`]; a request carrying an [`AggSpec`]
+    /// answers [`QueryResult::Aggregate`] through the fused aggregation
+    /// pipeline (same routing, same deadline semantics).
+    pub fn query_request(
+        &self,
+        request: &ScanRequest,
+        active_statements: usize,
+    ) -> Result<QueryResult, EngineError> {
+        let deadline = request.deadline.map(|d| Instant::now() + d);
+        match &request.agg {
+            None => self
+                .scan_with_deadline(
+                    request.column(),
+                    &request.predicate(),
+                    active_statements,
+                    deadline,
+                )
+                .map(QueryResult::Rows),
+            Some(agg) => self
+                .aggregate_with_deadline(
+                    request.column(),
+                    &request.predicate(),
+                    agg,
+                    active_statements,
+                    deadline,
+                )
+                .map(QueryResult::Aggregate),
+        }
+    }
+
     /// [`NativeEngine::scan_predicate`] with typed errors and an optional
     /// absolute deadline, honoured at chunk boundaries on both execution
     /// paths: on the private path the statement stops waiting at the
@@ -508,6 +559,245 @@ impl NativeEngine {
                 self.hint.suggested_tasks(active_statements) <= parts.max(self.sockets)
             }
         }
+    }
+
+    /// Executes a fused scan→aggregate statement: the filter column is
+    /// scanned exactly like [`NativeEngine::scan_with_deadline`] (same
+    /// placement alignment, routing, pruning and deadline semantics), but
+    /// qualifying rows flow straight from the SWAR mask stream into dense
+    /// per-task partial tables on the part's socket — no position list is
+    /// ever materialized — and the partials are merged in a deterministic
+    /// part-order reduce. The returned table carries *mergeable* states
+    /// (call [`AggTable::finalize`] for final floats), so the cluster tier
+    /// can forward it verbatim as a per-shard partial.
+    pub fn aggregate_with_deadline(
+        &self,
+        column_name: &str,
+        predicate: &Predicate<i64>,
+        agg: &AggSpec,
+        active_statements: usize,
+        deadline: Option<Instant>,
+    ) -> Result<AggTable, EngineError> {
+        let (column_id, base) = self
+            .table
+            .column_by_name(column_name)
+            .ok_or_else(|| EngineError::UnknownColumn(column_name.to_string()))?;
+        let (value_id, _) = self
+            .table
+            .column_by_name(&agg.value_column)
+            .ok_or_else(|| EngineError::UnknownColumn(agg.value_column.clone()))?;
+        let group_id = match agg.group_by.as_deref() {
+            None => None,
+            Some(name) => Some(
+                self.table
+                    .column_by_name(name)
+                    .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))?
+                    .0,
+            ),
+        };
+        // The dense partial tables are sized by the group *dictionary's*
+        // cardinality — never by a row-count or selectivity estimate, whose
+        // empty-domain and bitcase-32 edges must not size allocations.
+        let capacity =
+            group_id.map_or(1, |g| dense_group_capacity(self.table.column(g).dictionary().len()));
+        let target = AggTarget { value: value_id, group: group_id, capacity };
+
+        let (placement, generation) = {
+            let placements = self.placements.read();
+            (
+                placements[column_id.index()].clone(),
+                self.placement_generation.load(Ordering::SeqCst),
+            )
+        };
+        let epoch = self.statement_epoch.fetch_add(1, Ordering::SeqCst);
+        self.telemetry.column_queries[column_id.index()].fetch_add(1, Ordering::Relaxed);
+        // The gather targets register as queried too: an aggregation heats
+        // columns no scan predicate ever names.
+        self.telemetry.column_queries[value_id.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(g) = group_id {
+            self.telemetry.column_queries[g.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        let reduced = if self.should_share(active_statements, placement.parts.len()) {
+            self.aggregate_shared(
+                column_id, base, &placement, generation, predicate, &target, epoch, deadline,
+            )
+        } else {
+            self.aggregate_private(
+                column_id,
+                base,
+                &placement,
+                predicate,
+                &target,
+                active_statements,
+                epoch,
+                deadline,
+            )
+        }?;
+        // Gather telemetry, recorded on completion: one 8-byte value read
+        // per qualifying row per gathered column. Qualifying-row counts are
+        // workload-deterministic, so the placer's aggregation-heat signal
+        // replays byte-identically like the scan-side counters.
+        let gathered = reduced.matched_rows() * 8;
+        self.telemetry.column_agg_bytes[value_id.index()].fetch_add(gathered, Ordering::Relaxed);
+        if let Some(g) = group_id {
+            self.telemetry.column_agg_bytes[g.index()].fetch_add(gathered, Ordering::Relaxed);
+        }
+        let group_column = group_id.map(|g| self.table.column(g));
+        Ok(reduced.into_table(agg, group_column))
+    }
+
+    /// The private fused-aggregation path: the scan-side task structure of
+    /// [`NativeEngine::scan_private`], but each task folds its mask stream
+    /// into a dense partial table instead of materializing positions.
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate_private(
+        &self,
+        column_id: ColumnId,
+        base: &DictColumn<i64>,
+        placement: &ColumnPlacement,
+        predicate: &Predicate<i64>,
+        target: &AggTarget,
+        active_statements: usize,
+        epoch: u64,
+        deadline: Option<Instant>,
+    ) -> Result<GroupAccumulator, EngineError> {
+        let parts = placement.parts.len();
+        let total_tasks = self.hint.suggested_tasks_for_partitions(active_statements, parts);
+        let tasks_per_part = (total_tasks / parts.max(1)).max(1);
+
+        struct TaskSpec {
+            chunk: usize,
+            local_rows: Range<usize>,
+            /// Filter-local position → global base-table row (non-zero only
+            /// for physically rebuilt parts).
+            offset: usize,
+            socket: SocketId,
+            data: Option<Arc<DictColumn<i64>>>,
+            encoded: Arc<EncodedPredicate>,
+        }
+        let mut specs: Vec<TaskSpec> = Vec::new();
+        for part in &placement.parts {
+            if part.rows.is_empty() {
+                continue;
+            }
+            let part_column: &DictColumn<i64> = part.data.as_deref().unwrap_or(base);
+            let encoded = Arc::new(predicate.encode(part_column.dictionary()));
+            let local_base = if part.data.is_some() { 0 } else { part.rows.start };
+            if part_column.prunes(local_base..local_base + part.rows.len(), &encoded) {
+                continue;
+            }
+            // Scan-side telemetry exactly as on the scan path: recorded at
+            // submit time at part granularity, attributed to the data's
+            // socket.
+            let part_bytes = part_column.iv_scan_bytes(part.rows.len());
+            self.telemetry.socket_bytes[part.socket.index()]
+                .fetch_add(part_bytes, Ordering::Relaxed);
+            self.telemetry.column_bytes[column_id.index()].fetch_add(part_bytes, Ordering::Relaxed);
+            self.pool.record_scanned_bytes(part.socket, part_bytes);
+
+            for range in numascan_storage::ivp_ranges(part.rows.len(), tasks_per_part) {
+                if range.is_empty() {
+                    continue;
+                }
+                specs.push(TaskSpec {
+                    chunk: specs.len(),
+                    local_rows: local_base + range.start..local_base + range.end,
+                    offset: part.rows.start - local_base,
+                    socket: part.socket,
+                    data: part.data.clone(),
+                    encoded: Arc::clone(&encoded),
+                });
+            }
+        }
+
+        let latch = Arc::new(StatementLatch::new(specs.len()));
+        let results: Arc<Mutex<Vec<(usize, GroupAccumulator)>>> =
+            Arc::new(Mutex::new(Vec::with_capacity(specs.len())));
+        let token = CancellationToken::new();
+        let (capacity, value_id, group_id) = (target.capacity, target.value, target.group);
+        for (seq, spec) in specs.into_iter().enumerate() {
+            let part_column: &DictColumn<i64> = spec.data.as_deref().unwrap_or(base);
+            let bytes = part_column.iv_scan_bytes(spec.local_rows.len());
+            let meta = TaskMeta {
+                affinity: Some(spec.socket),
+                hard_affinity: false,
+                priority: TaskPriority::new(epoch, seq as u64),
+                work_class: WorkClass::MemoryIntensive,
+                estimated_bytes: bytes as f64,
+            };
+            let table = Arc::clone(&self.table);
+            let results = Arc::clone(&results);
+            let count_down = LatchGuard(Arc::clone(&latch));
+            self.pool.submit_cancellable(meta, token.clone(), move || {
+                let _count_down = count_down;
+                let filter: &DictColumn<i64> =
+                    spec.data.as_deref().unwrap_or_else(|| table.column(column_id));
+                let value = table.column(value_id);
+                let group = group_id.map(|g| table.column(g));
+                let reader = RowReader::new(value, group, spec.offset);
+                let mut acc = GroupAccumulator::new(capacity);
+                accumulate_filtered(
+                    filter,
+                    spec.local_rows.clone(),
+                    &spec.encoded,
+                    &reader,
+                    &mut acc,
+                );
+                results.lock().push((spec.chunk, acc));
+            });
+        }
+        match deadline {
+            None => latch.wait(),
+            Some(deadline) => {
+                if !latch.wait_until(deadline) {
+                    token.cancel();
+                    return Err(EngineError::DeadlineExceeded);
+                }
+            }
+        }
+
+        let mut partials = Arc::try_unwrap(results)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        // The deterministic part-order reduce: partials merge in chunk
+        // order no matter which worker finished first. (Wrapping sums make
+        // the result order-insensitive anyway; the fixed order keeps it
+        // byte-identical even if a checked mode is ever pinned instead.)
+        partials.sort_by_key(|(i, _)| *i);
+        let mut reduced = GroupAccumulator::new(capacity);
+        for (_, partial) in &partials {
+            reduced.merge(partial);
+        }
+        Ok(reduced)
+    }
+
+    /// The cooperative fused-aggregation path: attaches to the same shared
+    /// sweeps as [`NativeEngine::scan_shared`] — one SWAR sweep serves scan
+    /// and aggregate waiters from the same mask stream — and folds the
+    /// served chunk streams instead of materializing them.
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate_shared(
+        &self,
+        column_id: ColumnId,
+        base: &DictColumn<i64>,
+        placement: &ColumnPlacement,
+        generation: u64,
+        predicate: &Predicate<i64>,
+        target: &AggTarget,
+        epoch: u64,
+        deadline: Option<Instant>,
+    ) -> Result<GroupAccumulator, EngineError> {
+        let collector =
+            self.attach_shared(column_id, base, placement, generation, predicate, epoch);
+        let chunks = collector.wait_raw_until(deadline).ok_or(EngineError::DeadlineExceeded)?;
+        let value = self.table.column(target.value);
+        let group = target.group.map(|g| self.table.column(g));
+        let mut reduced = GroupAccumulator::new(target.capacity);
+        for chunk in &chunks {
+            let reader = RowReader::new(value, group, chunk.global_row_offset());
+            accumulate_positions(chunk.served_positions(), &reader, &mut reduced);
+        }
+        Ok(reduced)
     }
 
     /// The private (per-statement) execution path: splits the scan into
@@ -676,6 +966,25 @@ impl NativeEngine {
         epoch: u64,
         deadline: Option<Instant>,
     ) -> Result<Vec<i64>, EngineError> {
+        let collector =
+            self.attach_shared(column_id, base, placement, generation, predicate, epoch);
+        collector.wait_until(deadline).ok_or(EngineError::DeadlineExceeded)
+    }
+
+    /// Attaches one statement to the shared sweeps of its column's parts
+    /// (registering sweeps, and submitting their dispatcher tasks, where
+    /// none is in flight) and returns the collector the statement waits on.
+    /// Shared by the scan and aggregate shared paths: the sweep itself is
+    /// oblivious to what its waiters do with the served chunk streams.
+    fn attach_shared(
+        &self,
+        column_id: ColumnId,
+        base: &DictColumn<i64>,
+        placement: &ColumnPlacement,
+        generation: u64,
+        predicate: &Predicate<i64>,
+        epoch: u64,
+    ) -> Arc<SharedCollector> {
         // Encode and zone-prune first: a part the zone map rules out never
         // registers a sweep, records no telemetry, and — crucially — does
         // not count toward the collector's completion set, so the statement
@@ -727,7 +1036,7 @@ impl NativeEngine {
                 self.pool.submit(meta, move || registry.dispatch(ticket));
             }
         }
-        collector.wait_until(deadline).ok_or(EngineError::DeadlineExceeded)
+        collector
     }
 
     /// Counters of the cooperative shared-scan executor: sweeps started,
@@ -753,6 +1062,8 @@ impl NativeEngine {
             self.telemetry.column_bytes.iter().map(|b| b.swap(0, Ordering::Relaxed)).collect();
         let column_queries: Vec<u64> =
             self.telemetry.column_queries.iter().map(|q| q.swap(0, Ordering::Relaxed)).collect();
+        let column_agg_bytes: Vec<u64> =
+            self.telemetry.column_agg_bytes.iter().map(|b| b.swap(0, Ordering::Relaxed)).collect();
 
         let max_bytes = socket_bytes.iter().copied().max().unwrap_or(0);
         let utilization: Vec<f64> = socket_bytes
@@ -760,7 +1071,11 @@ impl NativeEngine {
             .map(|b| if max_bytes == 0 { 0.0 } else { *b as f64 / max_bytes as f64 })
             .collect();
 
-        let total_bytes: u64 = column_bytes.iter().sum();
+        // Heat counts scan *and* aggregation traffic: a Q1-class pipeline
+        // hammers its value/group columns with gathers even though no scan
+        // predicate names them, and heat-driven moves must see that load.
+        let total_bytes: u64 =
+            column_bytes.iter().sum::<u64>() + column_agg_bytes.iter().sum::<u64>();
         let placements = self.placements.read();
         let heats = placements
             .iter()
@@ -771,8 +1086,9 @@ impl NativeEngine {
                 heat: if total_bytes == 0 {
                     0.0
                 } else {
-                    column_bytes[c] as f64 / total_bytes as f64
+                    (column_bytes[c] + column_agg_bytes[c]) as f64 / total_bytes as f64
                 },
+                agg_bytes: column_agg_bytes[c],
                 // Native scans stream the index vector; materialization is
                 // position-driven gathers over the same rows.
                 iv_intensive: true,
@@ -1201,6 +1517,86 @@ mod tests {
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].layout, IvLayoutKind::Rle);
         assert!(stats[0].run_fraction < 0.02, "runs of 100 rows: {stats:?}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn fused_aggregation_matches_the_oracle_across_placements_and_paths() {
+        use crate::aggregate::{oracle_aggregate, AggFunc, AggSpec};
+        let rows = 40_000usize;
+        let payload: Vec<i64> = (0..rows as i64).map(|i| (i * 7919) % 1000).collect();
+        let flag: Vec<i64> = (0..rows as i64).map(|i| i % 3).collect();
+        let build = || {
+            TableBuilder::new("tbl")
+                .add_values("payload", &payload, false)
+                .add_values("flag", &flag, false)
+                .build()
+        };
+        let predicate = Predicate::Between { lo: 100, hi: 649 };
+        let agg = AggSpec::new(
+            "payload",
+            vec![AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg],
+        )
+        .with_group_by("flag");
+        let expected = oracle_aggregate(&build(), "payload", &predicate, &agg);
+        for placement in [
+            NativePlacement::RoundRobin,
+            NativePlacement::IndexVectorPartitioned { parts: 4 },
+            NativePlacement::PhysicallyPartitioned { parts: 4 },
+        ] {
+            for mode in [SharedScanMode::Off, SharedScanMode::Always] {
+                let engine = NativeEngine::with_config(
+                    build(),
+                    &small_topology(),
+                    NativeEngineConfig {
+                        placement,
+                        shared_scans: SharedScanConfig { mode, ..SharedScanConfig::default() },
+                        ..Default::default()
+                    },
+                );
+                let got =
+                    engine.aggregate_with_deadline("payload", &predicate, &agg, 3, None).unwrap();
+                assert_eq!(got, expected, "placement {placement:?}, mode {mode:?}");
+                engine.shutdown();
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_gathers_register_as_heat_on_value_and_group_columns() {
+        use crate::aggregate::{AggFunc, AggSpec};
+        let rows = 32_000usize;
+        let payload: Vec<i64> = (0..rows as i64).map(|i| (i * 13) % 100).collect();
+        let price: Vec<i64> = (0..rows as i64).map(|i| i % 500).collect();
+        let flag: Vec<i64> = (0..rows as i64).map(|i| i % 4).collect();
+        let table = TableBuilder::new("tbl")
+            .add_values("payload", &payload, false)
+            .add_values("price", &price, false)
+            .add_values("flag", &flag, false)
+            .build();
+        let engine = NativeEngine::new(table, &small_topology(), SchedulingStrategy::Bound);
+        let agg = AggSpec::new("price", vec![AggFunc::Sum]).with_group_by("flag");
+        engine
+            .aggregate_with_deadline(
+                "payload",
+                &Predicate::Between { lo: 0, hi: 49 },
+                &agg,
+                1,
+                None,
+            )
+            .unwrap();
+        let epoch = engine.take_epoch();
+        let by_name = |name: &str| {
+            let (id, _) = engine.table().column_by_name(name).unwrap();
+            &epoch.heats[id.index()]
+        };
+        // The filter column streams its IV; value and group columns are only
+        // gathered, and must still light up through agg_bytes.
+        assert!(by_name("price").agg_bytes > 0, "{epoch:?}");
+        assert!(by_name("flag").agg_bytes > 0, "{epoch:?}");
+        assert_eq!(by_name("payload").agg_bytes, 0);
+        assert!(by_name("price").heat > 0.0, "gather traffic must count as heat");
+        assert!(by_name("price").active && by_name("flag").active);
         engine.shutdown();
     }
 

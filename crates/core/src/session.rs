@@ -27,6 +27,7 @@ use std::time::Duration;
 use numascan_storage::Predicate;
 
 use crate::adaptive::{AdaptiveDataPlacer, PlacerAction};
+use crate::aggregate::{AggSpec, AggTable};
 use crate::error::EngineError;
 use crate::native::{NativeEngine, NativeEpoch};
 
@@ -57,17 +58,31 @@ pub struct ScanRequest {
     /// Optional statement deadline, measured from admission. `None` (the
     /// default) blocks until the statement completes.
     pub deadline: Option<Duration>,
+    /// Optional aggregation: instead of materializing qualifying values, the
+    /// statement folds them into an [`AggTable`] fused with the scan (the
+    /// qualifying rows never exist as a position list).
+    pub agg: Option<AggSpec>,
 }
 
 impl ScanRequest {
     /// `SELECT col FROM t WHERE col BETWEEN lo AND hi`.
     pub fn between(column: impl Into<String>, lo: i64, hi: i64) -> Self {
-        ScanRequest { column: column.into(), spec: ScanSpec::Between { lo, hi }, deadline: None }
+        ScanRequest {
+            column: column.into(),
+            spec: ScanSpec::Between { lo, hi },
+            deadline: None,
+            agg: None,
+        }
     }
 
     /// `SELECT col FROM t WHERE col IN (values)`.
     pub fn in_list(column: impl Into<String>, values: Vec<i64>) -> Self {
-        ScanRequest { column: column.into(), spec: ScanSpec::InList { values }, deadline: None }
+        ScanRequest {
+            column: column.into(),
+            spec: ScanSpec::InList { values },
+            deadline: None,
+            agg: None,
+        }
     }
 
     /// Attaches a deadline: the statement returns
@@ -75,6 +90,13 @@ impl ScanRequest {
     /// within `deadline` of admission.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Turns the scan into a fused aggregation: the request answers with
+    /// [`QueryResult::Aggregate`] instead of the qualifying values.
+    pub fn with_aggregate(mut self, agg: AggSpec) -> Self {
+        self.agg = Some(agg);
         self
     }
 
@@ -88,6 +110,43 @@ impl ScanRequest {
         match &self.spec {
             ScanSpec::Between { lo, hi } => Predicate::Between { lo: *lo, hi: *hi },
             ScanSpec::InList { values } => Predicate::InList(values.clone()),
+        }
+    }
+}
+
+/// The typed answer of one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResult {
+    /// A plain scan's qualifying values, in row order.
+    Rows(Vec<i64>),
+    /// A fused aggregation's merged partial table (mergeable states; callers
+    /// that want final floats call [`AggTable::finalize`]). Kept in partial
+    /// form so the cluster tier can forward it as a per-shard partial.
+    Aggregate(AggTable),
+}
+
+impl QueryResult {
+    /// The row payload of a scan result.
+    ///
+    /// # Panics
+    /// Panics on an aggregate result — only call this for requests without
+    /// an [`AggSpec`].
+    pub fn into_rows(self) -> Vec<i64> {
+        match self {
+            QueryResult::Rows(rows) => rows,
+            QueryResult::Aggregate(_) => panic!("aggregate statement answered with a table"),
+        }
+    }
+
+    /// The aggregate payload of an aggregation result.
+    ///
+    /// # Panics
+    /// Panics on a rows result — only call this for requests with an
+    /// [`AggSpec`].
+    pub fn into_aggregate(self) -> AggTable {
+        match self {
+            QueryResult::Aggregate(table) => table,
+            QueryResult::Rows(_) => panic!("scan statement answered with rows"),
         }
     }
 }
@@ -150,11 +209,20 @@ impl SessionManager {
     /// byte-identical either way. The predicate is encoded once per part and
     /// shared via `Arc` across all tasks and attached queries — IN-list
     /// payloads are never deep-cloned per task.
-    pub fn execute(&self, request: &ScanRequest) -> Result<Vec<i64>, EngineError> {
+    pub fn execute(&self, request: &ScanRequest) -> Result<QueryResult, EngineError> {
         let active = self.active.fetch_add(1, Ordering::SeqCst) + 1;
         self.admitted.fetch_add(1, Ordering::SeqCst);
         let _guard = StatementGuard { active: &self.active };
-        self.engine.scan_request(request, active)
+        self.engine.query_request(request, active)
+    }
+
+    /// [`SessionManager::execute`] for plain scans: unwraps the row payload.
+    ///
+    /// # Panics
+    /// Panics if `request` carries an [`AggSpec`] — use `execute` for those.
+    pub fn execute_rows(&self, request: &ScanRequest) -> Result<Vec<i64>, EngineError> {
+        assert!(request.agg.is_none(), "execute_rows on an aggregate request");
+        self.execute(request).map(QueryResult::into_rows)
     }
 
     /// Counters of the engine's cooperative shared-scan executor.
@@ -215,7 +283,7 @@ mod tests {
     #[test]
     fn sequential_statements_match_a_reference_filter() {
         let s = session(20_000);
-        let got = s.execute(&ScanRequest::between("v", 10, 49)).unwrap();
+        let got = s.execute_rows(&ScanRequest::between("v", 10, 49)).unwrap();
         let expected: Vec<i64> =
             (0..20_000i64).map(|i| (i * 31) % 500).filter(|v| (10..=49).contains(v)).collect();
         assert_eq!(got, expected);
@@ -228,7 +296,7 @@ mod tests {
     fn unknown_columns_fail_typed_and_do_not_leak_active_statements() {
         let s = session(1_000);
         assert_eq!(
-            s.execute(&ScanRequest::between("nope", 0, 1)),
+            s.execute_rows(&ScanRequest::between("nope", 0, 1)),
             Err(EngineError::UnknownColumn("nope".into()))
         );
         assert_eq!(s.active_statements(), 0);
@@ -246,7 +314,7 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..5i64 {
                         let lo = (c as i64 * 20 + i) % 400;
-                        s.execute(&ScanRequest::between("v", lo, lo + 60)).unwrap();
+                        s.execute_rows(&ScanRequest::between("v", lo, lo + 60)).unwrap();
                         if s.active_statements() > 1 {
                             saw.store(true, Ordering::Relaxed);
                         }
@@ -265,7 +333,7 @@ mod tests {
         assert_eq!(r.column(), "v");
         assert_eq!(r.predicate(), Predicate::InList(vec![1, 2, 3]));
         let s = session(10_000);
-        let got = s.execute(&r).unwrap();
+        let got = s.execute_rows(&r).unwrap();
         let expected: Vec<i64> =
             (0..10_000i64).map(|i| (i * 31) % 500).filter(|v| [1, 2, 3].contains(v)).collect();
         assert_eq!(got, expected);
@@ -278,11 +346,11 @@ mod tests {
         // A zero deadline has expired by the first latch check; the private
         // path must cancel its outstanding tasks and return immediately.
         let r = ScanRequest::between("v", 0, 499).with_deadline(Duration::ZERO);
-        assert_eq!(s.execute(&r), Err(EngineError::DeadlineExceeded));
+        assert_eq!(s.execute_rows(&r), Err(EngineError::DeadlineExceeded));
         assert_eq!(s.active_statements(), 0);
         // The engine stays fully usable afterwards; dropped tasks released
         // their latch through the guard.
-        let got = s.execute(&ScanRequest::between("v", 10, 49)).unwrap();
+        let got = s.execute_rows(&ScanRequest::between("v", 10, 49)).unwrap();
         let expected: Vec<i64> =
             (0..200_000i64).map(|i| (i * 31) % 500).filter(|v| (10..=49).contains(v)).collect();
         assert_eq!(got, expected);
@@ -304,11 +372,11 @@ mod tests {
             },
         ));
         let r = ScanRequest::between("v", 0, 499).with_deadline(Duration::ZERO);
-        assert_eq!(s.execute(&r), Err(EngineError::DeadlineExceeded));
+        assert_eq!(s.execute_rows(&r), Err(EngineError::DeadlineExceeded));
         // A later statement over the same column must still be served in
         // full: the expired attachment is purged at a chunk boundary without
         // corrupting the sweep's refcounts.
-        let got = s.execute(&ScanRequest::between("v", 10, 49)).unwrap();
+        let got = s.execute_rows(&ScanRequest::between("v", 10, 49)).unwrap();
         let expected: Vec<i64> =
             (0..300_000i64).map(|i| (i * 31) % 500).filter(|v| (10..=49).contains(v)).collect();
         assert_eq!(got, expected);
@@ -318,9 +386,9 @@ mod tests {
     #[test]
     fn generous_deadlines_do_not_change_results() {
         let s = session(20_000);
-        let plain = s.execute(&ScanRequest::between("v", 10, 49)).unwrap();
+        let plain = s.execute_rows(&ScanRequest::between("v", 10, 49)).unwrap();
         let with_deadline = s
-            .execute(&ScanRequest::between("v", 10, 49).with_deadline(Duration::from_secs(60)))
+            .execute_rows(&ScanRequest::between("v", 10, 49).with_deadline(Duration::from_secs(60)))
             .unwrap();
         assert_eq!(plain, with_deadline);
         s.shutdown();

@@ -136,7 +136,7 @@ pub(crate) struct SweepKey {
 /// and the *client* trims and materializes on its own thread at
 /// [`SharedCollector::wait`]. The sweeper's per-query cost per chunk is one
 /// `Arc` clone — decode work never serializes behind the sweep.
-struct ChunkRef {
+pub(crate) struct ChunkRef {
     /// First global row of the chunk (keys the result ordering).
     global_start: usize,
     /// First column-coordinate row of the chunk (the trim origin).
@@ -149,6 +149,31 @@ struct ChunkRef {
     positions: Arc<Vec<u32>>,
     /// Keeps the scanned column alive until the client materializes.
     sweep: Arc<PartSweep>,
+}
+
+impl ChunkRef {
+    /// This query's share of the chunk's match positions: ascending
+    /// column-coordinate positions, prefix-cut to the rows the query asked
+    /// for (the cut matters only on the query's final chunk of a pass).
+    pub(crate) fn served_positions(&self) -> &[u32] {
+        let cut = (self.scan_lo + self.take) as u32;
+        let keep = self.positions.partition_point(|&p| p < cut);
+        &self.positions[..keep]
+    }
+
+    /// The scanned column the positions index into (the physically rebuilt
+    /// part column when there is one, the base column otherwise).
+    pub(crate) fn column(&self) -> &DictColumn<i64> {
+        self.sweep.column()
+    }
+
+    /// What to add to a [`ChunkRef::served_positions`] position to reach the
+    /// global base-table row: zero for base-column sweeps (their coordinates
+    /// *are* global rows), the part's global base for physically rebuilt
+    /// parts (whose coordinates are part-local).
+    pub(crate) fn global_row_offset(&self) -> usize {
+        self.sweep.global_base - self.sweep.local_base
+    }
 }
 
 /// Where one statement's shared results accumulate: chunk references are
@@ -217,6 +242,21 @@ impl SharedCollector {
     /// marked cancelled so every sweep it is attached to purges the
     /// attachment at its next chunk boundary.
     pub(crate) fn wait_until(&self, deadline: Option<Instant>) -> Option<Vec<i64>> {
+        let chunks = self.wait_raw_until(deadline)?;
+        let mut out = Vec::new();
+        for chunk in chunks {
+            // Ascending positions make the query's share a prefix cut.
+            out.extend(materialize_positions(chunk.column(), chunk.served_positions()));
+        }
+        Some(out)
+    }
+
+    /// The raw form of [`SharedCollector::wait_until`]: blocks the same way
+    /// but returns the served chunk references (sorted by global row start)
+    /// instead of materializing them — the hook aggregate waiters fold the
+    /// sweep's mask stream through, so one sweep serves scan and aggregate
+    /// statements alike.
+    pub(crate) fn wait_raw_until(&self, deadline: Option<Instant>) -> Option<Vec<ChunkRef>> {
         let mut remaining = self.remaining.lock();
         while *remaining > 0 {
             match deadline {
@@ -233,15 +273,10 @@ impl SharedCollector {
         }
         drop(remaining);
         let mut chunks = std::mem::take(&mut *self.chunks.lock());
+        // Chunk starts are unique per statement (parts partition the row
+        // space and chunks partition each pass), so this order is total.
         chunks.sort_unstable_by_key(|chunk| chunk.global_start);
-        let mut out = Vec::new();
-        for chunk in chunks {
-            // Ascending positions make the query's share a prefix cut.
-            let cut = (chunk.scan_lo + chunk.take) as u32;
-            let keep = chunk.positions.partition_point(|&p| p < cut);
-            out.extend(materialize_positions(chunk.sweep.column(), &chunk.positions[..keep]));
-        }
-        Some(out)
+        Some(chunks)
     }
 }
 

@@ -507,6 +507,29 @@ mod tests {
     }
 
     #[test]
+    fn empty_domain_selectivity_estimates_are_finite_zeros() {
+        // A zero-row column has an empty dictionary and an empty zone map;
+        // the estimate must come back 0.0, never NaN from a 0/0, because it
+        // pre-sizes downstream position buffers.
+        let col = DictColumn::from_values("empty", &[] as &[i64], false);
+        assert_eq!(col.dictionary().len(), 0);
+        for predicate in [
+            EncodedPredicate::Empty,
+            EncodedPredicate::Range(crate::predicate::VidRange { first: 0, last: 10 }),
+            EncodedPredicate::VidList(vec![1, 2, 3]),
+        ] {
+            let est = col.scan_selectivity_estimate(0..0, &predicate);
+            assert_eq!(est, 0.0, "{predicate:?}");
+            assert!(est.is_finite());
+        }
+        // An empty predicate over a populated column is 0.0 too (and the
+        // zone map prunes the scan outright).
+        let col = DictColumn::from_values("c", &values(), false);
+        assert_eq!(col.scan_selectivity_estimate(0..1000, &EncodedPredicate::Empty), 0.0);
+        assert!(col.prunes(0..1000, &EncodedPredicate::Empty));
+    }
+
+    #[test]
     fn index_is_optional_and_buildable_later() {
         let mut col = DictColumn::from_values("c", &values(), false);
         assert!(!col.has_index());

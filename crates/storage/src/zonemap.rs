@@ -299,4 +299,27 @@ mod tests {
         assert_eq!(map.run_fraction(0..100), 1.0);
         assert!(map.estimate_selectivity(0..100, &range(0, 10)).is_none());
     }
+
+    #[test]
+    fn bitcase_32_bounds_do_not_overflow() {
+        // The estimate path feeds group-table and position pre-sizing, so
+        // its arithmetic must survive the full u32 vid domain: with 32-bit
+        // math, `width()` of [0, u32::MAX] wraps to 0 and the estimate
+        // divides by zero. Everything widens to u64 instead.
+        let full = VidBounds { min: 0, max: u32::MAX };
+        assert_eq!(full.width(), 1 << 32);
+        assert_eq!(full.qualifying_vids(&range(0, u32::MAX)), 1 << 32);
+        assert!(full.overlaps(&range(u32::MAX, u32::MAX)));
+        assert_eq!(VidRange { first: 0, last: u32::MAX }.count(), 1 << 32);
+
+        // A zone map whose codes span the whole domain estimates exactly
+        // 1.0 for the all-covering predicate — not NaN, not a panic.
+        let map = ZoneMap::from_codes([0u32, u32::MAX].into_iter());
+        let est = map.estimate_selectivity(0..2, &range(0, u32::MAX)).unwrap();
+        assert_eq!(est, 1.0);
+        // And the one-past-the-end vid of a single-value bound stays exact.
+        let point = VidBounds { min: u32::MAX, max: u32::MAX };
+        assert_eq!(point.width(), 1);
+        assert_eq!(point.qualifying_vids(&range(0, u32::MAX)), 1);
+    }
 }

@@ -43,7 +43,9 @@ pub use faults::{CrashWindow, FaultKind, FaultSchedule};
 pub use scans::ScanWorkload;
 pub use selection::ColumnSelection;
 pub use shift::{replay_shift, EpochStats, ShiftConfig, ShiftPhase, ShiftReport};
-pub use tpch::TpchQ1Workload;
+pub use tpch::{
+    lineitem_table, q1_request, q6_request, TpchQ1Workload, Q1_OPS_PER_ROW, Q6_OPS_PER_ROW,
+};
 
 use numascan_core::{Catalog, PlacedTable, PlacementStrategy, TableSpec};
 use numascan_numasim::{Machine, Result};

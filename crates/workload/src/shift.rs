@@ -200,7 +200,7 @@ pub fn replay_shift(
                     scope.spawn(move || {
                         for request in &requests {
                             session
-                                .execute(request)
+                                .execute_rows(request)
                                 .unwrap_or_else(|e| panic!("{e} in {request:?}"));
                         }
                     });

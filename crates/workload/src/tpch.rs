@@ -7,7 +7,10 @@
 //! aggregate expressions dominate. Consequently Target (stealing allowed)
 //! beats Bound for this workload.
 
-use numascan_core::{ColumnRef, ColumnSpec, QueryGenerator, QuerySpec, TableSpec};
+use numascan_core::{
+    AggFunc, AggSpec, ColumnRef, ColumnSpec, QueryGenerator, QuerySpec, ScanRequest, TableSpec,
+};
+use numascan_storage::{Table, TableBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -16,6 +19,13 @@ pub const LINEITEM_ROWS_PER_SF: u64 = 6_000_000;
 /// CPU operations per row of the Q1 aggregation (expression-heavy: several
 /// multiplications, additions and predicate checks per row).
 pub const Q1_OPS_PER_ROW: f64 = 30.0;
+/// CPU operations per row of the Q6 aggregation (one predicate check plus a
+/// revenue multiply-accumulate — the scan stream dominates, so Q6 is
+/// memory-intensive where Q1 is CPU-intensive).
+pub const Q6_OPS_PER_ROW: f64 = 2.0;
+/// Days in the synthetic `l_shipdate` domain (the TPC-H shipdate span of
+/// roughly seven years, encodable in bitcase 12).
+pub const SHIPDATE_DAYS: i64 = 2_556;
 
 /// The columns Q1 reads from `lineitem`.
 const Q1_COLUMNS: &[(&str, u8)] = &[
@@ -37,6 +47,64 @@ pub fn lineitem_table_spec(scale_factor: u64) -> TableSpec {
         .map(|(name, bitcase)| ColumnSpec::integer_with_bitcase(*name, rows, *bitcase, false))
         .collect();
     TableSpec::new("lineitem", rows, columns)
+}
+
+/// Builds a real, materialised `lineitem`-derived table at laptop scale for
+/// native execution of the fused aggregation pipelines: the Q1/Q6 columns
+/// with TPC-H-like value domains (seeded uniform draws — quantities 1–50,
+/// price cents, per-mille discounts/taxes, a three-value return flag, a
+/// two-value line status, and ship dates over [`SHIPDATE_DAYS`] days).
+pub fn lineitem_table(rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut quantity = Vec::with_capacity(rows);
+    let mut extendedprice = Vec::with_capacity(rows);
+    let mut discount = Vec::with_capacity(rows);
+    let mut tax = Vec::with_capacity(rows);
+    let mut returnflag = Vec::with_capacity(rows);
+    let mut linestatus = Vec::with_capacity(rows);
+    let mut shipdate = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        quantity.push(rng.gen_range(1..=50i64));
+        extendedprice.push(rng.gen_range(900..=104_950i64));
+        discount.push(rng.gen_range(0..=10i64));
+        tax.push(rng.gen_range(0..=8i64));
+        returnflag.push(rng.gen_range(0..=2i64));
+        linestatus.push(rng.gen_range(0..=1i64));
+        shipdate.push(rng.gen_range(0..SHIPDATE_DAYS));
+    }
+    TableBuilder::new("lineitem")
+        .add_values("l_quantity", &quantity, false)
+        .add_values("l_extendedprice", &extendedprice, false)
+        .add_values("l_discount", &discount, false)
+        .add_values("l_tax", &tax, false)
+        .add_values("l_returnflag", &returnflag, false)
+        .add_values("l_linestatus", &linestatus, false)
+        .add_values("l_shipdate", &shipdate, false)
+        .build()
+}
+
+/// The TPC-H-derived Q1 statement for the fused aggregation pipeline:
+/// `l_shipdate <= [last date] - 90 days`, grouped by the three-value
+/// `l_returnflag` dictionary, computing count/sum/min/max/avg over
+/// `l_quantity`. (The full Q1 aggregates several derived expressions over
+/// two group columns; this engine's derived form keeps its shape — a
+/// near-full scan feeding a low-cardinality grouped aggregation.)
+pub fn q1_request() -> ScanRequest {
+    ScanRequest::between("l_shipdate", 0, SHIPDATE_DAYS - 90).with_aggregate(
+        AggSpec::new(
+            "l_quantity",
+            vec![AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg],
+        )
+        .with_group_by("l_returnflag"),
+    )
+}
+
+/// The TPC-H-derived Q6 statement: one year of ship dates selecting roughly
+/// a seventh of the table, summing `l_extendedprice` into a single global
+/// row — the canonical scan-dominated aggregation.
+pub fn q6_request() -> ScanRequest {
+    ScanRequest::between("l_shipdate", 365, 729)
+        .with_aggregate(AggSpec::new("l_extendedprice", vec![AggFunc::Sum]))
 }
 
 /// Continuously issued TPC-H Q1 instances with random parameters.
@@ -92,5 +160,70 @@ mod tests {
                 other => panic!("unexpected kind {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn lineitem_table_is_deterministic_with_tpch_domains() {
+        let a = lineitem_table(5_000, 7);
+        let b = lineitem_table(5_000, 7);
+        assert_eq!(a.row_count(), 5_000);
+        for name in ["l_quantity", "l_extendedprice", "l_returnflag", "l_shipdate"] {
+            let (_, ca) = a.column_by_name(name).unwrap();
+            let (_, cb) = b.column_by_name(name).unwrap();
+            assert_eq!(ca.value_at(123), cb.value_at(123), "same seed, same {name}");
+        }
+        let (_, flag) = a.column_by_name("l_returnflag").unwrap();
+        assert!(flag.dictionary().len() <= 3, "l_returnflag is a three-value dictionary");
+        let (_, ship) = a.column_by_name("l_shipdate").unwrap();
+        for row in 0..200 {
+            assert!((0..SHIPDATE_DAYS).contains(ship.value_at(row)));
+        }
+    }
+
+    #[test]
+    fn q1_and_q6_requests_have_their_tpch_shape() {
+        let q1 = q1_request();
+        let agg = q1.agg.as_ref().expect("Q1 is an aggregation");
+        assert_eq!(agg.value_column, "l_quantity");
+        assert_eq!(agg.group_by.as_deref(), Some("l_returnflag"));
+        assert_eq!(agg.funcs.len(), 5);
+        let q6 = q6_request();
+        let agg = q6.agg.as_ref().expect("Q6 is an aggregation");
+        assert_eq!(agg.value_column, "l_extendedprice");
+        assert!(agg.group_by.is_none(), "Q6 answers one global row");
+        assert_eq!(agg.funcs, vec![numascan_core::AggFunc::Sum]);
+    }
+
+    #[test]
+    fn q1_out_costs_q6_under_the_calibrated_model() {
+        // Regression (cost model satellite): with `ops_per_row` wired into
+        // the CPU term, the real workload constants must order Q1-class
+        // statements strictly above Q6-class ones over the very same
+        // l_shipdate column — previously both collapsed to the identical
+        // bandwidth-only price.
+        use numascan_core::cost::CostModel;
+        let model = CostModel::default();
+        let rows = (LINEITEM_ROWS_PER_SF) as f64;
+        let shipdate_bitcase = Q1_COLUMNS
+            .iter()
+            .find(|(name, _)| *name == "l_shipdate")
+            .map(|(_, b)| *b)
+            .expect("Q1 reads l_shipdate");
+        let q1 = model.statement_cost(
+            &QueryKind::Aggregate { ops_per_row: Q1_OPS_PER_ROW },
+            rows,
+            shipdate_bitcase,
+        );
+        let q6 = model.statement_cost(
+            &QueryKind::Aggregate { ops_per_row: Q6_OPS_PER_ROW },
+            rows,
+            shipdate_bitcase,
+        );
+        assert!(q1 > q6, "Q1 ({Q1_OPS_PER_ROW} ops/row) must out-cost Q6: {q1} vs {q6}");
+        // And the classifier must keep calling Q1 CPU-intensive and Q6
+        // memory-intensive — the paper's Section 6.3 workload split.
+        use numascan_scheduler::WorkClass;
+        assert_eq!(model.aggregate_work_class(Q1_OPS_PER_ROW), WorkClass::CpuIntensive);
+        assert_eq!(model.aggregate_work_class(Q6_OPS_PER_ROW), WorkClass::MemoryIntensive);
     }
 }

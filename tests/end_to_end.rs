@@ -135,6 +135,7 @@ fn adaptive_placer_balances_a_hotspot_and_improves_throughput() {
             column: hot,
             primary_socket: catalog.column(hot).iv_psm.majority_socket().unwrap(),
             heat: 0.5,
+            agg_bytes: 0,
             iv_intensive: true,
             partitions: catalog.column(hot).iv_segments.len(),
             active: true,

@@ -132,7 +132,7 @@ fn workload_shift_replay_relayouts_the_cold_column_with_exact_results() {
         values.iter().copied().filter(|v| (lo..=hi).contains(v)).collect()
     };
     assert_eq!(
-        session.execute(&ScanRequest::between("cold", 100, 260)),
+        session.execute_rows(&ScanRequest::between("cold", 100, 260)),
         Ok(oracle(&cold, 100, 260)),
         "pre-shift scan disagrees with the reference filter"
     );
@@ -191,12 +191,12 @@ fn workload_shift_replay_relayouts_the_cold_column_with_exact_results() {
     // Post-shift: the relayouted cold column and the still-bit-packed hot
     // column answer byte-identically to the sequential reference.
     assert_eq!(
-        session.execute(&ScanRequest::between("cold", 100, 260)),
+        session.execute_rows(&ScanRequest::between("cold", 100, 260)),
         Ok(oracle(&cold, 100, 260)),
         "post-relayout cold scan disagrees with the reference filter"
     );
     assert_eq!(
-        session.execute(&ScanRequest::between("hot", 40, 99)),
+        session.execute_rows(&ScanRequest::between("hot", 40, 99)),
         Ok(oracle(&hot, 40, 99)),
         "post-shift hot scan disagrees with the reference filter"
     );

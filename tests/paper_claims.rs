@@ -156,3 +156,89 @@ fn claim_table1_is_reproduced_exactly() {
     assert_eq!(t.cell_f64("1 hop B/W (GiB/s)", "32xIvybridge-EX"), Some(11.8));
     assert_eq!(t.cell_f64("Max hops B/W (GiB/s)", "8xWestmere-EX"), Some(4.6));
 }
+
+#[test]
+fn claim_tpch_q1_q6_are_exact_across_placements_paths_and_layouts() {
+    // From scans to OLAP: the TPC-H-derived Q1 (grouped five-function
+    // aggregation) and Q6 (global sum) must answer value-identically to the
+    // scalar oracle end-to-end through the session layer, across every data
+    // placement {RR, IVP, PP}, both scan paths {private, shared}, and both
+    // index-vector layouts {BitPacked, RLE}.
+    use numascan::core::{
+        oracle_aggregate, NativeEngine, NativeEngineConfig, NativePlacement, SessionManager,
+        SharedScanConfig, SharedScanMode,
+    };
+    use numascan::numasim::Topology;
+    use numascan::storage::{ColumnId, IvLayoutKind};
+    use numascan::workload::{lineitem_table, q1_request, q6_request};
+
+    let rows = 48_000usize;
+    let table = lineitem_table(rows, 0xA11CE);
+    let placements = [
+        ("RR", NativePlacement::RoundRobin),
+        ("IVP4", NativePlacement::IndexVectorPartitioned { parts: 4 }),
+        ("PP4", NativePlacement::PhysicallyPartitioned { parts: 4 }),
+    ];
+    for (query, request) in [("Q1", q1_request()), ("Q6", q6_request())] {
+        let spec = request.agg.as_ref().expect("an aggregation statement");
+        let expected = oracle_aggregate(&table, request.column(), &request.predicate(), spec);
+        for (pname, placement) in &placements {
+            for (path, mode) in
+                [("private", SharedScanMode::Off), ("shared", SharedScanMode::Always)]
+            {
+                for layout in [IvLayoutKind::BitPacked, IvLayoutKind::Rle] {
+                    let session = SessionManager::new(NativeEngine::with_config(
+                        table.clone(),
+                        &Topology::four_socket_ivybridge_ex(),
+                        NativeEngineConfig {
+                            placement: *placement,
+                            shared_scans: SharedScanConfig { mode, ..Default::default() },
+                            ..Default::default()
+                        },
+                    ));
+                    if layout == IvLayoutKind::Rle {
+                        // Re-encode every part of every column run-length
+                        // (extra part indexes are rejected and ignored).
+                        for column in 0..7 {
+                            for part in 0..8 {
+                                session.engine().relayout_part(ColumnId(column), part, layout);
+                            }
+                        }
+                    }
+                    let got = session.execute(&request).expect("known columns").into_aggregate();
+                    assert_eq!(
+                        got, expected,
+                        "{query} diverged from the oracle under {pname}/{path}/{layout:?}"
+                    );
+                    session.shutdown();
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn claim_tpch_q1_q6_survive_the_cluster_coordinator() {
+    // The coordinator-merge pattern end-to-end: shard-local partial tables
+    // merged in deterministic shard order and finalized once, equal to the
+    // finalized single-table oracle.
+    use numascan::cluster::{AggOutcome, Cluster, ClusterConfig};
+    use numascan::core::oracle_aggregate;
+    use numascan::workload::{lineitem_table, q1_request, q6_request, FaultSchedule};
+
+    let table = lineitem_table(36_000, 0xC0DE);
+    let config =
+        ClusterConfig { workers: 3, shards: 3, replication: 2, ..ClusterConfig::default() };
+    let mut cluster = Cluster::build(&table, config, FaultSchedule::none(11));
+    for (query, request) in [("Q1", q1_request()), ("Q6", q6_request())] {
+        let spec = request.agg.as_ref().expect("an aggregation statement");
+        let expected =
+            oracle_aggregate(&table, request.column(), &request.predicate(), spec).finalize();
+        match cluster.aggregate(&request).expect("clean cluster") {
+            AggOutcome::Complete(got) => {
+                assert_eq!(got, expected, "{query} diverged through the coordinator")
+            }
+            partial => panic!("{query}: a fault-free cluster must resolve fully: {partial:?}"),
+        }
+    }
+}

@@ -762,7 +762,7 @@ proptest! {
                             1 => ScanRequest::in_list(column, vec![a, a + 1, a + w, a + 2 * w]),
                             _ => ScanRequest::between(column, a + w, a),
                         };
-                        let got = session.execute(&request).expect("known column");
+                        let got = session.execute_rows(&request).expect("known column");
                         (request, got)
                     })
                 })
@@ -1145,4 +1145,141 @@ proptest! {
         }
         prop_assert_eq!(core.stats().affinity_violations, 0);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fused aggregation pipelines against the scalar oracle.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The fused scan→aggregate pipeline must answer value-identically to
+    /// the naive scalar group-by oracle end-to-end through the session
+    /// layer, across random placements, both scan paths (private sweeps and
+    /// the cooperative shared executor with random chunk sizes), both
+    /// index-vector layouts, random function subsets, optional group-by,
+    /// and random (possibly empty or inverted) predicate ranges — including
+    /// negative values and the pinned *wrapping* i64 sum semantics.
+    #[test]
+    fn fused_aggregation_matches_the_scalar_oracle(
+        rows in 200usize..2_400,
+        seed in any::<u64>(),
+        placement_pick in 0u8..3,
+        shared in any::<bool>(),
+        rle in any::<bool>(),
+        chunk_rows in 64usize..1_024,
+        group_cardinality in 1i64..6,
+        func_mask in 1u8..32,
+        lo in -50i64..150,
+        width in -10i64..120,
+        value_magnitude in 1i64..1_000_000,
+    ) {
+        use numascan::core::{
+            oracle_aggregate, AggFunc, AggSpec, NativeEngine, NativeEngineConfig,
+            NativePlacement, ScanRequest, SessionManager, SharedScanConfig, SharedScanMode,
+        };
+        use numascan::storage::{ColumnId, TableBuilder};
+
+        // Seeded table: a filter column over a small domain (so random
+        // ranges hit every selectivity including none/all), a value column
+        // with negatives, and a low-cardinality group column.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        let filter: Vec<i64> = (0..rows).map(|_| next().rem_euclid(140)).collect();
+        let value: Vec<i64> =
+            (0..rows).map(|_| next().rem_euclid(2 * value_magnitude) - value_magnitude).collect();
+        let group: Vec<i64> = (0..rows).map(|_| next().rem_euclid(group_cardinality)).collect();
+        let table = TableBuilder::new("t")
+            .add_values("filter", &filter, false)
+            .add_values("value", &value, false)
+            .add_values("group", &group, false)
+            .build();
+
+        let all_funcs =
+            [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg];
+        let funcs: Vec<AggFunc> = all_funcs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| func_mask & (1 << i) != 0)
+            .map(|(_, f)| *f)
+            .collect();
+        let mut spec = AggSpec::new("value", funcs);
+        if group_cardinality > 1 {
+            spec = spec.with_group_by("group");
+        }
+        let request = ScanRequest::between("filter", lo, lo + width).with_aggregate(spec.clone());
+
+        let placement = match placement_pick {
+            0 => NativePlacement::RoundRobin,
+            1 => NativePlacement::IndexVectorPartitioned { parts: 3 },
+            _ => NativePlacement::PhysicallyPartitioned { parts: 4 },
+        };
+        let mode = if shared { SharedScanMode::Always } else { SharedScanMode::Off };
+        let session = SessionManager::new(NativeEngine::with_config(
+            table.clone(),
+            &Topology::four_socket_ivybridge_ex(),
+            NativeEngineConfig {
+                placement,
+                shared_scans: SharedScanConfig { mode, chunk_rows },
+                ..Default::default()
+            },
+        ));
+        if rle {
+            for column in 0..3 {
+                for part in 0..8 {
+                    session.engine().relayout_part(ColumnId(column), part, IvLayoutKind::Rle);
+                }
+            }
+        }
+
+        let got = session.execute(&request).expect("known columns").into_aggregate();
+        let expected = oracle_aggregate(&table, "filter", &request.predicate(), &spec);
+        prop_assert_eq!(
+            got,
+            expected,
+            "fused aggregation diverged under placement {:?} shared {} rle {} chunk {}",
+            placement,
+            shared,
+            rle,
+            chunk_rows
+        );
+        session.shutdown();
+    }
+}
+
+/// The pinned overflow semantics: `AggFunc::Sum` wraps (two's-complement)
+/// rather than saturating or panicking, identically in the fused pipeline,
+/// in partial-table merges, and in the scalar oracle.
+#[test]
+fn fused_sum_overflow_wraps_identically_to_the_oracle() {
+    use numascan::core::{
+        oracle_aggregate, AggFunc, AggSpec, AggValue, NativeEngine, ScanRequest, SessionManager,
+    };
+    use numascan::storage::TableBuilder;
+
+    let value = vec![i64::MAX, i64::MAX, 7, i64::MIN, -1];
+    let filter = vec![1i64, 1, 1, 1, 99];
+    let table = TableBuilder::new("t")
+        .add_values("filter", &filter, false)
+        .add_values("value", &value, false)
+        .build();
+    let spec = AggSpec::new("value", vec![AggFunc::Sum]);
+    let request = ScanRequest::between("filter", 0, 10).with_aggregate(spec.clone());
+
+    let session = SessionManager::new(NativeEngine::new(
+        table.clone(),
+        &Topology::four_socket_ivybridge_ex(),
+        numascan::scheduler::SchedulingStrategy::Bound,
+    ));
+    let got = session.execute(&request).expect("known columns").into_aggregate();
+    session.shutdown();
+
+    let expected = oracle_aggregate(&table, "filter", &request.predicate(), &spec);
+    assert_eq!(got, expected, "fused and oracle sums must wrap identically");
+    let wrapped = i64::MAX.wrapping_add(i64::MAX).wrapping_add(7).wrapping_add(i64::MIN);
+    assert_eq!(got.global_row(), vec![AggValue::Int(wrapped)]);
 }

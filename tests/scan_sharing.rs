@@ -103,7 +103,7 @@ fn shared_results_match_the_oracle_across_placements() {
                         (0..5)
                             .map(|query| {
                                 let request = request(client, query);
-                                let got = session.execute(&request).expect("known column");
+                                let got = session.execute_rows(&request).expect("known column");
                                 (request, got)
                             })
                             .collect::<Vec<_>>()
@@ -172,7 +172,7 @@ fn pruned_and_rle_parts_share_sweeps_exactly() {
                             // prunes the rest.
                             let lo = ((client * 97 + query * 173) % 440) as i64;
                             let request = ScanRequest::between("v", lo, lo + 35);
-                            let got = session.execute(&request).expect("known column");
+                            let got = session.execute_rows(&request).expect("known column");
                             (request, got)
                         })
                         .collect::<Vec<_>>()
@@ -212,7 +212,7 @@ fn sharing_mode_routes_statements_as_documented() {
     ] {
         let session = session(10_000, NativePlacement::RoundRobin, mode);
         let expected = oracle(&session, &request);
-        let got = session.execute(&request).expect("known column");
+        let got = session.execute_rows(&request).expect("known column");
         assert_eq!(got, expected, "{mode:?}");
         let shared = session.shared_scan_stats();
         assert_eq!(shared.rows_swept > 0, expect_shared, "{mode:?} routed wrongly: {shared:?}");
@@ -243,7 +243,7 @@ fn tiny_chunks_with_staggered_clients_stay_exact() {
                     (0..4)
                         .map(|query| {
                             let request = request(client, query);
-                            let got = session.execute(&request).expect("known column");
+                            let got = session.execute_rows(&request).expect("known column");
                             (request, got)
                         })
                         .collect::<Vec<_>>()
@@ -290,7 +290,7 @@ fn gate_replay(
                 for query in 0..GATE_QUERIES {
                     let (lo, hi) = gate_bounds(client, query);
                     let request = ScanRequest::between(GATE_COLUMN, lo, hi);
-                    let got = session.execute(&request).expect("known column");
+                    let got = session.execute_rows(&request).expect("known column");
                     let expected = &oracles[&(lo, hi)];
                     assert_eq!(&got, expected, "{mode:?}: diverged for {request:?}");
                 }
